@@ -1,0 +1,34 @@
+"""ABL2: buffering cost in practice (Section 7.2).
+
+Sweeps ``d1`` across the ``d1 = 2*eps`` crossover. Shape: no message is
+ever held once ``d1 >= 2*eps``; below the crossover the mean hold time
+is ``2*eps - d1`` (a few "milliseconds" in the paper's terms).
+"""
+
+from bench_util import save_table
+from harness import exp_abl2, pinger_process_factory, pinger_topology
+
+from repro.core.pipeline import build_clock_system
+from repro.sim.clock_drivers import driver_factory
+from repro.sim.delay import MinimalDelay
+
+
+def _cross_run():
+    eps = 0.15
+    spec = build_clock_system(
+        pinger_topology(), pinger_process_factory(count=15, interval=1.0),
+        eps, d1=0.0, d2=0.8,
+        drivers=driver_factory("mixed", eps, seed=8),
+        delay_model=MinimalDelay(),
+    )
+    return spec.run(20.0)
+
+
+def test_abl2_buffering_cost(benchmark):
+    result = benchmark(_cross_run)
+    assert result.completed()
+
+    table, shapes = exp_abl2()
+    save_table("ABL2", table)
+    assert shapes["no_holds_above_one"]
+    assert shapes["holds_below_one"] > 0

@@ -1,0 +1,35 @@
+"""ABL1: delay-placement ablation (Section 6.2's remark).
+
+Compares algorithm S (extra ``2*eps`` on reads only) against the naive
+transformation (extra ``2*eps`` on every operation). Shape: both are
+eps-superlinearizable; the naive variant's writes pay exactly the extra
+``2*eps``; reads cost the same.
+"""
+
+from bench_util import save_table
+from harness import exp_abl1
+
+from repro.registers.system import run_register_experiment, timed_register_system
+from repro.registers.workload import RegisterWorkload
+from repro.sim.delay import UniformDelay
+
+
+def _run_naive():
+    workload = RegisterWorkload(operations=8, read_fraction=0.5, seed=7)
+    spec = timed_register_system(
+        n=3, d1_prime=0.2, d2_prime=1.0, c=0.3, workload=workload,
+        algorithm="naive", eps=0.1, delay_model=UniformDelay(seed=7),
+    )
+    run = run_register_experiment(spec, 70.0)
+    assert run.superlinearizable(0.1)
+    return run
+
+
+def test_abl1_delay_placement(benchmark):
+    run = benchmark(_run_naive)
+    assert len(run.operations) >= 15
+
+    table, shapes = exp_abl1()
+    save_table("ABL1", table)
+    assert shapes["penalty_tracks_two_eps"]
+    assert shapes["all_super"]

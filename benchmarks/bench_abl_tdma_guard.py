@@ -1,0 +1,39 @@
+"""ABL3: the guard-width crossover for TDMA mutual exclusion.
+
+An ablation over Section 7.1's second design technique: the TDMA
+scheduler solves the strengthened problem Q ("sections separated by
+``2*guard``") in the timed model; ``Q_eps ⊆ P`` ("sections disjoint")
+exactly when ``guard >= eps``. The sweep measures the worst overlap and
+the utilization across guard widths, locating the crossover at
+``guard = eps`` with overlap magnitude ``2*(eps - guard)`` below it.
+"""
+
+from bench_util import save_table
+from harness import exp_abl3_tdma
+
+from repro.sim.clock_drivers import FastClockDriver, SlowClockDriver
+from repro.tdma import build_tdma_system, critical_intervals, max_overlap
+
+EPS = 0.1
+
+
+def _one_run():
+    spec = build_tdma_system(
+        "clock", n=3, slot_width=1.0, guard=EPS, sections=3,
+        eps=EPS,
+        drivers=lambda i: FastClockDriver(EPS) if i % 2 == 0 else SlowClockDriver(EPS),
+    )
+    result = spec.run(15.0)
+    intervals = critical_intervals(result.trace)
+    assert max_overlap(intervals) <= 1e-9
+    return result
+
+
+def test_abl3_tdma_guard(benchmark):
+    result = benchmark(_one_run)
+    assert result.completed()
+
+    table, shapes = exp_abl3_tdma()
+    save_table("ABL3", table)
+    assert shapes["crossover_at_eps"]
+    assert shapes["overlap_matches_formula"]

@@ -1,0 +1,33 @@
+"""ENG: simulation-engine throughput (substrate sizing).
+
+Not a paper artifact — sizing data for the simulator itself, so readers
+can budget larger sweeps. Reports events/second for register systems of
+increasing size.
+"""
+
+from bench_util import save_table
+from harness import exp_engine_throughput
+
+from repro.registers.system import run_register_experiment, timed_register_system
+from repro.registers.workload import RegisterWorkload
+from repro.sim.delay import UniformDelay
+
+
+def _n3_run():
+    workload = RegisterWorkload(
+        operations=10, read_fraction=0.5, seed=9, think_min=0.1, think_max=0.5
+    )
+    spec = timed_register_system(
+        n=3, d1_prime=0.2, d2_prime=1.0, c=0.3, workload=workload,
+        delay_model=UniformDelay(seed=9),
+    )
+    return run_register_experiment(spec, 60.0)
+
+
+def test_engine_throughput(benchmark):
+    run = benchmark(_n3_run)
+    assert len(run.operations) >= 20
+
+    table, shapes = exp_engine_throughput()
+    save_table("ENG", table)
+    assert all(rate > 1000 for rate in shapes["rates"])

@@ -1,0 +1,42 @@
+"""EXT1: generalized blind-update objects (Section 6's closing remark).
+
+"We generalize our results to other shared memory objects in the full
+paper" — the sweep runs five object types (counter, PN-counter,
+max-register, G-set, LWW-map) through the clock transformation and
+checks spec-driven linearizability plus the Theorem 6.5 latency bounds.
+"""
+
+from bench_util import save_table
+from harness import exp_ext1_objects
+
+from repro.objects import (
+    CounterSpec,
+    ObjectWorkload,
+    clock_object_system,
+    run_object_experiment,
+)
+from repro.sim.clock_drivers import driver_factory
+from repro.sim.delay import UniformDelay
+
+
+def _counter_run():
+    spec = CounterSpec()
+    workload = ObjectWorkload(operations=6, update_fraction=0.6, seed=3)
+    system = clock_object_system(
+        spec, n=3, d1=0.2, d2=1.0, c=0.3, eps=0.1, workload=workload,
+        drivers=driver_factory("mixed", 0.1, seed=3),
+        delay_model=UniformDelay(seed=3),
+    )
+    run = run_object_experiment(system, spec, 80.0)
+    assert run.linearizable()
+    return run
+
+
+def test_ext1_objects(benchmark):
+    run = benchmark(_counter_run)
+    assert len(run.operations) >= 10
+
+    table, shapes = exp_ext1_objects()
+    save_table("EXT1", table)
+    assert shapes["all_linearizable"]
+    assert shapes["all_within"]

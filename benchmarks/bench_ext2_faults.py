@@ -1,0 +1,57 @@
+"""EXT2: fault tolerance (Section 7.3's stated extension).
+
+The register runs over channels that drop and duplicate messages, made
+reliable by the [1]-style ARQ adapter. Every theorem applies with the
+*effective* delay bounds ``d2 + B*R``; the sweep raises the loss rate
+and checks linearizability and the effective-bound write latency.
+"""
+
+from bench_util import save_table
+from harness import exp_ext2_faults
+
+from repro.core.pipeline import build_clock_system, simulation1_delay_bounds
+from repro.faults import BernoulliFaults, ReliableAdapter, effective_delay_bounds
+from repro.network.topology import Topology
+from repro.registers.algorithm_s import AlgorithmSProcess
+from repro.registers.system import (
+    INITIAL_VALUE,
+    run_register_experiment,
+)
+from repro.registers.workload import ClientEntity, RegisterWorkload
+from repro.sim.clock_drivers import driver_factory
+from repro.sim.delay import UniformDelay
+
+
+def _lossy_run():
+    n, d1, d2, eps, c, retx, max_drops = 3, 0.2, 1.0, 0.1, 0.3, 0.5, 3
+    _, d2e = effective_delay_bounds(d1, d2, retx, max_drops)
+    _, d2p = simulation1_delay_bounds(d1, d2e, eps)
+
+    def processes(i):
+        inner = AlgorithmSProcess(
+            i, list(range(n)), d2p, c, eps, initial_value=INITIAL_VALUE
+        )
+        return ReliableAdapter(inner, retransmit_interval=retx)
+
+    spec = build_clock_system(
+        Topology.complete(n, True), processes, eps, d1, d2,
+        driver_factory("mixed", eps, seed=8), UniformDelay(seed=8),
+        fault_model=BernoulliFaults(seed=8, p_drop=0.3, p_duplicate=0.1,
+                                    max_consecutive_drops=max_drops),
+    )
+    workload = RegisterWorkload(operations=4, read_fraction=0.5, seed=8)
+    spec = spec.add(*[ClientEntity(i, workload) for i in range(n)])
+    run = run_register_experiment(spec, 120.0, max_steps=3_000_000)
+    assert run.linearizable()
+    return run
+
+
+def test_ext2_faults(benchmark):
+    run = benchmark(_lossy_run)
+    assert len(run.operations) >= 8
+
+    table, shapes = exp_ext2_faults()
+    save_table("EXT2", table)
+    assert shapes["all_linearizable"]
+    assert shapes["all_within"]
+    assert shapes["loss_observed"]

@@ -1,0 +1,42 @@
+"""EXT3: multi-hop flooding and leader election across topologies.
+
+Flooding delivers within ``dist * d2'`` on the clock-stamped trace, and
+timeout-based leader election agrees everywhere with announcements
+spread at most ``2*eps`` — the real-time-specification design technique
+on graphs with diameter greater than one.
+"""
+
+from bench_util import save_table
+from harness import exp_ext3_multihop
+
+from repro.automata.actions import Action
+from repro.broadcast import build_flood_system, deliveries
+from repro.network.topology import Topology
+from repro.sim.clock_drivers import driver_factory
+from repro.sim.delay import UniformDelay
+
+
+def _ring_flood():
+    eps = 0.1
+    topology = Topology.ring(5)
+    spec = build_flood_system(
+        "clock", topology, 0.1, 1.0, eps=eps,
+        drivers=driver_factory("mixed", eps, seed=4),
+        delay_model=UniformDelay(seed=4),
+    )
+    result = spec.simulator().run(
+        6.0, initial_inputs=[(Action("BCAST", (0, ("m", 1))), 1.0)]
+    )
+    assert len(deliveries(result.trace)) == 5
+    return result
+
+
+def test_ext3_multihop(benchmark):
+    result = benchmark(_ring_flood)
+    assert result.completed()
+
+    table, shapes = exp_ext3_multihop()
+    save_table("EXT3", table)
+    assert shapes["all_in_bound"]
+    assert shapes["all_agree"]
+    assert shapes["spread_ok"]

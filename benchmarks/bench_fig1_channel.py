@@ -1,0 +1,31 @@
+"""FIG1: channel automaton conformance (Figure 1).
+
+Regenerates the Figure 1 transition-system guarantees as measurements:
+every message is delivered exactly once, within ``[d1, d2]``, across
+delay-model adversaries and bound configurations. The timed benchmark
+measures a message-storm run through a single channel pair.
+"""
+
+from bench_util import save_table
+from harness import exp_fig1_channel, pinger_process_factory, pinger_topology
+
+from repro.core.pipeline import build_timed_system
+from repro.sim.delay import UniformDelay
+
+
+def _storm():
+    spec = build_timed_system(
+        pinger_topology(), pinger_process_factory(count=50, interval=0.2),
+        0.05, 0.15, UniformDelay(seed=1),
+    )
+    return spec.run(12.0)
+
+
+def test_fig1_channel_conformance(benchmark):
+    result = benchmark(_storm)
+    assert result.completed()
+
+    table, shapes = exp_fig1_channel()
+    save_table("FIG1", table)
+    assert shapes["all_in_bounds"]
+    assert shapes["all_delivered"]

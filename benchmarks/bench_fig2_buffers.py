@@ -1,0 +1,35 @@
+"""FIG2: the Figure 2 buffers under adversarial clocks.
+
+Regenerates the buffer guarantees as measurements: receive clock time is
+never below the send stamp, clock-time delays stay within
+``[max(0, d1 - 2*eps), d2 + 2*eps]`` (Lemma 4.5), and buffering activates
+exactly when ``d1 < 2*eps`` (Section 7.2).
+"""
+
+from bench_util import save_table
+from harness import exp_fig2_buffers, pinger_process_factory, pinger_topology
+
+from repro.core.pipeline import build_clock_system
+from repro.sim.clock_drivers import driver_factory
+from repro.sim.delay import MinimalDelay
+
+
+def _buffered_run():
+    eps = 0.3  # 2*eps > d1: buffering active
+    spec = build_clock_system(
+        pinger_topology(), pinger_process_factory(count=20, interval=0.8),
+        eps, d1=0.1, d2=0.6,
+        drivers=driver_factory("mixed", eps, seed=3),
+        delay_model=MinimalDelay(),
+    )
+    return spec.run(20.0)
+
+
+def test_fig2_buffer_bounds(benchmark):
+    result = benchmark(_buffered_run)
+    assert result.completed()
+
+    table, shapes = exp_fig2_buffers()
+    save_table("FIG2", table)
+    assert shapes["bounds_hold"]
+    assert shapes["activation_matches"]

@@ -1,0 +1,34 @@
+"""FIG3: the Figure 3 transition relation (algorithm S).
+
+Regenerates the figure's guarantee as a measurement: every execution of
+the S automaton under random register workloads satisfies the
+eps-superlinearizable problem Q. The timed benchmark measures one full
+register run including the linearizability check.
+"""
+
+from bench_util import save_table
+from harness import exp_fig3_algorithm_s
+
+from repro.registers.system import run_register_experiment, timed_register_system
+from repro.registers.workload import RegisterWorkload
+from repro.sim.delay import UniformDelay
+
+
+def _register_run():
+    workload = RegisterWorkload(operations=8, read_fraction=0.5, seed=1)
+    spec = timed_register_system(
+        n=3, d1_prime=0.2, d2_prime=1.0, c=0.3, workload=workload,
+        algorithm="S", eps=0.1, delay_model=UniformDelay(seed=1),
+    )
+    run = run_register_experiment(spec, 70.0)
+    assert run.superlinearizable(0.1)
+    return run
+
+
+def test_fig3_algorithm_s(benchmark):
+    run = benchmark(_register_run)
+    assert len(run.operations) >= 15
+
+    table, shapes = exp_fig3_algorithm_s()
+    save_table("FIG3", table)
+    assert shapes["all_super"]

@@ -1,0 +1,39 @@
+"""LEM6.1: algorithm L latencies in the timed model.
+
+Regenerates the lemma as a measurement over the ``c`` sweep: read time
+is at most ``c + delta``, write time at most ``d2' - c``, every run
+linearizable, and the read/write tradeoff is monotone in ``c``.
+"""
+
+from bench_util import save_table
+from harness import exp_lem61
+
+from repro.registers.system import run_register_experiment, timed_register_system
+from repro.registers.workload import RegisterWorkload
+from repro.sim.delay import UniformDelay
+
+
+def _run_l():
+    workload = RegisterWorkload(operations=8, read_fraction=0.5, seed=2)
+    spec = timed_register_system(
+        n=3, d1_prime=0.2, d2_prime=1.0, c=0.4, workload=workload,
+        algorithm="L", delay_model=UniformDelay(seed=2),
+    )
+    run = run_register_experiment(spec, 70.0)
+    assert run.linearizable()
+    return run
+
+
+def test_lem61_algorithm_l(benchmark):
+    run = benchmark(_run_l)
+    assert len(run.operations) >= 15
+
+    table, shapes = exp_lem61()
+    save_table("LEM6.1", table)
+    assert shapes["all_within"]
+    assert shapes["all_linearizable"]
+    # tradeoff shape: reads get slower, writes faster, as c grows
+    assert shapes["read_latencies"] == sorted(shapes["read_latencies"])
+    assert shapes["write_latencies"] == sorted(
+        shapes["write_latencies"], reverse=True
+    )

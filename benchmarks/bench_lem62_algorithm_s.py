@@ -1,0 +1,34 @@
+"""LEM6.2: algorithm S latencies and superlinearizability (timed model).
+
+Regenerates the lemma as a measurement over the ``eps`` sweep: read time
+at most ``2*eps + c + delta``, write time unchanged at ``d2' - c``, and
+every run eps-superlinearizable.
+"""
+
+from bench_util import save_table
+from harness import exp_lem62
+
+from repro.registers.system import run_register_experiment, timed_register_system
+from repro.registers.workload import RegisterWorkload
+from repro.sim.delay import UniformDelay
+
+
+def _run_s():
+    workload = RegisterWorkload(operations=8, read_fraction=0.5, seed=3)
+    spec = timed_register_system(
+        n=3, d1_prime=0.2, d2_prime=1.0, c=0.3, workload=workload,
+        algorithm="S", eps=0.1, delay_model=UniformDelay(seed=3),
+    )
+    run = run_register_experiment(spec, 70.0)
+    assert run.superlinearizable(0.1)
+    return run
+
+
+def test_lem62_algorithm_s(benchmark):
+    run = benchmark(_run_s)
+    assert len(run.operations) >= 15
+
+    table, shapes = exp_lem62()
+    save_table("LEM6.2", table)
+    assert shapes["all_within"]
+    assert shapes["all_super"]

@@ -1,0 +1,46 @@
+"""THM4.7: Simulation 1 end-to-end.
+
+Regenerates the theorem as a measurement: for every clock adversary, the
+transformed system's real-time trace is ``=_eps`` to its clock-stamped
+``gamma`` sequence, ``gamma`` satisfies the design-model problem, and
+the measured time displacement never exceeds ``eps``. The timed
+benchmark measures one transformed run plus the trace-relation decision.
+"""
+
+from bench_util import save_table
+from harness import (
+    PINGER_KAPPA,
+    exp_thm47,
+    pinger_process_factory,
+    pinger_topology,
+)
+
+from repro.core.pipeline import build_clock_system
+from repro.sim.clock_drivers import driver_factory
+from repro.sim.delay import UniformDelay
+from repro.traces.relations import equivalent_eps
+
+EPS = 0.1
+
+
+def _transform_and_check():
+    spec = build_clock_system(
+        pinger_topology(), pinger_process_factory(count=8, interval=1.5),
+        EPS, d1=0.3, d2=1.2,
+        drivers=driver_factory("mixed", EPS, seed=4),
+        delay_model=UniformDelay(seed=4),
+    )
+    result = spec.run(30.0)
+    assert equivalent_eps(result.trace, result.clock_trace(), EPS, PINGER_KAPPA)
+    return result
+
+
+def test_thm47_simulation1(benchmark):
+    result = benchmark(_transform_and_check)
+    assert result.completed()
+
+    table, shapes = exp_thm47()
+    save_table("THM4.7", table)
+    assert shapes["all_equivalent"]
+    assert shapes["all_in_p"]
+    assert shapes["displacement_ok"]

@@ -1,0 +1,39 @@
+"""THM5.1: Simulation 2 end-to-end.
+
+Regenerates the theorem as a measurement: under the lazy (worst-case)
+step policy, every output of the MMT system is shifted into the future
+by at most ``k*l + 2*eps + 3*l``, and the measured shift grows with the
+step bound ``l``. The timed benchmark measures one MMT run with ticks.
+"""
+
+from bench_util import save_table
+from harness import exp_thm51, pinger_process_factory, pinger_topology
+
+from repro.clocks.sources import OffsetClockSource
+from repro.core.mmt_transform import LazyStepPolicy
+from repro.core.pipeline import build_mmt_system
+from repro.sim.delay import UniformDelay
+
+EPS = 0.05
+
+
+def _mmt_run():
+    spec = build_mmt_system(
+        pinger_topology(), pinger_process_factory(count=6, interval=1.5),
+        EPS, d1=0.2, d2=1.0, step_bound=0.05,
+        sources=lambda i: OffsetClockSource(EPS, EPS if i == 0 else -EPS),
+        step_policy_factory=lambda i: LazyStepPolicy(),
+        delay_model=UniformDelay(seed=2),
+    )
+    return spec.run(20.0)
+
+
+def test_thm51_simulation2(benchmark):
+    result = benchmark(_mmt_run)
+    assert result.completed()
+
+    table, shapes = exp_thm51()
+    save_table("THM5.1", table)
+    assert shapes["all_within"]
+    bounds = shapes["bound_grows_with_l"]
+    assert bounds == sorted(bounds)

@@ -1,0 +1,39 @@
+"""THM6.5: the transformed register in the clock model.
+
+Regenerates the theorem as a measurement over ``eps`` × ``c`` × driver:
+plain linearizability holds under adversarial clocks, with read time at
+most ``2*eps + delta + c`` and write time at most ``d2 + 2*eps - c``
+(clock time; the table's bounds add the ``2*eps`` real-time stretch).
+"""
+
+from bench_util import save_table
+from harness import exp_thm65
+
+from repro.registers.system import clock_register_system, run_register_experiment
+from repro.registers.workload import RegisterWorkload
+from repro.sim.clock_drivers import driver_factory
+from repro.sim.delay import UniformDelay
+
+EPS = 0.1
+
+
+def _clock_run():
+    workload = RegisterWorkload(operations=6, read_fraction=0.5, seed=5)
+    spec = clock_register_system(
+        n=3, d1=0.2, d2=1.0, c=0.3, eps=EPS, workload=workload,
+        drivers=driver_factory("mixed", EPS, seed=5),
+        delay_model=UniformDelay(seed=5),
+    )
+    run = run_register_experiment(spec, 70.0)
+    assert run.linearizable()
+    return run
+
+
+def test_thm65_clock_model(benchmark):
+    run = benchmark(_clock_run)
+    assert len(run.operations) >= 10
+
+    table, shapes = exp_thm65()
+    save_table("THM6.5", table)
+    assert shapes["all_linearizable"]
+    assert shapes["all_within"]

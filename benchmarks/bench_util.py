@@ -1,0 +1,16 @@
+"""Shared benchmark utilities: render + persist experiment tables."""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_table(exp_id, table):
+    """Render an experiment table to stdout and benchmarks/results/."""
+    text = table.render()
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{exp_id}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")

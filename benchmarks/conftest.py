@@ -1,0 +1,7 @@
+"""Benchmark configuration: make the harness and test helpers importable."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+sys.path.insert(0, os.path.dirname(__file__))

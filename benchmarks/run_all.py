@@ -1,0 +1,58 @@
+"""Regenerate every experiment table at once.
+
+Usage::
+
+    python benchmarks/run_all.py [EXP_ID ...]
+
+With no arguments, runs all experiments in DESIGN.md order, prints each
+table, and writes them to ``benchmarks/results/<EXP_ID>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+
+from harness import ALL_EXPERIMENTS  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def main(argv):
+    wanted = argv[1:] or list(ALL_EXPERIMENTS)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    failures = []
+    for exp_id in wanted:
+        if exp_id not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {exp_id!r}; known: {list(ALL_EXPERIMENTS)}")
+            return 2
+        start = time.perf_counter()
+        table, shapes = ALL_EXPERIMENTS[exp_id]()
+        elapsed = time.perf_counter() - start
+        text = table.render()
+        print(text)
+        print(f"({exp_id} finished in {elapsed:.1f}s)\n")
+        with open(os.path.join(RESULTS_DIR, f"{exp_id}.txt"), "w") as handle:
+            handle.write(text + "\n")
+        bad = {
+            key: value
+            for key, value in shapes.items()
+            if isinstance(value, bool) and not value
+        }
+        if bad:
+            failures.append((exp_id, bad))
+    if failures:
+        print("SHAPE FAILURES:")
+        for exp_id, bad in failures:
+            print(f"  {exp_id}: {bad}")
+        return 1
+    print(f"all {len(wanted)} experiments reproduced their expected shapes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (no `wheel` in the offline env)."""
+
+from setuptools import setup
+
+setup()

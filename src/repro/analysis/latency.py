@@ -1,0 +1,136 @@
+"""Generic invocation/response latency extraction from traces.
+
+The register and object runs collect latencies client-side; this module
+extracts them from *any* trace given a pairing rule, so benchmarks can
+analyze archived traces (see :mod:`repro.sim.persistence`) and custom
+algorithms (pinger round trips, heartbeat gaps) without bespoke code.
+
+A :class:`PairingRule` names the invocation/response action pairs and
+how to key them; :func:`extract_latencies` walks a timed sequence and
+produces one :class:`LatencySample` per completed pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.automata.actions import Action
+from repro.automata.executions import TimedSequence
+from repro.analysis.stats import Summary, summarize
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class PairingRule:
+    """Pairs invocations with responses.
+
+    ``invocations``/``responses`` are action names; ``key`` extracts a
+    matching key from an action (default: the conventional node index,
+    i.e. one outstanding operation per node — the alternation
+    condition). ``label`` names the resulting sample class.
+    """
+
+    label: str
+    invocations: Tuple[str, ...]
+    responses: Tuple[str, ...]
+    key: Callable[[Action], object] = None
+
+    def key_of(self, action: Action) -> object:
+        """The matching key for an action under this rule."""
+        if self.key is not None:
+            return self.key(action)
+        return _node_key(action)
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    label: str
+    key: object
+    invocation: Action
+    response: Action
+    inv_time: float
+    res_time: float
+
+    @property
+    def latency(self) -> float:
+        return self.res_time - self.inv_time
+
+
+def _node_key(action: Action) -> object:
+    """Default pairing key: the conventional node index."""
+    return action.node
+
+
+REGISTER_RULES = (
+    PairingRule("read", ("READ",), ("RETURN",)),
+    PairingRule("write", ("WRITE",), ("ACK",)),
+)
+
+OBJECT_RULES = (
+    PairingRule("query", ("ASK",), ("REPLY",)),
+    PairingRule("update", ("DO",), ("DONE",)),
+)
+
+PINGER_RULES = (
+    PairingRule(
+        "round-trip", ("PING",), ("GOTPONG",),
+        key=lambda action: (action.node, action.params[1]),
+    ),
+)
+
+
+def extract_latencies(
+    trace: TimedSequence,
+    rules: Tuple[PairingRule, ...] = REGISTER_RULES,
+    strict: bool = False,
+) -> List[LatencySample]:
+    """One sample per completed invocation/response pair.
+
+    With ``strict=True``, unmatched responses raise
+    :class:`SpecificationError`; otherwise they are skipped (useful on
+    trace fragments). Unanswered invocations are always dropped.
+    """
+    by_invocation: Dict[str, PairingRule] = {}
+    by_response: Dict[str, PairingRule] = {}
+    for rule in rules:
+        for name in rule.invocations:
+            by_invocation[name] = rule
+        for name in rule.responses:
+            by_response[name] = rule
+
+    pending: Dict[Tuple[str, object], Tuple[Action, float]] = {}
+    samples: List[LatencySample] = []
+    for ev in trace:
+        name = ev.action.name
+        if name in by_invocation:
+            rule = by_invocation[name]
+            pending[(rule.label, rule.key_of(ev.action))] = (ev.action, ev.time)
+        elif name in by_response:
+            rule = by_response[name]
+            slot = (rule.label, rule.key_of(ev.action))
+            opened = pending.pop(slot, None)
+            if opened is None:
+                if strict:
+                    raise SpecificationError(
+                        f"response {ev.action} has no pending invocation"
+                    )
+                continue
+            invocation, inv_time = opened
+            samples.append(
+                LatencySample(
+                    rule.label, slot[1], invocation, ev.action,
+                    inv_time, ev.time,
+                )
+            )
+    return samples
+
+
+def latency_summaries(
+    samples: List[LatencySample],
+) -> Dict[str, Summary]:
+    """Per-label :class:`~repro.analysis.stats.Summary` of latencies."""
+    grouped: Dict[str, List[float]] = {}
+    for sample in samples:
+        grouped.setdefault(sample.label, []).append(sample.latency)
+    return {label: summarize(values) for label, values in grouped.items()}

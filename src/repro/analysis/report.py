@@ -1,0 +1,70 @@
+"""Plain-text tables for benchmark harnesses.
+
+Benchmarks print paper-vs-measured rows; this keeps the formatting in
+one place so every harness reports the same way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_row(cells: Sequence[object], widths: Sequence[int]) -> str:
+    """One table row, cells left-justified to the column widths."""
+    parts = []
+    for cell, width in zip(cells, widths):
+        if isinstance(cell, float):
+            text = f"{cell:.4g}"
+        else:
+            text = str(cell)
+        parts.append(text.ljust(width))
+    return "  ".join(parts).rstrip()
+
+
+class Table:
+    """A fixed-column text table with a title and optional notes."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[object]] = []
+        self.notes: List[str] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row (one cell per column)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote line."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """The table as fixed-column text."""
+        widths = [len(c) for c in self.columns]
+        rendered_rows = []
+        for row in self.rows:
+            rendered = []
+            for idx, cell in enumerate(row):
+                text = f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+                rendered.append(text)
+                widths[idx] = max(widths[idx], len(text))
+            rendered_rows.append(rendered)
+        lines = [f"== {self.title} =="]
+        lines.append(format_row(self.columns, widths))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rendered_rows:
+            lines.append(format_row(row, widths))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Render to stdout."""
+        print(self.render())
+
+    def __repr__(self) -> str:
+        return f"<Table {self.title!r}: {len(self.rows)} rows>"

@@ -1,0 +1,66 @@
+"""Small statistics helpers (no numpy dependency in the core library)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    stdev: float
+
+    def __repr__(self) -> str:
+        return (
+            f"Summary(n={self.count}, mean={self.mean:.4f}, "
+            f"min={self.minimum:.4f}, p50={self.p50:.4f}, "
+            f"p95={self.p95:.4f}, max={self.maximum:.4f})"
+        )
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an already sorted sample."""
+    if not sorted_values:
+        raise ValueError("empty sample")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    lo = int(math.floor(position))
+    hi = int(math.ceil(position))
+    if lo == hi:
+        return sorted_values[lo]
+    frac = position - lo
+    value = sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+    # clamp away the 1-ulp overshoot float interpolation can produce
+    return min(max(value, sorted_values[lo]), sorted_values[hi])
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarize a sample; an empty sample yields all-zero fields."""
+    data: List[float] = sorted(values)
+    if not data:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    n = len(data)
+    mean = sum(data) / n
+    if n > 1:
+        variance = sum((x - mean) ** 2 for x in data) / (n - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        count=n,
+        mean=mean,
+        minimum=data[0],
+        maximum=data[-1],
+        p50=percentile(data, 0.50),
+        p95=percentile(data, 0.95),
+        stdev=math.sqrt(variance),
+    )

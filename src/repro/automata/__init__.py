@@ -1,0 +1,94 @@
+"""Automaton models from the paper (theory layer).
+
+This subpackage contains literal, relation-level encodings of the paper's
+definitions:
+
+- :mod:`repro.automata.actions` — actions, the time-passage action ``NU``,
+  and pattern-based action sets (Definition 2.1's action signature needs
+  possibly-infinite parameterized action families).
+- :mod:`repro.automata.signature` — action signatures and compatibility.
+- :mod:`repro.automata.theory_timed` — timed automata (Definition 2.1),
+  the axioms S1-S5, and timed-automata composition (Definition 2.2).
+- :mod:`repro.automata.theory_clock` — clock automata (Definition 2.3),
+  the axioms C1-C4, clock predicates (Definitions 2.4, 2.5), eps-time
+  independence (Definition 2.6), and clock composition (Definition 2.7).
+- :mod:`repro.automata.executions` — executions, timed schedules, timed
+  traces, and admissibility.
+
+The *executable* formulation used by the discrete-event simulator lives in
+:mod:`repro.components` and :mod:`repro.sim`.
+"""
+
+from repro.automata.actions import (
+    NU,
+    Action,
+    ActionPattern,
+    ActionSet,
+    EmptyActionSet,
+    FiniteActionSet,
+    PatternActionSet,
+    PredicateActionSet,
+    UnionActionSet,
+    action_set,
+)
+from repro.automata.executions import Execution, TimedEvent, TimedSequence
+from repro.automata.explore import ExplorationResult, Violation, explore
+from repro.automata.signature import Signature
+from repro.automata.state import State
+from repro.automata.theory_clock import (
+    ClockAutomaton,
+    ClockPredicate,
+    ComposedClockAutomaton,
+    SimpleClockAutomaton,
+    c_epsilon,
+    check_clock_axioms,
+    check_epsilon_time_independence,
+    check_predicate,
+    reachable_clock_states,
+)
+from repro.automata.theory_timed import (
+    ComposedTimedAutomaton,
+    SimpleTimedAutomaton,
+    TimedAutomaton,
+    check_timed_axioms,
+    hide,
+    reachable_states,
+    rename,
+)
+
+__all__ = [
+    "NU",
+    "Action",
+    "ActionPattern",
+    "ActionSet",
+    "EmptyActionSet",
+    "FiniteActionSet",
+    "PatternActionSet",
+    "PredicateActionSet",
+    "UnionActionSet",
+    "action_set",
+    "Signature",
+    "State",
+    "Execution",
+    "TimedEvent",
+    "TimedSequence",
+    "TimedAutomaton",
+    "SimpleTimedAutomaton",
+    "ComposedTimedAutomaton",
+    "check_timed_axioms",
+    "reachable_states",
+    "hide",
+    "rename",
+    "ClockAutomaton",
+    "SimpleClockAutomaton",
+    "ComposedClockAutomaton",
+    "ClockPredicate",
+    "c_epsilon",
+    "check_clock_axioms",
+    "check_predicate",
+    "check_epsilon_time_independence",
+    "reachable_clock_states",
+    "explore",
+    "ExplorationResult",
+    "Violation",
+]

@@ -1,0 +1,230 @@
+"""Executions, timed sequences, timed schedules, and timed traces.
+
+Implements the trace machinery of Section 2.1:
+
+- an :class:`Execution` alternates states and actions (including ``nu``);
+- a :class:`TimedSequence` is a monotone sequence of ``(action, time)``
+  pairs over non-time-passage actions;
+- ``t-sched`` projects an execution onto its non-``nu`` actions, pairing
+  each with the ``now`` value of the preceding state;
+- ``t-trace`` further restricts to visible actions;
+- an execution is *admissible* when its ``ltime`` is infinite — for the
+  finite executions a simulator actually produces, admissibility is
+  checked relative to a horizon (the execution ran out the full horizon
+  rather than getting stuck).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.automata.actions import NU, Action, ActionSet
+from repro.automata.state import State
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class TimedEvent:
+    """One ``(action, time)`` pair of a timed sequence."""
+
+    action: Action
+    time: float
+
+    def shifted(self, delta: float) -> "TimedEvent":
+        """The same event moved ``delta`` later in time."""
+        return TimedEvent(self.action, self.time + delta)
+
+    def __repr__(self) -> str:
+        return f"({self.action}, t={self.time:g})"
+
+
+class TimedSequence:
+    """A timed sequence over non-time-passage actions (Section 2.1).
+
+    Immutable; pairs must be non-decreasing in time. Supports the
+    projection operator ``|`` (restriction to an action set), indexing,
+    and iteration.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Iterable[Union[TimedEvent, Tuple[Action, float]]]):
+        normalized: List[TimedEvent] = []
+        for ev in events:
+            if isinstance(ev, TimedEvent):
+                normalized.append(ev)
+            else:
+                action, time = ev
+                normalized.append(TimedEvent(action, float(time)))
+        for prev, cur in zip(normalized, normalized[1:]):
+            if cur.time < prev.time - 1e-12:
+                raise ReproError(
+                    f"timed sequence is not monotone: {prev} before {cur}"
+                )
+        object.__setattr__(self, "_events", tuple(normalized))
+
+    # -- sequence protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TimedEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TimedSequence(self._events[index])
+        return self._events[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimedSequence):
+            return NotImplemented
+        return self._events == other._events
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    # -- paper notation --------------------------------------------------------
+
+    def actions(self) -> List[Action]:
+        """The action of each event, in order."""
+        return [ev.action for ev in self._events]
+
+    def times(self) -> List[float]:
+        """The time of each event, in order."""
+        return [ev.time for ev in self._events]
+
+    def restrict(self, action_set: ActionSet) -> "TimedSequence":
+        """Projection ``alpha | (B x R+)`` onto an action set."""
+        return TimedSequence(ev for ev in self._events if ev.action in action_set)
+
+    def __or__(self, action_set: ActionSet) -> "TimedSequence":
+        return self.restrict(action_set)
+
+    def filter(self, predicate: Callable[[TimedEvent], bool]) -> "TimedSequence":
+        """Events satisfying the predicate, order preserved."""
+        return TimedSequence(ev for ev in self._events if predicate(ev))
+
+    def shift(self, delta: float) -> "TimedSequence":
+        """Shift every event by ``delta`` in time."""
+        return TimedSequence(ev.shifted(delta) for ev in self._events)
+
+    def stable_sort_by_time(self) -> "TimedSequence":
+        """Reorder into non-decreasing time, preserving ties' order.
+
+        Used by the simulation proof's ``gamma_alpha`` construction
+        (Definition 4.2), where clock-stamped events must be re-sorted.
+        """
+        indexed = list(enumerate(self._events))
+        indexed.sort(key=lambda pair: (pair[1].time, pair[0]))
+        return TimedSequence(ev for _, ev in indexed)
+
+    def ltime(self) -> float:
+        """The last event's time (0 for the empty sequence)."""
+        return self._events[-1].time if self._events else 0.0
+
+    def __repr__(self) -> str:
+        if len(self._events) <= 8:
+            inner = ", ".join(map(repr, self._events))
+        else:
+            head = ", ".join(map(repr, self._events[:4]))
+            tail = ", ".join(map(repr, self._events[-2:]))
+            inner = f"{head}, ... {len(self._events) - 6} more ..., {tail}"
+        return f"TimedSequence[{inner}]"
+
+
+def timed_sequence(*pairs: Tuple[Action, float]) -> TimedSequence:
+    """Convenience constructor: ``timed_sequence((a, 0.0), (b, 1.0))``."""
+    return TimedSequence(pairs)
+
+
+class Execution:
+    """An execution ``s0 a1 s1 a2 s2 ...`` of a timed automaton.
+
+    Stored as an initial state plus a list of ``(action, state)`` steps,
+    where ``action`` may be :data:`~repro.automata.actions.NU`. Finite by
+    construction (simulators produce finite prefixes); admissibility is
+    judged against a horizon via :meth:`is_admissible_to`.
+    """
+
+    def __init__(self, initial: State, steps: Sequence[Tuple[object, State]] = ()):
+        self._initial = initial
+        self._steps: List[Tuple[object, State]] = list(steps)
+
+    @property
+    def initial(self) -> State:
+        return self._initial
+
+    @property
+    def steps(self) -> List[Tuple[object, State]]:
+        return list(self._steps)
+
+    def append(self, action, state: State) -> None:
+        """Extend the execution by one ``(action, state)`` step."""
+        self._steps.append((action, state))
+
+    def states(self) -> List[State]:
+        """All states, initial first."""
+        return [self._initial] + [s for _, s in self._steps]
+
+    def last_state(self) -> State:
+        """The final state of the execution."""
+        return self._steps[-1][1] if self._steps else self._initial
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    # -- paper notation -------------------------------------------------------
+
+    def ltime(self) -> float:
+        """The supremum of ``now`` over the execution's states."""
+        return max(s.now for s in self.states())
+
+    def is_admissible_to(self, horizon: float) -> bool:
+        """Whether the execution covers the whole simulation horizon."""
+        return self.ltime() >= horizon
+
+    def timed_schedule(self) -> TimedSequence:
+        """``t-sched``: non-``nu`` actions paired with pre-state ``now``."""
+        events: List[TimedEvent] = []
+        prev = self._initial
+        for action, state in self._steps:
+            if action is not NU:
+                events.append(TimedEvent(action, prev.now))
+            prev = state
+        return TimedSequence(events)
+
+    def timed_trace(self, visible: ActionSet) -> TimedSequence:
+        """``t-trace``: the timed schedule restricted to visible actions."""
+        return self.timed_schedule().restrict(visible)
+
+    def clock_stamped_schedule(
+        self, clock_of: Optional[Callable[[State, Action], float]] = None
+    ) -> TimedSequence:
+        """Non-``nu`` actions paired with the pre-state *clock* value.
+
+        This is the ``beta`` sequence of Lemma 4.2 and the ``gamma'``
+        sequence of Definition 4.2. ``clock_of`` extracts the relevant
+        clock from a (possibly composite) state; it defaults to the
+        state's own ``clock`` component. The result is a raw event list
+        (not necessarily time-monotone across nodes), so it is returned
+        after a stability-preserving sort only via
+        :meth:`TimedSequence.stable_sort_by_time` by the caller.
+        """
+        if clock_of is None:
+            clock_of = lambda state, action: state.clock
+        events: List[TimedEvent] = []
+        prev = self._initial
+        for action, state in self._steps:
+            if action is not NU:
+                events.append(TimedEvent(action, clock_of(prev, action)))
+            prev = state
+        # Bypass the monotonicity check: clock stamps from different
+        # nodes may interleave non-monotonically before re-sorting.
+        seq = TimedSequence.__new__(TimedSequence)
+        object.__setattr__(seq, "_events", tuple(events))
+        return seq
+
+    def __repr__(self) -> str:
+        return f"<Execution of {len(self._steps)} steps, ltime={self.ltime():g}>"

@@ -1,0 +1,180 @@
+"""Action signatures (Definition 2.1).
+
+A signature partitions an automaton's non-time-passage actions into input,
+output, and internal actions. Derived sets follow the paper's notation:
+
+- ``vis`` — visible actions, ``in ∪ out``;
+- ``ext`` — external actions, ``vis ∪ {nu}`` (handled specially, since
+  ``nu`` is not an :class:`~repro.automata.actions.Action`);
+- ``acts`` — all actions;
+- ``uacts`` — non-time-passage actions, ``vis ∪ int``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.automata.actions import NU, Action, ActionSet, EmptyActionSet, UnionActionSet
+from repro.errors import SignatureError
+
+
+class Signature:
+    """An action signature ``(in, out, int)``.
+
+    The three component sets should be pairwise disjoint; disjointness of
+    intensional sets is undecidable in general, so it is checked lazily:
+    :meth:`classify` raises :class:`~repro.errors.SignatureError` if an
+    action belongs to more than one component.
+    """
+
+    def __init__(
+        self,
+        inputs: ActionSet = None,
+        outputs: ActionSet = None,
+        internals: ActionSet = None,
+    ):
+        self.inputs = inputs if inputs is not None else EmptyActionSet()
+        self.outputs = outputs if outputs is not None else EmptyActionSet()
+        self.internals = internals if internals is not None else EmptyActionSet()
+
+    # -- derived sets --------------------------------------------------
+
+    @property
+    def visible(self) -> ActionSet:
+        """``vis(A) = in(A) ∪ out(A)``."""
+        return UnionActionSet((self.inputs, self.outputs))
+
+    @property
+    def uacts(self) -> ActionSet:
+        """``uacts(A) = vis(A) ∪ int(A)`` (all non-time-passage actions)."""
+        return UnionActionSet((self.inputs, self.outputs, self.internals))
+
+    @property
+    def locally_controlled(self) -> ActionSet:
+        """``out(A) ∪ int(A)`` — the actions the automaton controls."""
+        return UnionActionSet((self.outputs, self.internals))
+
+    # -- membership ----------------------------------------------------
+
+    def is_input(self, action: Action) -> bool:
+        """Membership in ``in(A)``."""
+        return action in self.inputs
+
+    def is_output(self, action: Action) -> bool:
+        """Membership in ``out(A)``."""
+        return action in self.outputs
+
+    def is_internal(self, action: Action) -> bool:
+        """Membership in ``int(A)``."""
+        return action in self.internals
+
+    def is_external(self, action) -> bool:
+        """Membership in ``ext(A) = vis(A) ∪ {nu}``."""
+        if action is NU:
+            return True
+        return action in self.visible
+
+    def contains(self, action) -> bool:
+        """Membership in ``acts(A) = ext(A) ∪ int(A)``."""
+        if action is NU:
+            return True
+        return action in self.uacts
+
+    def classify(self, action: Action) -> str:
+        """Return ``"input"``, ``"output"``, or ``"internal"``.
+
+        Raises :class:`SignatureError` if the action is in no component or
+        in more than one (signature components must be disjoint).
+        """
+        kinds = []
+        if action in self.inputs:
+            kinds.append("input")
+        if action in self.outputs:
+            kinds.append("output")
+        if action in self.internals:
+            kinds.append("internal")
+        if not kinds:
+            raise SignatureError(f"{action} is not in this signature")
+        if len(kinds) > 1:
+            raise SignatureError(
+                f"{action} is ambiguous in this signature (kinds: {kinds})"
+            )
+        return kinds[0]
+
+    # -- operators (Section 2.1) ----------------------------------------
+
+    def hide(self, actions: ActionSet) -> "Signature":
+        """Reclassify matching output actions as internal (hiding).
+
+        Returns a new signature whose outputs exclude ``actions`` and
+        whose internals include the previously matching outputs.
+        """
+        outputs = self.outputs
+        hidden = _IntersectionActionSet(outputs, actions)
+        remaining = _DifferenceActionSet(outputs, actions)
+        return Signature(
+            inputs=self.inputs,
+            outputs=remaining,
+            internals=UnionActionSet((self.internals, hidden)),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Signature(in={self.inputs!r}, out={self.outputs!r}, "
+            f"int={self.internals!r})"
+        )
+
+
+class _IntersectionActionSet(ActionSet):
+    """Actions in both of two sets (used by hiding)."""
+
+    def __init__(self, left: ActionSet, right: ActionSet):
+        self._left = left
+        self._right = right
+
+    def contains(self, action: Action) -> bool:
+        return action in self._left and action in self._right
+
+    def __repr__(self) -> str:
+        return f"({self._left!r} ∩ {self._right!r})"
+
+
+class _DifferenceActionSet(ActionSet):
+    """Actions in the first but not the second set (used by hiding)."""
+
+    def __init__(self, left: ActionSet, right: ActionSet):
+        self._left = left
+        self._right = right
+
+    def contains(self, action: Action) -> bool:
+        return action in self._left and action not in self._right
+
+    def __repr__(self) -> str:
+        return f"({self._left!r} \\ {self._right!r})"
+
+
+def check_compatible(signatures: Iterable[Signature], probes: Iterable[Action]) -> None:
+    """Check compatibility of signatures on a finite probe set.
+
+    Timed automata ``A_i`` are *compatible* (Section 2.1) when their
+    output sets are pairwise disjoint and no internal action of one is an
+    action of another. With intensional action sets, full disjointness is
+    not decidable, so this helper verifies the conditions on an explicit
+    finite set of probe actions (typically: every action the composed
+    system can ever perform). Raises :class:`SignatureError` on violation.
+    """
+    sigs = list(signatures)
+    for probe in probes:
+        out_owners = [i for i, s in enumerate(sigs) if probe in s.outputs]
+        if len(out_owners) > 1:
+            raise SignatureError(
+                f"{probe} is an output of multiple components: {out_owners}"
+            )
+        int_owners = [i for i, s in enumerate(sigs) if probe in s.internals]
+        for i in int_owners:
+            for j, s in enumerate(sigs):
+                if j != i and s.contains(probe):
+                    raise SignatureError(
+                        f"internal action {probe} of component {i} is shared "
+                        f"with component {j}"
+                    )

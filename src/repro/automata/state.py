@@ -1,0 +1,119 @@
+"""Immutable state records for the theory layer.
+
+Theory-layer automata (Definitions 2.1 and 2.3) manipulate whole states as
+values: transitions are triples ``(s, a, s')``. :class:`State` is a small
+immutable mapping with attribute access, structural equality, and hashing,
+so states can be stored in sets and compared in axiom checks.
+
+Every timed-automaton state has a ``now`` component; clock-automaton
+states additionally have a ``clock`` component. ``tbasic`` / ``cbasic``
+views (everything except ``now`` / except ``now`` and ``clock``) are
+provided to match the paper's notation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Tuple
+
+
+def _freeze(value: Any) -> Any:
+    """Convert common mutable containers to hashable equivalents."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return frozenset(_freeze(v) for v in value)
+    return value
+
+
+class State(Mapping):
+    """An immutable automaton state.
+
+    Fields are supplied as keyword arguments; mutable containers are
+    frozen on construction so every state is hashable.
+
+    >>> s = State(now=0.0, queue=[1, 2])
+    >>> s.now
+    0.0
+    >>> s.queue
+    (1, 2)
+    >>> s.replace(now=1.0).now
+    1.0
+    """
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, **fields: Any):
+        object.__setattr__(self, "_data", {k: _freeze(v) for k, v in fields.items()})
+        object.__setattr__(self, "_hash", None)
+
+    # -- mapping protocol -----------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- attribute access -----------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self._data[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("State is immutable; use .replace()")
+
+    # -- value semantics -------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, State):
+            return NotImplemented
+        return self._data == other._data
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(
+                self, "_hash", hash(tuple(sorted(self._data.items(), key=lambda kv: kv[0])))
+            )
+        return self._hash
+
+    # -- construction helpers ---------------------------------------------
+
+    def replace(self, **fields: Any) -> "State":
+        """Return a copy with the given fields replaced."""
+        data: Dict[str, Any] = dict(self._data)
+        data.update(fields)
+        return State(**data)
+
+    def project(self, *names: str) -> "State":
+        """Return a state containing only the named fields."""
+        return State(**{k: self._data[k] for k in names})
+
+    def drop(self, *names: str) -> Tuple[Tuple[str, Any], ...]:
+        """Return the remaining fields, sorted, as a hashable tuple."""
+        return tuple(
+            sorted((k, v) for k, v in self._data.items() if k not in names)
+        )
+
+    # -- paper notation ----------------------------------------------------
+
+    @property
+    def tbasic(self) -> Tuple[Tuple[str, Any], ...]:
+        """All components except ``now`` (Definition 2.1)."""
+        return self.drop("now")
+
+    @property
+    def cbasic(self) -> Tuple[Tuple[str, Any], ...]:
+        """All components except ``now`` and ``clock`` (Definition 2.3)."""
+        return self.drop("now", "clock")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._data.items()))
+        return f"State({inner})"

@@ -1,0 +1,374 @@
+"""Clock automata, theory layer (Definitions 2.3-2.7).
+
+A clock automaton is a timed automaton whose states carry an additional
+``clock`` component. Time passage advances ``now`` and ``clock`` jointly:
+``nu(Δt, Δc)``. The axioms C1-C4 mirror S1-S5 for the clock component.
+
+Key notions implemented here:
+
+- :class:`ClockAutomaton` — the intensional clock-automaton interface;
+- :class:`ClockPredicate` and :func:`c_epsilon` — Definitions 2.4, 2.5;
+- :func:`check_clock_axioms` — C1-C4 sampling checker;
+- :func:`check_epsilon_time_independence` — Definition 2.6 checker;
+- :class:`ComposedClockAutomaton` — Definition 2.7 (shared ``clock``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.automata.actions import Action
+from repro.automata.signature import Signature
+from repro.automata.state import State
+from repro.automata.theory_timed import TimedAutomaton
+from repro.errors import AxiomViolation, CompositionError
+
+
+class ClockPredicate:
+    """A binary relation on ``(now, clock)`` pairs (Definition 2.4)."""
+
+    def __init__(self, relation: Callable[[float, float], bool], label: str):
+        self._relation = relation
+        self.label = label
+
+    def holds(self, now: float, clock: float) -> bool:
+        """Whether ``(now, clock)`` is in the relation."""
+        return bool(self._relation(now, clock))
+
+    def holds_in(self, state: State) -> bool:
+        """Whether the state's ``(now, clock)`` satisfies the predicate."""
+        return self.holds(state.now, state.clock)
+
+    def __repr__(self) -> str:
+        return f"ClockPredicate({self.label})"
+
+
+def c_epsilon(eps: float) -> ClockPredicate:
+    """The predicate ``C_eps``: ``|now - clock| <= eps`` (Definition 2.5)."""
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    return ClockPredicate(lambda now, clock: abs(now - clock) <= eps, f"C_{eps}")
+
+
+class ClockAutomaton(TimedAutomaton):
+    """Abstract clock automaton (Definition 2.3), intensional form.
+
+    Subclasses implement :meth:`time_passage_clock`; the inherited
+    single-argument :meth:`time_passage` advances ``clock`` in lockstep
+    with ``now`` by default (a perfectly accurate clock trajectory),
+    which keeps every clock automaton usable as a plain timed automaton.
+    """
+
+    def time_passage_clock(
+        self, state: State, dt: float, dc: float
+    ) -> Optional[State]:
+        """The target of ``nu(Δt, Δc)``, or ``None`` if refused."""
+        raise NotImplementedError
+
+    def time_passage(self, state: State, dt: float) -> Optional[State]:
+        return self.time_passage_clock(state, dt, dt)
+
+
+class SimpleClockAutomaton(ClockAutomaton):
+    """A clock automaton built from plain functions.
+
+    Mirrors :class:`~repro.automata.theory_timed.SimpleTimedAutomaton`,
+    with clock-aware time passage. The caller supplies:
+
+    ``clock_deadline``
+        ``f(state) -> float`` — the largest *clock* value to which
+        ``nu`` may advance (default ``inf``);
+    ``predicate``
+        a :class:`ClockPredicate` every post-``nu`` state must satisfy
+        (typically ``c_epsilon(eps)``; default: always true).
+    """
+
+    def __init__(
+        self,
+        signature: Signature,
+        starts: Sequence[State],
+        discrete: Callable[[State], Iterable[Tuple[Action, State]]],
+        inputs: Optional[Callable[[State, Action], Iterable[State]]] = None,
+        clock_deadline: Optional[Callable[[State], float]] = None,
+        predicate: Optional[ClockPredicate] = None,
+        evolve: Optional[Callable[[State, float, float], State]] = None,
+        name: str = "A^c",
+    ):
+        super().__init__(signature, name)
+        self._starts = []
+        for s in starts:
+            if "now" not in s:
+                s = s.replace(now=0.0)
+            if "clock" not in s:
+                s = s.replace(clock=0.0)
+            self._starts.append(s)
+        self._discrete = discrete
+        self._inputs = inputs if inputs is not None else (lambda s, a: [s])
+        self._clock_deadline = (
+            clock_deadline if clock_deadline is not None else (lambda s: float("inf"))
+        )
+        self.predicate = predicate
+        self._evolve = evolve if evolve is not None else (
+            lambda s, t, c: s.replace(now=t, clock=c)
+        )
+
+    def start_states(self) -> Iterable[State]:
+        return list(self._starts)
+
+    def discrete_transitions(self, state: State) -> Iterator[Tuple[Action, State]]:
+        return iter(list(self._discrete(state)))
+
+    def input_transitions(self, state: State, action: Action) -> Iterable[State]:
+        return list(self._inputs(state, action))
+
+    def time_passage_clock(
+        self, state: State, dt: float, dc: float
+    ) -> Optional[State]:
+        if dt <= 0 or dc <= 0:
+            return None
+        new_clock = state.clock + dc
+        if new_clock > self._clock_deadline(state):
+            return None
+        new_now = state.now + dt
+        if self.predicate is not None and not self.predicate.holds(new_now, new_clock):
+            return None
+        return self._evolve(state, new_now, new_clock)
+
+
+class ComposedClockAutomaton(ClockAutomaton):
+    """Clock-automaton composition (Definition 2.7).
+
+    Unlike timed composition, both ``now`` *and* ``clock`` are global in
+    the composed automaton: all components observe the same clock. The
+    composed ``nu(Δt, Δc)`` is enabled iff every component's is.
+    """
+
+    def __init__(self, components: Sequence[ClockAutomaton], name: str = "||c"):
+        if not components:
+            raise CompositionError("cannot compose zero clock automata")
+        for c in components:
+            if not isinstance(c, ClockAutomaton):
+                raise CompositionError(f"{c!r} is not a clock automaton")
+        self.components = list(components)
+        sig = _composed_signature(self.components)
+        super().__init__(sig, name)
+
+    def _pack(self, parts: Sequence[State], now: float, clock: float) -> State:
+        return State(
+            parts=tuple(p.replace(now=now, clock=clock) for p in parts),
+            now=now,
+            clock=clock,
+        )
+
+    def project(self, state: State, index: int) -> State:
+        """``s|A_i`` — the component state with the shared now/clock."""
+        return state.parts[index]
+
+    def start_states(self) -> Iterable[State]:
+        def expand(idx: int, chosen: List[State]) -> Iterator[List[State]]:
+            if idx == len(self.components):
+                yield list(chosen)
+                return
+            for s in self.components[idx].start_states():
+                chosen.append(s)
+                yield from expand(idx + 1, chosen)
+                chosen.pop()
+
+        for combo in expand(0, []):
+            yield self._pack(combo, 0.0, 0.0)
+
+    def discrete_transitions(self, state: State) -> Iterator[Tuple[Action, State]]:
+        parts = list(state.parts)
+        for i, comp in enumerate(self.components):
+            for action, target in comp.discrete_transitions(parts[i]):
+                new_parts = list(parts)
+                new_parts[i] = target
+                ok = True
+                for j, other in enumerate(self.components):
+                    if j == i or not other.signature.contains(action):
+                        continue
+                    succs = list(other.input_transitions(parts[j], action))
+                    if not succs:
+                        ok = False
+                        break
+                    new_parts[j] = succs[0]
+                if ok:
+                    yield action, self._pack(new_parts, state.now, state.clock)
+
+    def input_transitions(self, state: State, action: Action) -> Iterable[State]:
+        parts = list(state.parts)
+        new_parts = list(parts)
+        for i, comp in enumerate(self.components):
+            if comp.signature.contains(action):
+                succs = list(comp.input_transitions(parts[i], action))
+                if not succs:
+                    return []
+                new_parts[i] = succs[0]
+        return [self._pack(new_parts, state.now, state.clock)]
+
+    def time_passage_clock(
+        self, state: State, dt: float, dc: float
+    ) -> Optional[State]:
+        if dt <= 0 or dc <= 0:
+            return None
+        new_parts = []
+        for comp, part in zip(self.components, state.parts):
+            target = comp.time_passage_clock(part, dt, dc)
+            if target is None:
+                return None
+            new_parts.append(target)
+        return self._pack(new_parts, state.now + dt, state.clock + dc)
+
+
+def _composed_signature(components: Sequence[TimedAutomaton]) -> Signature:
+    from repro.automata.actions import UnionActionSet
+    from repro.automata.signature import _DifferenceActionSet
+
+    outs = UnionActionSet([c.signature.outputs for c in components])
+    ins = _DifferenceActionSet(
+        UnionActionSet([c.signature.inputs for c in components]), outs
+    )
+    ints = UnionActionSet([c.signature.internals for c in components])
+    return Signature(inputs=ins, outputs=outs, internals=ints)
+
+
+# ---------------------------------------------------------------------------
+# Axiom checking (C1-C4) and eps-time independence (Definition 2.6)
+# ---------------------------------------------------------------------------
+
+
+def check_clock_axioms(
+    automaton: ClockAutomaton,
+    states: Iterable[State],
+    steps: Sequence[Tuple[float, float]] = ((0.5, 0.5), (1.0, 0.5), (0.5, 1.0)),
+    tolerance: float = 1e-9,
+) -> None:
+    """Check axioms C1-C4 on the given sample states and ``(Δt, Δc)`` pairs.
+
+    - **C1**: every start state has ``clock == 0``.
+    - **C2**: discrete transitions preserve ``clock``.
+    - **C3**: time passage strictly increases ``clock``.
+    - **C4**: joint interpolation — if ``nu(Δt, Δc)`` is allowed then for
+      intermediate ``(Δt', Δc')`` there is a midpoint state from which
+      the rest of the step is also allowed.
+    """
+    for s0 in automaton.start_states():
+        if abs(s0.clock) > tolerance:
+            raise AxiomViolation("C1", f"start state has clock={s0.clock}", s0)
+
+    for s in states:
+        for action, s2 in automaton.discrete_transitions(s):
+            if abs(s2.clock - s.clock) > tolerance:
+                raise AxiomViolation(
+                    "C2",
+                    f"{action} changed clock from {s.clock} to {s2.clock}",
+                    (s, s2),
+                )
+        for dt, dc in steps:
+            s2 = automaton.time_passage_clock(s, dt, dc)
+            if s2 is None:
+                continue
+            if not s2.clock > s.clock:
+                raise AxiomViolation(
+                    "C3",
+                    f"nu({dt},{dc}) did not increase clock "
+                    f"({s.clock} -> {s2.clock})",
+                    s,
+                )
+            mid = automaton.time_passage_clock(s, dt / 2.0, dc / 2.0)
+            if mid is None:
+                raise AxiomViolation(
+                    "C4",
+                    f"nu({dt},{dc}) allowed but the midpoint "
+                    f"nu({dt / 2},{dc / 2}) refused",
+                    s,
+                )
+            rest = automaton.time_passage_clock(mid, dt - dt / 2.0, dc - dc / 2.0)
+            if rest is None:
+                raise AxiomViolation(
+                    "C4", f"cannot continue from the midpoint of nu({dt},{dc})", s
+                )
+            if rest.cbasic != s2.cbasic or abs(rest.clock - s2.clock) > tolerance:
+                raise AxiomViolation(
+                    "C4", f"split nu differs from joint nu from {s}", (rest, s2)
+                )
+
+
+def check_predicate(
+    automaton: ClockAutomaton,
+    predicate: ClockPredicate,
+    states: Iterable[State],
+) -> None:
+    """Check that every sampled state satisfies the clock predicate."""
+    for s in states:
+        if not predicate.holds_in(s):
+            raise AxiomViolation(
+                predicate.label,
+                f"state with now={s.now}, clock={s.clock} violates "
+                f"{predicate.label}",
+                s,
+            )
+
+
+def check_epsilon_time_independence(
+    automaton: ClockAutomaton,
+    eps: float,
+    states: Iterable[State],
+    now_shifts: Sequence[float] = (-0.5, 0.25, 0.5),
+    tolerance: float = 1e-9,
+) -> None:
+    """Check eps-time independence (Definition 2.6) by perturbing ``now``.
+
+    For each sampled state ``s`` and each discrete transition
+    ``(s, a, s')``, the same transition must exist from every state ``u``
+    that agrees with ``s`` on ``clock`` and ``cbasic`` but has a different
+    ``now`` still satisfying ``C_eps``. We probe a few ``now`` shifts.
+    """
+    pred = c_epsilon(eps)
+    for s in states:
+        transitions = list(automaton.discrete_transitions(s))
+        for shift in now_shifts:
+            new_now = s.now + shift
+            if new_now < 0 or not pred.holds(new_now, s.clock):
+                continue
+            u = s.replace(now=new_now)
+            shifted = list(automaton.discrete_transitions(u))
+            expect = {(a, s2.cbasic, s2.clock) for a, s2 in transitions}
+            got = {(a, s2.cbasic, s2.clock) for a, s2 in shifted}
+            if expect != got:
+                raise AxiomViolation(
+                    "eps-time-independence",
+                    f"transitions differ after shifting now by {shift} "
+                    f"(clock={s.clock}): {expect ^ got}",
+                    s,
+                )
+
+
+def reachable_clock_states(
+    automaton: ClockAutomaton,
+    steps: Sequence[Tuple[float, float]] = ((0.5, 0.5), (0.5, 0.25)),
+    max_states: int = 500,
+    input_probes: Sequence[Action] = (),
+) -> List[State]:
+    """Breadth-first sample of reachable states of a clock automaton."""
+    frontier = list(automaton.start_states())
+    seen = set(frontier)
+    order = list(frontier)
+    while frontier and len(order) < max_states:
+        state = frontier.pop(0)
+        successors: List[State] = []
+        for _, s2 in automaton.discrete_transitions(state):
+            successors.append(s2)
+        for probe in input_probes:
+            if automaton.signature.is_input(probe):
+                successors.extend(automaton.input_transitions(state, probe))
+        for dt, dc in steps:
+            s2 = automaton.time_passage_clock(state, dt, dc)
+            if s2 is not None:
+                successors.append(s2)
+        for s2 in successors:
+            if s2 not in seen and len(order) < max_states:
+                seen.add(s2)
+                order.append(s2)
+                frontier.append(s2)
+    return order

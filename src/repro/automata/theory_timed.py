@@ -1,0 +1,419 @@
+"""Timed automata, theory layer (Definition 2.1).
+
+A timed automaton's transition relation contains uncountably many
+time-passage transitions (one for every ``Δt``), so the relation is
+represented intensionally:
+
+- :meth:`TimedAutomaton.discrete_transitions` enumerates the non-``nu``
+  locally controlled transitions out of a state;
+- :meth:`TimedAutomaton.input_transitions` gives the (input-enabled)
+  transitions for an input action;
+- :meth:`TimedAutomaton.time_passage` returns the target of
+  ``(s, nu, s')`` for a requested ``Δt``, or ``None`` when the automaton
+  refuses to let that much time pass.
+
+Axioms S1-S5 are checked by :func:`check_timed_axioms` on sampled states
+and durations; S2/S4/S5 hold by construction for automata that implement
+``time_passage`` as a deterministic flow, but the checker validates
+arbitrary implementations.
+
+Composition (Definition 2.2) is implemented by
+:class:`ComposedTimedAutomaton`; hiding by :func:`hide`, renaming by
+:func:`rename`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.automata.actions import Action, ActionSet
+from repro.automata.signature import Signature
+from repro.automata.state import State
+from repro.errors import AxiomViolation, CompositionError, TransitionError
+
+
+class TimedAutomaton:
+    """Abstract timed automaton (Definition 2.1), intensional form."""
+
+    def __init__(self, signature: Signature, name: str = "A"):
+        self.signature = signature
+        self.name = name
+
+    # -- required interface ------------------------------------------------
+
+    def start_states(self) -> Iterable[State]:
+        """The set ``start(A)``; every member must have ``now == 0`` (S1)."""
+        raise NotImplementedError
+
+    def discrete_transitions(self, state: State) -> Iterator[Tuple[Action, State]]:
+        """Enumerate locally controlled (output/internal) transitions."""
+        raise NotImplementedError
+
+    def input_transitions(self, state: State, action: Action) -> Iterable[State]:
+        """Transitions for an input action. Must be nonempty (input-enabled)."""
+        raise NotImplementedError
+
+    def time_passage(self, state: State, dt: float) -> Optional[State]:
+        """The target of ``nu`` advancing ``now`` by ``dt``, or ``None``."""
+        raise NotImplementedError
+
+    # -- derived helpers -----------------------------------------------------
+
+    def transitions_for(self, state: State, action: Action) -> List[State]:
+        """All targets of ``(state, action, ·)`` for a non-``nu`` action."""
+        if self.signature.is_input(action):
+            return list(self.input_transitions(state, action))
+        return [s2 for a, s2 in self.discrete_transitions(state) if a == action]
+
+    def is_enabled(self, state: State, action: Action) -> bool:
+        """Whether a non-``nu`` action has a transition from the state."""
+        return bool(self.transitions_for(state, action))
+
+    def apply(self, state: State, action: Action) -> State:
+        """Apply a non-``nu`` action, requiring a unique target state."""
+        targets = self.transitions_for(state, action)
+        if not targets:
+            raise TransitionError(f"{self.name}: {action} not enabled in {state}")
+        if len(targets) > 1:
+            raise TransitionError(
+                f"{self.name}: {action} is nondeterministic in {state}"
+            )
+        return targets[0]
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class SimpleTimedAutomaton(TimedAutomaton):
+    """A timed automaton built from plain functions.
+
+    Convenient for tests and small specification automata. The caller
+    supplies:
+
+    ``starts``
+        iterable of start states (``now`` forced to ``0.0`` if missing);
+    ``discrete``
+        ``f(state) -> iterable of (action, state')`` for locally
+        controlled actions;
+    ``inputs``
+        ``f(state, action) -> iterable of state'`` (default: stutter,
+        i.e. every input is accepted and ignored);
+    ``deadline``
+        ``f(state) -> float`` giving the largest ``now`` value to which
+        ``nu`` may advance (default ``inf``);
+    ``evolve``
+        ``f(state, new_now) -> state'`` updating non-``now`` components
+        under time passage (default: only ``now`` changes).
+    """
+
+    def __init__(
+        self,
+        signature: Signature,
+        starts: Sequence[State],
+        discrete: Callable[[State], Iterable[Tuple[Action, State]]],
+        inputs: Optional[Callable[[State, Action], Iterable[State]]] = None,
+        deadline: Optional[Callable[[State], float]] = None,
+        evolve: Optional[Callable[[State, float], State]] = None,
+        name: str = "A",
+    ):
+        super().__init__(signature, name)
+        self._starts = [
+            s if "now" in s else s.replace(now=0.0) for s in starts
+        ]
+        self._discrete = discrete
+        self._inputs = inputs if inputs is not None else (lambda s, a: [s])
+        self._deadline = deadline if deadline is not None else (lambda s: float("inf"))
+        self._evolve = evolve if evolve is not None else (
+            lambda s, t: s.replace(now=t)
+        )
+
+    def start_states(self) -> Iterable[State]:
+        return list(self._starts)
+
+    def discrete_transitions(self, state: State) -> Iterator[Tuple[Action, State]]:
+        return iter(list(self._discrete(state)))
+
+    def input_transitions(self, state: State, action: Action) -> Iterable[State]:
+        return list(self._inputs(state, action))
+
+    def time_passage(self, state: State, dt: float) -> Optional[State]:
+        if dt <= 0:
+            return None
+        target = state.now + dt
+        if target > self._deadline(state):
+            return None
+        new = self._evolve(state, target)
+        if new.now != target:
+            raise TransitionError(
+                f"{self.name}: evolve must set now to {target}, got {new.now}"
+            )
+        return new
+
+
+class ComposedTimedAutomaton(TimedAutomaton):
+    """The composition ``Π A_i`` of compatible timed automata (Def 2.2).
+
+    The composed state stores each component's ``tbasic`` under the key
+    ``parts`` (a tuple of per-component :class:`State` values *without*
+    their ``now``) plus the shared ``now``. Time passes in lockstep: the
+    composed ``nu`` is enabled for ``dt`` iff every component permits it.
+    """
+
+    def __init__(self, components: Sequence[TimedAutomaton], name: str = "||"):
+        if not components:
+            raise CompositionError("cannot compose zero automata")
+        self.components = list(components)
+        super().__init__(self._composed_signature(), name)
+
+    def _composed_signature(self) -> Signature:
+        from repro.automata.actions import UnionActionSet
+        from repro.automata.signature import _DifferenceActionSet
+
+        outs = UnionActionSet([c.signature.outputs for c in self.components])
+        ins = _DifferenceActionSet(
+            UnionActionSet([c.signature.inputs for c in self.components]), outs
+        )
+        ints = UnionActionSet([c.signature.internals for c in self.components])
+        return Signature(inputs=ins, outputs=outs, internals=ints)
+
+    # -- state packing ---------------------------------------------------
+
+    def _pack(self, parts: Sequence[State], now: float) -> State:
+        return State(parts=tuple(p.replace(now=now) for p in parts), now=now)
+
+    def project(self, state: State, index: int) -> State:
+        """``s|A_i`` — the component state with the shared ``now``."""
+        return state.parts[index]
+
+    # -- automaton interface ------------------------------------------------
+
+    def start_states(self) -> Iterable[State]:
+        def expand(idx: int, chosen: List[State]) -> Iterator[List[State]]:
+            if idx == len(self.components):
+                yield list(chosen)
+                return
+            for s in self.components[idx].start_states():
+                chosen.append(s)
+                yield from expand(idx + 1, chosen)
+                chosen.pop()
+
+        for combo in expand(0, []):
+            yield self._pack(combo, 0.0)
+
+    def _participants(self, action: Action) -> List[int]:
+        return [
+            i
+            for i, c in enumerate(self.components)
+            if c.signature.contains(action)
+        ]
+
+    def discrete_transitions(self, state: State) -> Iterator[Tuple[Action, State]]:
+        parts = list(state.parts)
+        for i, comp in enumerate(self.components):
+            for action, target in comp.discrete_transitions(parts[i]):
+                new_parts = list(parts)
+                new_parts[i] = target
+                # Other components that have this action as an input
+                # participate simultaneously (Definition 2.2).
+                ok = True
+                for j, other in enumerate(self.components):
+                    if j == i or not other.signature.contains(action):
+                        continue
+                    succs = list(other.input_transitions(parts[j], action))
+                    if not succs:
+                        ok = False
+                        break
+                    new_parts[j] = succs[0]
+                if ok:
+                    yield action, self._pack(new_parts, state.now)
+
+    def input_transitions(self, state: State, action: Action) -> Iterable[State]:
+        parts = list(state.parts)
+        new_parts = list(parts)
+        for i, comp in enumerate(self.components):
+            if comp.signature.contains(action):
+                succs = list(comp.input_transitions(parts[i], action))
+                if not succs:
+                    return []
+                new_parts[i] = succs[0]
+        return [self._pack(new_parts, state.now)]
+
+    def time_passage(self, state: State, dt: float) -> Optional[State]:
+        if dt <= 0:
+            return None
+        new_parts = []
+        for comp, part in zip(self.components, state.parts):
+            target = comp.time_passage(part, dt)
+            if target is None:
+                return None
+            new_parts.append(target)
+        return self._pack(new_parts, state.now + dt)
+
+
+class HiddenTimedAutomaton(TimedAutomaton):
+    """The hiding operator: reclassify matching outputs as internal."""
+
+    def __init__(self, inner: TimedAutomaton, hidden: ActionSet, name: str = None):
+        super().__init__(inner.signature.hide(hidden), name or f"hide({inner.name})")
+        self.inner = inner
+        self.hidden = hidden
+
+    def start_states(self) -> Iterable[State]:
+        return self.inner.start_states()
+
+    def discrete_transitions(self, state: State) -> Iterator[Tuple[Action, State]]:
+        return self.inner.discrete_transitions(state)
+
+    def input_transitions(self, state: State, action: Action) -> Iterable[State]:
+        return self.inner.input_transitions(state, action)
+
+    def time_passage(self, state: State, dt: float) -> Optional[State]:
+        return self.inner.time_passage(state, dt)
+
+
+class RenamedTimedAutomaton(TimedAutomaton):
+    """The renaming operator: apply a bijection to the action names."""
+
+    def __init__(
+        self,
+        inner: TimedAutomaton,
+        forward: Callable[[Action], Action],
+        backward: Callable[[Action], Action],
+        signature: Signature,
+        name: str = None,
+    ):
+        super().__init__(signature, name or f"rename({inner.name})")
+        self.inner = inner
+        self._fwd = forward
+        self._bwd = backward
+
+    def start_states(self) -> Iterable[State]:
+        return self.inner.start_states()
+
+    def discrete_transitions(self, state: State) -> Iterator[Tuple[Action, State]]:
+        for action, target in self.inner.discrete_transitions(state):
+            yield self._fwd(action), target
+
+    def input_transitions(self, state: State, action: Action) -> Iterable[State]:
+        return self.inner.input_transitions(state, self._bwd(action))
+
+    def time_passage(self, state: State, dt: float) -> Optional[State]:
+        return self.inner.time_passage(state, dt)
+
+
+def hide(inner: TimedAutomaton, hidden: ActionSet) -> TimedAutomaton:
+    """Hide the given output actions of ``inner`` (Section 2.1)."""
+    return HiddenTimedAutomaton(inner, hidden)
+
+
+def rename(
+    inner: TimedAutomaton,
+    forward: Callable[[Action], Action],
+    backward: Callable[[Action], Action],
+    signature: Signature,
+) -> TimedAutomaton:
+    """Rename the actions of ``inner`` via a bijection (Section 2.1)."""
+    return RenamedTimedAutomaton(inner, forward, backward, signature)
+
+
+# ---------------------------------------------------------------------------
+# Axiom checking (S1-S5)
+# ---------------------------------------------------------------------------
+
+
+def check_timed_axioms(
+    automaton: TimedAutomaton,
+    states: Iterable[State],
+    durations: Sequence[float] = (0.25, 0.5, 1.0, 2.0),
+    tolerance: float = 1e-9,
+) -> None:
+    """Check axioms S1-S5 on the given sample states and durations.
+
+    Raises :class:`~repro.errors.AxiomViolation` on the first failure.
+    The check is necessarily a sampling check: the state space and the
+    set of durations are both uncountable in general.
+
+    - **S1**: every start state has ``now == 0``.
+    - **S2**: discrete transitions preserve ``now``.
+    - **S3**: time passage strictly increases ``now``.
+    - **S4**: time-passage transitivity — advancing by ``d1`` then ``d2``
+      lands where advancing by ``d1 + d2`` does (when both are allowed).
+    - **S5**: trajectory interpolation — if ``nu`` can advance by ``d``,
+      it can advance by any ``0 < d' < d``, and continue from there.
+    """
+    for s0 in automaton.start_states():
+        if abs(s0.now) > tolerance:
+            raise AxiomViolation("S1", f"start state has now={s0.now}", s0)
+
+    sample = list(states)
+    for s in sample:
+        for action, s2 in automaton.discrete_transitions(s):
+            if abs(s2.now - s.now) > tolerance:
+                raise AxiomViolation(
+                    "S2", f"{action} changed now from {s.now} to {s2.now}", (s, s2)
+                )
+        for d in durations:
+            s2 = automaton.time_passage(s, d)
+            if s2 is None:
+                continue
+            if not s2.now > s.now:
+                raise AxiomViolation(
+                    "S3", f"nu({d}) did not increase now ({s.now} -> {s2.now})", s
+                )
+            if abs(s2.now - (s.now + d)) > tolerance:
+                raise AxiomViolation(
+                    "S3", f"nu({d}) advanced now to {s2.now}, expected {s.now + d}", s
+                )
+            # S5: interpolation at the midpoint, then continuation.
+            half = d / 2.0
+            mid = automaton.time_passage(s, half)
+            if mid is None:
+                raise AxiomViolation(
+                    "S5", f"nu({d}) allowed but nu({half}) refused", s
+                )
+            rest = automaton.time_passage(mid, d - half)
+            if rest is None:
+                raise AxiomViolation(
+                    "S5", f"cannot continue from the S5 midpoint of nu({d})", s
+                )
+            if rest.tbasic != s2.tbasic or abs(rest.now - s2.now) > tolerance:
+                raise AxiomViolation(
+                    "S4",
+                    f"nu({half});nu({d - half}) != nu({d}) from {s}",
+                    (rest, s2),
+                )
+
+
+def reachable_states(
+    automaton: TimedAutomaton,
+    durations: Sequence[float] = (0.5, 1.0),
+    max_states: int = 500,
+    input_probes: Sequence[Action] = (),
+) -> List[State]:
+    """Breadth-first sample of reachable states.
+
+    Explores discrete transitions, the given input probes, and time
+    passage by each duration, up to ``max_states`` distinct states.
+    Useful for feeding :func:`check_timed_axioms`.
+    """
+    frontier = list(automaton.start_states())
+    seen = set(frontier)
+    order = list(frontier)
+    while frontier and len(order) < max_states:
+        state = frontier.pop(0)
+        successors: List[State] = []
+        for _, s2 in automaton.discrete_transitions(state):
+            successors.append(s2)
+        for probe in input_probes:
+            if automaton.signature.is_input(probe):
+                successors.extend(automaton.input_transitions(state, probe))
+        for d in durations:
+            s2 = automaton.time_passage(state, d)
+            if s2 is not None:
+                successors.append(s2)
+        for s2 in successors:
+            if s2 not in seen and len(order) < max_states:
+                seen.add(s2)
+                order.append(s2)
+                frontier.append(s2)
+    return order

@@ -1,0 +1,37 @@
+"""Multi-hop algorithms: flooding broadcast and leader election.
+
+Two more algorithms in the paper's programming model, exercising
+multi-hop topologies (rings, stars, chains) where the register
+application only needed complete graphs:
+
+- :class:`~repro.broadcast.flood.FloodProcess` — reliable flooding:
+  a message injected at any node reaches every node within
+  ``eccentricity * d2'`` (a *real-time* delivery guarantee, the
+  "estimate the time at which events occur" motivation);
+- :class:`~repro.broadcast.flood.LeaderElectProcess` — timeout-based
+  leader election: every node floods its identifier at time 0 and
+  announces the smallest identifier seen at time
+  ``T = diameter * d2'``; all nodes agree, and announcements are
+  simultaneous in the timed model — hence within ``2*eps`` of each
+  other after the clock transformation (the "synchronize activities"
+  motivation, and another instance of a real-time specification
+  surviving as ``P_eps``).
+"""
+
+from repro.broadcast.flood import (
+    FloodProcess,
+    LeaderElectProcess,
+    build_flood_system,
+    build_leader_system,
+    deliveries,
+    election_outcomes,
+)
+
+__all__ = [
+    "FloodProcess",
+    "LeaderElectProcess",
+    "build_flood_system",
+    "build_leader_system",
+    "deliveries",
+    "election_outcomes",
+]

@@ -1,0 +1,344 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``register``
+    Run a register experiment in any of the four variants (timed,
+    clock, mmt, baseline); prints latencies and the linearizability
+    verdict.
+``object``
+    Same for a generalized blind-update object (counter, pn-counter,
+    max-register, g-set, lww-map).
+``detector``
+    Run the heartbeat failure monitor (optionally naive, optionally
+    crashing the sender) and report suspicions.
+``tdma``
+    Run the message-free TDMA scheduler and report overlap/utilization.
+``sync``
+    Simulate the Cristian/NTP-style synchronization service and report
+    the achieved clock error against the analytic envelope.
+
+Every command is seeded and deterministic; exit status is non-zero when
+a correctness check fails, so the CLI doubles as a smoke harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.clocks.sources import OffsetClockSource
+from repro.clocks.sync import CristianSimulation, HardwareClock, achievable_epsilon
+from repro.core.mmt_transform import UniformStepPolicy
+from repro.detector import build_detector_system, detector_timeout
+from repro.faults import CrashSchedule, CrashableEntity
+from repro.objects import (
+    CounterSpec,
+    GrowSetSpec,
+    LWWMapSpec,
+    MaxRegisterSpec,
+    PNCounterSpec,
+    ObjectWorkload,
+    clock_object_system,
+    run_object_experiment,
+    timed_object_system,
+)
+from repro.registers.system import (
+    baseline_register_system,
+    clock_register_system,
+    mmt_register_system,
+    run_register_experiment,
+    timed_register_system,
+)
+from repro.registers.workload import RegisterWorkload
+from repro.sim.clock_drivers import driver_factory
+from repro.sim.delay import UniformDelay
+from repro.tdma import (
+    build_tdma_system,
+    critical_intervals,
+    max_overlap,
+    min_gap,
+    utilization,
+)
+
+OBJECT_SPECS = {
+    "counter": CounterSpec,
+    "pn-counter": PNCounterSpec,
+    "max-register": MaxRegisterSpec,
+    "g-set": GrowSetSpec,
+    "lww-map": LWWMapSpec,
+}
+
+
+def _register(args) -> int:
+    workload = RegisterWorkload(
+        operations=args.ops, read_fraction=args.read_fraction, seed=args.seed
+    )
+    drivers = driver_factory(args.driver, args.eps, seed=args.seed)
+    delay = UniformDelay(seed=args.seed)
+    if args.model == "timed":
+        spec = timed_register_system(
+            n=args.n, d1_prime=args.d1, d2_prime=args.d2, c=args.c,
+            workload=workload, algorithm="L", delay_model=delay,
+        )
+    elif args.model == "clock":
+        spec = clock_register_system(
+            n=args.n, d1=args.d1, d2=args.d2, c=args.c, eps=args.eps,
+            workload=workload, drivers=drivers, delay_model=delay,
+        )
+    elif args.model == "baseline":
+        spec = baseline_register_system(
+            n=args.n, d1=args.d1, d2=args.d2, eps=args.eps,
+            workload=workload, drivers=drivers, delay_model=delay,
+        )
+    else:  # mmt
+        def sources(i):
+            if i % 2 == 0:
+                return OffsetClockSource(args.eps, args.eps)
+            return OffsetClockSource(args.eps, -args.eps)
+
+        spec = mmt_register_system(
+            n=args.n, d1=args.d1, d2=args.d2, c=args.c, eps=args.eps,
+            step_bound=args.step_bound, sources=sources, workload=workload,
+            step_policy_factory=lambda i: UniformStepPolicy(seed=i),
+            delay_model=delay,
+        )
+    run = run_register_experiment(spec, args.horizon, max_steps=3_000_000)
+    linearizable = run.linearizable()
+    print(f"model={args.model} n={args.n} eps={args.eps:g} c={args.c:g}")
+    print(f"operations: {len(run.operations)} "
+          f"({len(run.reads)} reads, {len(run.writes)} writes)")
+    print(f"max read latency : {run.max_read_latency():.4f}")
+    print(f"max write latency: {run.max_write_latency():.4f}")
+    print(f"linearizable     : {linearizable}")
+    return 0 if linearizable else 1
+
+
+def _object(args) -> int:
+    spec = OBJECT_SPECS[args.type]()
+    workload = ObjectWorkload(
+        operations=args.ops, update_fraction=args.update_fraction,
+        seed=args.seed,
+    )
+    delay = UniformDelay(seed=args.seed)
+    if args.model == "timed":
+        system = timed_object_system(
+            spec, n=args.n, d1_prime=args.d1, d2_prime=args.d2, c=args.c,
+            workload=workload, eps=args.eps, delay_model=delay,
+        )
+    else:
+        system = clock_object_system(
+            spec, n=args.n, d1=args.d1, d2=args.d2, c=args.c, eps=args.eps,
+            workload=workload,
+            drivers=driver_factory(args.driver, args.eps, seed=args.seed),
+            delay_model=delay,
+        )
+    run = run_object_experiment(system, spec, args.horizon)
+    linearizable = run.linearizable()
+    print(f"object={spec.name} model={args.model} n={args.n}")
+    print(f"operations: {len(run.operations)} "
+          f"({len(run.queries)} queries, {len(run.updates)} updates)")
+    print(f"max query latency : {run.max_query_latency():.4f}")
+    print(f"max update latency: {run.max_update_latency():.4f}")
+    print(f"linearizable      : {linearizable}")
+    return 0 if linearizable else 1
+
+
+def _detector(args) -> int:
+    timeout = args.d2 if args.naive else detector_timeout(args.d2, args.eps)
+    if args.driver == "worst":
+        # the adversarial pair for false suspicions: slow sender clock,
+        # fast monitor clock
+        from repro.sim.clock_drivers import FastClockDriver, SlowClockDriver
+
+        def drivers(i):
+            return SlowClockDriver(args.eps) if i == 0 else FastClockDriver(args.eps)
+    else:
+        drivers = driver_factory(args.driver, args.eps, seed=args.seed)
+    from repro.sim.delay import MaximalDelay
+
+    delay = MaximalDelay() if args.driver == "worst" else UniformDelay(seed=args.seed)
+    spec = build_detector_system(
+        "clock", args.period, timeout, args.count, args.d1, args.d2,
+        eps=args.eps, drivers=drivers, delay_model=delay,
+    )
+    if args.crash_at is not None:
+        from repro.core.pipeline import SystemSpec
+
+        entities = [
+            CrashableEntity(e, CrashSchedule(args.crash_at))
+            if e.name.startswith("hbsender") else e
+            for e in spec.entities
+        ]
+        spec = SystemSpec(entities=entities, hidden=spec.hidden)
+    result = spec.run(args.horizon)
+    beats = [e for e in result.trace if e.action.name == "BEAT"]
+    suspicions = [e for e in result.trace if e.action.name == "SUSPECT"]
+    print(f"timeout={timeout:g} ({'naive' if args.naive else 'per Theorem 4.7'})"
+          f"{f', sender crashes at {args.crash_at:g}' if args.crash_at is not None else ''}")
+    print(f"heartbeats: {len(beats)}")
+    print(f"suspicions: {len(suspicions)}"
+          + (f" (first at t={suspicions[0].time:g})" if suspicions else ""))
+    if args.naive:
+        return 0  # demonstration mode: any outcome is informative
+    if args.crash_at is None:
+        return 0 if not suspicions else 1
+    return 0 if suspicions else 1
+
+
+def _tdma(args) -> int:
+    spec = build_tdma_system(
+        "clock", n=args.n, slot_width=args.slot, guard=args.guard,
+        sections=args.sections, eps=args.eps,
+        drivers=driver_factory(args.driver, args.eps, seed=args.seed),
+    )
+    horizon = args.sections * args.n * args.slot + args.slot
+    intervals = critical_intervals(spec.run(horizon).trace)
+    overlap = max_overlap(intervals)
+    exclusive = overlap <= 1e-9
+    print(f"n={args.n} slot={args.slot:g} guard={args.guard:g} eps={args.eps:g}")
+    print(f"critical sections: {len(intervals)}")
+    print(f"worst overlap    : {overlap:.4f}")
+    print(f"min gap          : {min_gap(intervals):.4f}")
+    print(f"utilization      : "
+          f"{utilization(intervals, args.sections * args.n * args.slot):.4f}")
+    print(f"mutual exclusion : {exclusive}")
+    return 0 if exclusive == (args.guard >= args.eps - 1e-12) else 1
+
+
+def _sync(args) -> int:
+    simulation = CristianSimulation(
+        HardwareClock(args.rho, args.offset), args.period, args.d1, args.d2,
+        horizon=args.horizon, seed=args.seed,
+    )
+    envelope = achievable_epsilon(args.rho, args.period, args.d1, args.d2)
+    steady = simulation.max_error(start=simulation.converged_after())
+    print(f"oscillator rate {args.rho:g} "
+          f"({abs(args.rho - 1) * 1e6:.0f} ppm), sync every {args.period:g}")
+    print(f"exchanges        : {len(simulation.samples)}")
+    print(f"steady-state err : {steady:.5f}")
+    print(f"analytic envelope: {envelope:.5f}")
+    print(f"monotone         : {simulation.is_monotone()}")
+    return 0 if steady <= envelope and simulation.is_monotone() else 1
+
+
+def _leader(args) -> int:
+    from repro.broadcast import build_leader_system, election_outcomes
+    from repro.broadcast.flood import diameter
+    from repro.network.topology import Topology
+
+    topology = {
+        "ring": Topology.ring(args.n),
+        "chain": Topology.chain(args.n),
+        "star": Topology.star(args.n),
+        "complete": Topology.complete(args.n, self_loops=False),
+    }[args.topology]
+    spec = build_leader_system(
+        "clock", topology, args.d1, args.d2, eps=args.eps,
+        drivers=driver_factory(args.driver, args.eps, seed=args.seed),
+        delay_model=UniformDelay(seed=args.seed),
+    )
+    horizon = diameter(topology) * (args.d2 + 2 * args.eps) + 2.0
+    outcomes = election_outcomes(spec.run(horizon).trace)
+    leaders = {leader for leader, _ in outcomes.values()}
+    times = [t for _, t in outcomes.values()]
+    spread = max(times) - min(times) if times else float("inf")
+    print(f"topology={args.topology} n={args.n} diameter={diameter(topology)}")
+    print(f"announcements : {len(outcomes)}/{topology.n}")
+    print(f"leaders       : {sorted(leaders)}")
+    print(f"announce spread: {spread:.4f} (bound 2*eps = {2 * args.eps:g})")
+    agreed = len(outcomes) == topology.n and leaders == {0}
+    return 0 if agreed and spread <= 2 * args.eps + 1e-9 else 1
+
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Partially synchronized clocks (PODC 1993) — experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, d1=0.2, d2=1.0):
+        p.add_argument("--n", type=int, default=3)
+        p.add_argument("--d1", type=float, default=d1)
+        p.add_argument("--d2", type=float, default=d2)
+        p.add_argument("--eps", type=float, default=0.1)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--driver", default="mixed",
+                       choices=["perfect", "fast", "slow", "mixed", "random",
+                                "drift", "sawtooth"])
+        p.add_argument("--horizon", type=float, default=120.0)
+
+    p = sub.add_parser("register", help="run a register experiment")
+    common(p)
+    p.add_argument("--model", default="clock",
+                   choices=["timed", "clock", "mmt", "baseline"])
+    p.add_argument("--c", type=float, default=0.3)
+    p.add_argument("--ops", type=int, default=8)
+    p.add_argument("--read-fraction", type=float, default=0.5)
+    p.add_argument("--step-bound", type=float, default=0.05)
+    p.set_defaults(func=_register)
+
+    p = sub.add_parser("object", help="run a generalized-object experiment")
+    common(p)
+    p.add_argument("--type", default="counter", choices=sorted(OBJECT_SPECS))
+    p.add_argument("--model", default="clock", choices=["timed", "clock"])
+    p.add_argument("--c", type=float, default=0.3)
+    p.add_argument("--ops", type=int, default=8)
+    p.add_argument("--update-fraction", type=float, default=0.5)
+    p.set_defaults(func=_object)
+
+    p = sub.add_parser("detector", help="run the heartbeat failure monitor")
+    common(p, d1=0.1)
+    for action in p._actions:
+        if action.dest == "driver":
+            action.choices = list(action.choices) + ["worst"]
+    p.add_argument("--period", type=float, default=2.0)
+    p.add_argument("--count", type=int, default=8)
+    p.add_argument("--naive", action="store_true",
+                   help="ignore the 2*eps widening (shows false suspicions)")
+    p.add_argument("--crash-at", type=float, default=None)
+    p.set_defaults(func=_detector, horizon=40.0)
+
+    p = sub.add_parser("tdma", help="run the TDMA resource scheduler")
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--slot", type=float, default=1.0)
+    p.add_argument("--guard", type=float, default=0.1)
+    p.add_argument("--sections", type=int, default=3)
+    p.add_argument("--eps", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--driver", default="mixed",
+                   choices=["perfect", "fast", "slow", "mixed", "random"])
+    p.set_defaults(func=_tdma)
+
+    p = sub.add_parser("leader", help="run leader election on a topology")
+    common(p, d1=0.1)
+    p.add_argument("--topology", default="ring",
+                   choices=["ring", "chain", "star", "complete"])
+    p.set_defaults(func=_leader)
+
+    p = sub.add_parser("sync", help="simulate the clock sync service")
+    p.add_argument("--rho", type=float, default=1.002)
+    p.add_argument("--offset", type=float, default=0.3)
+    p.add_argument("--period", type=float, default=5.0)
+    p.add_argument("--d1", type=float, default=0.01)
+    p.add_argument("--d2", type=float, default=0.08)
+    p.add_argument("--horizon", type=float, default=150.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_sync)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

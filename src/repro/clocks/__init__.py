@@ -1,0 +1,51 @@
+"""Clock substrate: hardware-clock models and synchronization.
+
+The paper assumes each node's clock stays within ``eps`` of real time,
+"achievable by means of time services such as NTP [12]". This subpackage
+simulates how that assumption is discharged:
+
+- :mod:`repro.clocks.sources` — deterministic and stochastic models of
+  hardware clocks (offset, drift, granularity, jitter) that stay within
+  a stated envelope;
+- :mod:`repro.clocks.sync` — a small client/server synchronization
+  protocol in the style of NTP/DTS that bounds a drifting clock's error,
+  with an analysis of the achievable ``eps``.
+"""
+
+from repro.clocks.sources import (
+    ClockSource,
+    DriftingClockSource,
+    JitteryClockSource,
+    OffsetClockSource,
+    PerfectClockSource,
+    QuantizedClockSource,
+)
+from repro.clocks.protocol import (
+    SyncClientProcess,
+    TimeServerProcess,
+    build_sync_protocol_system,
+    software_clock_errors,
+)
+from repro.clocks.sync import (
+    CristianSimulation,
+    HardwareClock,
+    SynchronizedClockSource,
+    achievable_epsilon,
+)
+
+__all__ = [
+    "ClockSource",
+    "PerfectClockSource",
+    "OffsetClockSource",
+    "DriftingClockSource",
+    "QuantizedClockSource",
+    "JitteryClockSource",
+    "HardwareClock",
+    "CristianSimulation",
+    "SynchronizedClockSource",
+    "achievable_epsilon",
+    "TimeServerProcess",
+    "SyncClientProcess",
+    "build_sync_protocol_system",
+    "software_clock_errors",
+]

@@ -1,0 +1,149 @@
+"""Hardware-clock models.
+
+A :class:`ClockSource` maps real time to a clock reading and states the
+envelope ``eps`` it guarantees: ``|value(now) - now| <= eps`` for all
+``now >= 0``. Sources are deterministic functions of ``now`` (stochastic
+ones are seeded), so repeated reads at the same instant agree and whole
+simulations are reproducible.
+
+These model the *clock subsystem* of the MMT model (Section 5.2) and the
+"clocks with skew eps ... achievable by means of time services such as
+NTP [12]" of the introduction. The granularity complication ("a processor
+... might miss seeing a particular clock value") is modeled by
+:class:`QuantizedClockSource`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import ClockEnvelopeError
+
+
+class ClockSource:
+    """Maps real time to a clock reading within a stated envelope."""
+
+    def __init__(self, eps: float):
+        if eps < 0:
+            raise ValueError("eps must be non-negative")
+        self.eps = eps
+
+    def raw(self, now: float) -> float:
+        """The unclamped reading (subclass hook)."""
+        raise NotImplementedError
+
+    def value(self, now: float) -> float:
+        """The reading, clamped into ``[max(now - eps, 0), now + eps]``."""
+        reading = self.raw(now)
+        lo = max(now - self.eps, 0.0)
+        hi = now + self.eps
+        return min(max(reading, lo), hi)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} eps={self.eps:g}>"
+
+
+class PerfectClockSource(ClockSource):
+    """``value(now) == now`` (zero skew)."""
+
+    def __init__(self):
+        super().__init__(0.0)
+
+    def raw(self, now: float) -> float:
+        return now
+
+
+class OffsetClockSource(ClockSource):
+    """A constant offset ``beta``, ``|beta| <= eps``."""
+
+    def __init__(self, eps: float, beta: float):
+        super().__init__(eps)
+        if abs(beta) > eps:
+            raise ClockEnvelopeError(
+                f"offset {beta:g} exceeds the stated envelope eps={eps:g}"
+            )
+        self.beta = beta
+
+    def raw(self, now: float) -> float:
+        return now + self.beta
+
+
+class DriftingClockSource(ClockSource):
+    """Rate-``rho`` drift, resynchronized to real time every ``period``.
+
+    Between synchronizations the reading is
+    ``sync_point + rho * (now - sync_point)``; the envelope it needs is
+    ``|rho - 1| * period``, which the constructor verifies against the
+    stated ``eps``. This is the classic sawtooth of an NTP-disciplined
+    oscillator.
+    """
+
+    def __init__(self, eps: float, rho: float, period: float):
+        super().__init__(eps)
+        if rho <= 0:
+            raise ValueError("rho must be positive")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        needed = abs(rho - 1.0) * period
+        if needed > eps + 1e-12:
+            raise ClockEnvelopeError(
+                f"drift rho={rho:g} over period={period:g} needs an envelope "
+                f"of {needed:g} > eps={eps:g}"
+            )
+        self.rho = rho
+        self.period = period
+
+    def raw(self, now: float) -> float:
+        sync_point = math.floor(now / self.period) * self.period
+        return sync_point + self.rho * (now - sync_point)
+
+
+class QuantizedClockSource(ClockSource):
+    """Wraps another source, rounding readings down to a granularity.
+
+    Models finite clock granularity: the node can only observe multiples
+    of ``granularity``, so particular values are "missed". The effective
+    envelope grows by the granularity.
+    """
+
+    def __init__(self, inner: ClockSource, granularity: float):
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        super().__init__(inner.eps + granularity)
+        self.inner = inner
+        self.granularity = granularity
+
+    def raw(self, now: float) -> float:
+        reading = self.inner.value(now)
+        return math.floor(reading / self.granularity) * self.granularity
+
+
+class JitteryClockSource(ClockSource):
+    """A drifting source with seeded bounded read jitter.
+
+    Jitter is a deterministic function of the (quantized) read instant,
+    so rereads at the same time agree. The envelope accounts for both
+    the inner source and the jitter amplitude.
+    """
+
+    def __init__(
+        self,
+        inner: ClockSource,
+        amplitude: float,
+        seed: int = 0,
+        resolution: float = 1e-6,
+    ):
+        if amplitude < 0:
+            raise ValueError("amplitude must be non-negative")
+        super().__init__(inner.eps + amplitude)
+        self.inner = inner
+        self.amplitude = amplitude
+        self.seed = seed
+        self.resolution = resolution
+
+    def raw(self, now: float) -> float:
+        bucket = int(round(now / self.resolution))
+        rng = random.Random(self.seed * 2_147_483_629 + bucket)
+        jitter = rng.uniform(-self.amplitude, self.amplitude)
+        return self.inner.value(now) + jitter

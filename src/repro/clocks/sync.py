@@ -1,0 +1,217 @@
+"""Clock synchronization: discharging the ``C_eps`` assumption.
+
+The paper assumes each node's clock is within ``eps`` of real time,
+"achievable by means of time services such as NTP [12]". This module
+simulates how such a service establishes the bound, in the style of
+Cristian's algorithm / a single-stratum NTP exchange:
+
+- the node owns a :class:`HardwareClock` with rate ``rho`` (an
+  uncompensated oscillator) and an unknown initial offset;
+- every ``period`` it performs a round trip with a true-time server over
+  a ``[d1, d2]`` network and applies Cristian's midpoint estimate, whose
+  error is at most half the round-trip *asymmetry*, ``(d2 - d1) / 2``
+  plus the drift accumulated during the exchange;
+- between synchronizations the error grows by ``|rho - 1|`` per unit of
+  real time.
+
+:func:`achievable_epsilon` gives the analytic envelope
+
+    eps  =  (d2 - d1) / 2  +  |rho - 1| * (period + d2)  +  d2 - d1
+
+(a deliberately conservative closed form; the simulation's measured
+error is below it, which tests assert), and
+:class:`SynchronizedClockSource` packages the simulated trajectory as a
+:class:`~repro.clocks.sources.ClockSource` so MMT tick entities can run
+on *synchronized* rather than idealized clocks.
+
+Corrections are applied by *slewing* (the clock never jumps backward),
+matching the monotonicity axiom C3.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.clocks.sources import ClockSource
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class HardwareClock:
+    """An uncompensated oscillator: ``reading(t) = offset + rho * t``."""
+
+    rho: float
+    offset: float
+
+    def reading(self, now: float) -> float:
+        """The raw oscillator reading at real time ``now``."""
+        return self.offset + self.rho * now
+
+
+def achievable_epsilon(rho: float, period: float, d1: float, d2: float) -> float:
+    """A conservative envelope the sync protocol guarantees."""
+    drift = abs(rho - 1.0)
+    return (d2 - d1) / 2.0 + drift * (period + d2) + (d2 - d1)
+
+
+@dataclass(frozen=True)
+class SyncSample:
+    """One synchronization exchange's bookkeeping."""
+
+    request_time: float
+    response_time: float
+    estimate: float  # estimated true time at response_time
+    correction: float  # correction applied to the software clock
+
+
+class CristianSimulation:
+    """Simulates periodic Cristian-style synchronization.
+
+    Produces a piecewise-linear *software clock* trajectory: between
+    exchanges the software clock follows the hardware rate; at each
+    exchange the accumulated correction target is updated and then
+    slewed in (rate-limited, never backward).
+    """
+
+    def __init__(
+        self,
+        hardware: HardwareClock,
+        period: float,
+        d1: float,
+        d2: float,
+        horizon: float,
+        seed: int = 0,
+        slew_rate: float = 0.5,
+    ):
+        if period <= 0:
+            raise SpecificationError("sync period must be positive")
+        if not (0 <= d1 <= d2):
+            raise SpecificationError("invalid network bounds")
+        if horizon <= 0:
+            raise SpecificationError("horizon must be positive")
+        self.hardware = hardware
+        self.period = period
+        self.d1 = d1
+        self.d2 = d2
+        self.horizon = horizon
+        self.slew_rate = slew_rate
+        self._rng = random.Random(seed)
+        self.samples: List[SyncSample] = []
+        # Breakpoints of the software clock: (real time, value, rate).
+        self._segments: List[Tuple[float, float, float]] = []
+        self._run()
+
+    # -- the protocol ----------------------------------------------------------
+
+    def _run(self) -> None:
+        hw = self.hardware
+        # The software clock starts at the hardware reading at t=0 and
+        # follows the hardware rate until corrected.
+        value = max(hw.reading(0.0), 0.0)
+        rate = hw.rho
+        self._segments = [(0.0, value, rate)]
+        t = self.period
+        while t <= self.horizon:
+            out_delay = self._rng.uniform(self.d1, self.d2)
+            back_delay = self._rng.uniform(self.d1, self.d2)
+            request_time = t
+            server_time = request_time + out_delay  # server stamps truth
+            response_time = server_time + back_delay
+            rtt = out_delay + back_delay
+            estimate = server_time + rtt / 2.0  # Cristian midpoint
+            current = self._value_at(response_time)
+            correction = estimate - current
+            self.samples.append(
+                SyncSample(request_time, response_time, estimate, correction)
+            )
+            # Slew toward the target: rate-limited, never backward.
+            if correction >= 0:
+                slew = hw.rho + self.slew_rate
+            else:
+                slew = max(hw.rho - self.slew_rate, 0.05)
+            slew_duration = abs(correction) / abs(slew - hw.rho)
+            self._segments.append((response_time, current, slew))
+            end = min(response_time + slew_duration, self.horizon)
+            self._segments.append((end, self._value_at(end), hw.rho))
+            t += self.period
+
+    def _value_at(self, now: float) -> float:
+        idx = bisect_right([seg[0] for seg in self._segments], now) - 1
+        idx = max(idx, 0)
+        start, value, rate = self._segments[idx]
+        return value + rate * (now - start)
+
+    # -- queries ------------------------------------------------------------------
+
+    def value(self, now: float) -> float:
+        """The software clock at real time ``now``."""
+        return self._value_at(min(now, self.horizon))
+
+    def max_error(self, resolution: float = 0.05, start: float = 0.0) -> float:
+        """The largest ``|software clock - real time|`` on a sample grid.
+
+        ``start`` skips the initial transient: before the first
+        successful exchange, the error is dominated by the hardware
+        clock's unknown initial offset, which the protocol has had no
+        chance to correct yet.
+        """
+        worst = 0.0
+        steps = int((self.horizon - start) / resolution)
+        for i in range(steps + 1):
+            t = start + i * resolution
+            worst = max(worst, abs(self.value(t) - t))
+        return worst
+
+    def converged_after(self) -> float:
+        """Real time by which the initial offset has been slewed away.
+
+        After the first exchange's slew completes, the steady-state
+        envelope of :func:`achievable_epsilon` applies.
+        """
+        if not self.samples:
+            return self.horizon
+        first = self.samples[0]
+        slew_time = abs(first.correction) / max(self.slew_rate, 1e-9)
+        return first.response_time + slew_time + self.period
+
+    def is_monotone(self, resolution: float = 0.05) -> bool:
+        """Whether the software clock never runs backward (C3)."""
+        previous = self.value(0.0)
+        steps = int(self.horizon / resolution)
+        for i in range(1, steps + 1):
+            current = self.value(i * resolution)
+            if current < previous - 1e-9:
+                return False
+            previous = current
+        return True
+
+
+class SynchronizedClockSource(ClockSource):
+    """A :class:`ClockSource` backed by a synchronized software clock.
+
+    The stated envelope is :func:`achievable_epsilon`; the underlying
+    simulation's measured error stays below it (clamping in
+    :meth:`ClockSource.value` enforces the envelope regardless).
+    """
+
+    def __init__(
+        self,
+        rho: float,
+        period: float,
+        d1: float,
+        d2: float,
+        horizon: float,
+        seed: int = 0,
+        initial_offset: float = 0.0,
+    ):
+        eps = achievable_epsilon(rho, period, d1, d2) + abs(initial_offset)
+        super().__init__(eps)
+        self.simulation = CristianSimulation(
+            HardwareClock(rho, initial_offset), period, d1, d2, horizon, seed
+        )
+
+    def raw(self, now: float) -> float:
+        return self.simulation.value(now)

@@ -1,0 +1,183 @@
+"""Base interfaces of the executable layer.
+
+Two levels of abstraction:
+
+:class:`Process`
+    An algorithm automaton ``A_i`` exactly as the paper's *programming
+    model* (Section 3) intends: written against perfect real time. Its
+    methods receive the current time as an argument; the process never
+    stores or extrapolates it. This discipline is what makes Simulation 1
+    a *reinterpretation*: the clock transformation ``C(A_i, eps)``
+    (Definition 4.1) runs the same process but passes the node's *clock*
+    where the timed model passes ``now``.
+
+:class:`Entity`
+    A top-level unit the simulator schedules: a node, a channel, a
+    client, or a tick source. Entities own mutable state, expose enabled
+    locally controlled actions, accept inputs, and constrain time passage
+    through deadlines (the operational reading of the ``nu``
+    precondition).
+
+State objects are plain mutable Python objects owned by the engine's
+state map; processes define their own state classes (dataclasses,
+usually) and mutate them in ``fire``/``apply_input``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.automata.actions import Action
+from repro.automata.signature import Signature
+
+INFINITY = float("inf")
+
+
+class ProcessContext:
+    """Immutable per-step context handed to a process.
+
+    ``time`` is whatever notion of time the surrounding model provides:
+    the global ``now`` in the timed model, the node's ``clock`` in the
+    clock and MMT models. Processes must treat it as opaque "current
+    time" — that is the whole point of the paper's design discipline.
+    """
+
+    __slots__ = ("time",)
+
+    def __init__(self, time: float):
+        self.time = time
+
+    def __repr__(self) -> str:
+        return f"ProcessContext(time={self.time:g})"
+
+
+class Process:
+    """An algorithm automaton ``A_i`` in the simple programming model.
+
+    Subclasses implement the five transition methods. All methods take
+    the current time explicitly; a correct process never caches it.
+
+    The action signature must conform to the network interface of
+    Section 3.1: outputs include ``SENDMSG_i(j, m)`` for each outgoing
+    edge, inputs include ``RECVMSG_i(j, m)`` for each incoming edge.
+    """
+
+    def __init__(self, node: int, signature: Signature, name: str = ""):
+        self.node = node
+        self.signature = signature
+        self.name = name or f"{type(self).__name__}({node})"
+
+    # -- transitions ----------------------------------------------------------
+
+    def initial_state(self) -> Any:
+        """A fresh mutable state object."""
+        raise NotImplementedError
+
+    def apply_input(self, state: Any, action: Action, ctx: ProcessContext) -> None:
+        """Apply an input action (must be total: inputs are always accepted)."""
+        raise NotImplementedError
+
+    def enabled(self, state: Any, ctx: ProcessContext) -> List[Action]:
+        """Locally controlled actions enabled at the current time."""
+        raise NotImplementedError
+
+    def fire(self, state: Any, action: Action, ctx: ProcessContext) -> None:
+        """Perform an enabled locally controlled action."""
+        raise NotImplementedError
+
+    def deadline(self, state: Any, ctx: ProcessContext) -> float:
+        """Latest time to which time passage may advance (``nu`` guard).
+
+        Returning the current time makes some enabled action *urgent*;
+        returning :data:`INFINITY` places no constraint. The engine never
+        advances time beyond any entity's deadline.
+        """
+        return INFINITY
+
+    def __repr__(self) -> str:
+        return f"<{self.name}>"
+
+
+class Entity:
+    """A top-level scheduling unit of the simulator.
+
+    The engine holds one mutable state object per entity (created by
+    :meth:`initial_state`) and interacts through the methods below.
+    ``now`` is always the global real time.
+    """
+
+    name: str
+    signature: Signature
+
+    def __init__(self, name: str, signature: Signature):
+        self.name = name
+        self.signature = signature
+
+    def initial_state(self) -> Any:
+        """A fresh mutable state object for one run."""
+        raise NotImplementedError
+
+    def accepts(self, action: Action) -> bool:
+        """Whether the action is an input of this entity."""
+        return self.signature.is_input(action)
+
+    def apply_input(self, state: Any, action: Action, now: float) -> None:
+        """Apply an input action arriving at real time ``now``."""
+        raise NotImplementedError
+
+    def enabled(self, state: Any, now: float) -> List[Action]:
+        """Locally controlled actions enabled at real time ``now``."""
+        raise NotImplementedError
+
+    def fire(self, state: Any, action: Action, now: float) -> None:
+        """Perform one enabled locally controlled action."""
+        raise NotImplementedError
+
+    def deadline(self, state: Any, now: float) -> float:
+        """Latest real time to which time passage may advance."""
+        return INFINITY
+
+    def advance(self, state: Any, old_now: float, new_now: float) -> None:
+        """Update time-dependent internal state (clocks, timers)."""
+
+    def clock_value(self, state: Any, now: float) -> Optional[float]:
+        """The entity's local clock, if it has one (for trace stamping).
+
+        Timed-model nodes return ``now`` itself (their clock *is* real
+        time); clock-model and MMT-model nodes return their local clock;
+        channels and other clock-less entities return ``None``.
+        """
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Entity {self.name}>"
+
+
+class TimedNodeEntity(Entity):
+    """A node of the timed-model system ``D_T`` (Section 3.3).
+
+    Wraps a :class:`Process`, handing it the global ``now`` as its time —
+    the programming model's perfect clock.
+    """
+
+    def __init__(self, process: Process):
+        super().__init__(process.name, process.signature)
+        self.process = process
+
+    def initial_state(self) -> Any:
+        return self.process.initial_state()
+
+    def apply_input(self, state: Any, action: Action, now: float) -> None:
+        self.process.apply_input(state, action, ProcessContext(now))
+
+    def enabled(self, state: Any, now: float) -> List[Action]:
+        return self.process.enabled(state, ProcessContext(now))
+
+    def fire(self, state: Any, action: Action, now: float) -> None:
+        self.process.fire(state, action, ProcessContext(now))
+
+    def deadline(self, state: Any, now: float) -> float:
+        return self.process.deadline(state, ProcessContext(now))
+
+    def clock_value(self, state: Any, now: float) -> Optional[float]:
+        return now

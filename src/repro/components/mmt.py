@@ -1,0 +1,206 @@
+"""Generic MMT automata and the T-transformation of [7] (Section 5.1).
+
+An MMT automaton is an I/O automaton with *no* ``now`` state and no
+time-passage action; timing enters only through a partition of the
+locally controlled actions into classes and a *boundmap* assigning each
+class a closed interval ``[lower, upper]``: once some action of a class
+is continuously enabled, an action of the class must occur within
+``upper`` (and may not before ``lower``).
+
+:class:`TimedFromMMT` is the executable version of the trace-preserving
+transformation ``T`` from MMT automata to timed automata used in
+Section 5.2 ([7]): it adds one timer per class. The timer semantics:
+
+- when a class goes from disabled to enabled (or fires), its window is
+  reset to ``[now + lower, now + upper]``;
+- while the class is enabled, actions of it are offered only inside the
+  window, and the ``nu`` deadline caps time at the window's end;
+- when the class becomes disabled, its timer is cleared.
+
+A :class:`~repro.core.mmt_transform.StepPolicy` narrows the firing
+instant within the window, playing the adversary the boundmap allows.
+
+The special case used by Simulation 2 (single class, boundmap
+``[0, l]``) is built directly into
+:class:`~repro.core.mmt_transform.MMTNodeEntity` for efficiency; this
+module provides the general machinery for other MMT algorithms and for
+testing the model itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.automata.actions import Action
+from repro.automata.signature import Signature
+from repro.components.base import Entity
+from repro.core.mmt_transform import EagerStepPolicy, StepPolicy
+from repro.errors import SpecificationError, TransitionError
+
+INFINITY = float("inf")
+_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Boundmap:
+    """Per-class timing bounds ``class -> [lower, upper]``."""
+
+    bounds: Tuple[Tuple[Hashable, float, float], ...]
+
+    def __init__(self, bounds: Dict[Hashable, Tuple[float, float]]):
+        normalized = []
+        for cls, (lower, upper) in sorted(bounds.items(), key=lambda kv: str(kv[0])):
+            if lower < 0 or upper < lower:
+                raise SpecificationError(
+                    f"class {cls!r}: invalid bounds [{lower}, {upper}]"
+                )
+            normalized.append((cls, float(lower), float(upper)))
+        object.__setattr__(self, "bounds", tuple(normalized))
+
+    def classes(self) -> List[Hashable]:
+        """All partition classes, in canonical order."""
+        return [cls for cls, _, __ in self.bounds]
+
+    def interval(self, cls: Hashable) -> Tuple[float, float]:
+        """The ``[lower, upper]`` bounds of one class."""
+        for candidate, lower, upper in self.bounds:
+            if candidate == cls:
+                return (lower, upper)
+        raise KeyError(cls)
+
+
+class MMTAutomaton:
+    """Abstract MMT automaton (Section 5.1).
+
+    Subclasses supply the untimed transition structure plus the class
+    partition: :meth:`class_of` maps each locally controlled action to
+    its class, and :meth:`boundmap` gives the timing bounds.
+    """
+
+    def __init__(self, signature: Signature, name: str = "M"):
+        self.signature = signature
+        self.name = name
+
+    def initial_state(self) -> Any:
+        """A fresh mutable state object."""
+        raise NotImplementedError
+
+    def apply_input(self, state: Any, action: Action) -> None:
+        """Apply an input action (untimed effect)."""
+        raise NotImplementedError
+
+    def enabled(self, state: Any) -> List[Action]:
+        """Locally controlled actions enabled in this state (untimed)."""
+        raise NotImplementedError
+
+    def fire(self, state: Any, action: Action) -> None:
+        """Perform one enabled locally controlled action."""
+        raise NotImplementedError
+
+    def class_of(self, action: Action) -> Hashable:
+        """The partition class of a locally controlled action."""
+        raise NotImplementedError
+
+    def boundmap(self) -> Boundmap:
+        """The per-class timing bounds."""
+        raise NotImplementedError
+
+
+@dataclass
+class _ClassTimer:
+    """One class's window ``[not_before, deadline]`` (absolute times)."""
+
+    not_before: float
+    deadline: float
+    target: float  # the policy-chosen firing instant within the window
+
+
+@dataclass
+class TimedFromMMTState:
+    inner: Any
+    timers: Dict[Hashable, _ClassTimer] = field(default_factory=dict)
+
+
+class TimedFromMMT(Entity):
+    """``T(A)``: the timed (entity) form of an MMT automaton.
+
+    Trace-preserving ([7]): for every execution of this entity there is
+    an MMT execution with the same timed trace, and vice versa.
+    """
+
+    def __init__(
+        self,
+        automaton: MMTAutomaton,
+        step_policies: Optional[Dict[Hashable, StepPolicy]] = None,
+    ):
+        super().__init__(f"T({automaton.name})", automaton.signature)
+        self.automaton = automaton
+        self._bounds = automaton.boundmap()
+        self._policies = dict(step_policies or {})
+
+    def _policy(self, cls: Hashable) -> StepPolicy:
+        if cls not in self._policies:
+            self._policies[cls] = EagerStepPolicy()
+        return self._policies[cls]
+
+    # -- timer maintenance ------------------------------------------------
+
+    def _enabled_classes(self, state: TimedFromMMTState) -> Dict[Hashable, List[Action]]:
+        grouped: Dict[Hashable, List[Action]] = {}
+        for action in self.automaton.enabled(state.inner):
+            grouped.setdefault(self.automaton.class_of(action), []).append(action)
+        return grouped
+
+    def _refresh_timers(self, state: TimedFromMMTState, now: float) -> None:
+        grouped = self._enabled_classes(state)
+        for cls in list(state.timers):
+            if cls not in grouped:
+                del state.timers[cls]
+        for cls in grouped:
+            if cls not in state.timers:
+                lower, upper = self._bounds.interval(cls)
+                window_start = now + lower
+                window_end = now + upper
+                target = self._policy(cls).next_step(window_start, upper - lower)
+                target = min(max(target, window_start), window_end)
+                state.timers[cls] = _ClassTimer(window_start, window_end, target)
+
+    # -- entity interface -------------------------------------------------------
+
+    def initial_state(self) -> TimedFromMMTState:
+        state = TimedFromMMTState(inner=self.automaton.initial_state())
+        self._refresh_timers(state, 0.0)
+        return state
+
+    def apply_input(self, state: TimedFromMMTState, action: Action, now: float) -> None:
+        self.automaton.apply_input(state.inner, action)
+        self._refresh_timers(state, now)
+
+    def enabled(self, state: TimedFromMMTState, now: float) -> List[Action]:
+        grouped = self._enabled_classes(state)
+        offered: List[Action] = []
+        for cls, actions in grouped.items():
+            timer = state.timers.get(cls)
+            if timer is None:
+                continue
+            if now + _TOLERANCE >= timer.target:
+                offered.extend(actions)
+        return offered
+
+    def fire(self, state: TimedFromMMTState, action: Action, now: float) -> None:
+        cls = self.automaton.class_of(action)
+        timer = state.timers.get(cls)
+        if timer is None or now + _TOLERANCE < timer.not_before:
+            raise TransitionError(
+                f"{self.name}: {action} fired outside its class window"
+            )
+        self.automaton.fire(state.inner, action)
+        # Firing resets the class's obligation.
+        del state.timers[cls]
+        self._refresh_timers(state, now)
+
+    def deadline(self, state: TimedFromMMTState, now: float) -> float:
+        if not state.timers:
+            return INFINITY
+        return min(timer.target for timer in state.timers.values())

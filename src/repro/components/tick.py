@@ -1,0 +1,87 @@
+"""The clock subsystem ``C^m_{i,eps,l}`` (Section 5.2).
+
+An MMT automaton whose sole output is ``TICK(c)``, where ``c`` is the
+current clock reading — always within ``eps`` of real time. Its single
+class has boundmap ``[0, l_tick]``, so consecutive ticks are at most
+``l_tick`` apart; between ticks the node's knowledge of the clock is
+stale, which is one of the sources of the Theorem 5.1 shift bound.
+
+Clock readings come from a :class:`~repro.clocks.sources.ClockSource`
+(hardware-clock models live in :mod:`repro.clocks.sources`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.automata.actions import Action, ActionPattern, PatternActionSet
+from repro.automata.signature import Signature
+from repro.components.base import Entity
+from repro.errors import ClockEnvelopeError
+
+_TOLERANCE = 1e-9
+
+
+@dataclass
+class TickState:
+    next_tick_time: float = 0.0
+    last_value: float = 0.0
+    ticks: int = 0
+
+
+class TickEntity(Entity):
+    """Emits ``TICK_i(c)`` every at-most-``l_tick`` time units."""
+
+    def __init__(
+        self,
+        node: int,
+        source,
+        tick_interval: float,
+        eps: float,
+        check_envelope: bool = True,
+    ):
+        if tick_interval <= 0:
+            raise ValueError("tick_interval must be positive")
+        signature = Signature(
+            outputs=PatternActionSet([ActionPattern("TICK", (node,))])
+        )
+        super().__init__(f"tick({node})", signature)
+        self.node = node
+        self.source = source
+        self.tick_interval = tick_interval
+        self.eps = eps
+        self.check_envelope = check_envelope
+
+    def initial_state(self) -> TickState:
+        return TickState()
+
+    def _reading(self, state: TickState, now: float) -> float:
+        value = self.source.value(now)
+        if self.check_envelope and abs(value - now) > self.eps + _TOLERANCE:
+            raise ClockEnvelopeError(
+                f"tick({self.node}): source reading {value:g} at now={now:g} "
+                f"is outside the C_{self.eps:g} envelope"
+            )
+        # Readings handed to the node are monotone; a momentarily
+        # backward source (within its envelope) reads as stale.
+        return max(value, state.last_value)
+
+    def enabled(self, state: TickState, now: float) -> List[Action]:
+        if now + _TOLERANCE < state.next_tick_time:
+            return []
+        return [Action("TICK", (self.node, self._reading(state, now)))]
+
+    def fire(self, state: TickState, action: Action, now: float) -> None:
+        state.last_value = action.params[1]
+        state.ticks += 1
+        state.next_tick_time = now + self.tick_interval
+
+    def deadline(self, state: TickState, now: float) -> float:
+        return state.next_tick_time
+
+    def apply_input(self, state: TickState, action: Action, now: float) -> None:
+        raise AssertionError("tick entities have no inputs")
+
+    def clock_value(self, state: TickState, now: float) -> Optional[float]:
+        return state.last_value

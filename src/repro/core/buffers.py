@@ -1,0 +1,136 @@
+"""The send and receive buffer automata of Figure 2.
+
+``S_{ij,eps}`` (Section 4.2.1) tags each outgoing message with the clock
+time at which it was sent; its time-passage precondition pins the clock
+until the tagged message leaves, so the tag equals the send clock time.
+
+``R_{ji,eps}`` (Section 4.2.2) holds each incoming message ``(m, c)``
+until the local clock is at least ``c``, guaranteeing that no message is
+received at a clock time strictly less than the clock time at which it
+was sent — the property identified by Lamport [5] and achieved through
+buffering by Welch [17] and Neiger-Toueg [13].
+
+One deliberate deviation from the letter of Figure 2: the paper stores
+``R``'s contents in a FIFO queue and delivers from the front, while its
+time-passage precondition quantifies over *all* buffered messages. With
+reordering channels, a message stamped ``c=5`` can arrive before one
+stamped ``c=3``; a literal FIFO then wedges (the ``c=3`` entry blocks the
+clock while the ``c=5`` front is undeliverable). We keep the buffer
+ordered by ``(stamp, arrival)`` so the front always carries the minimal
+stamp; every delivery order this produces is one the paper's automaton
+also allows whenever it is live.
+
+These classes hold plain mutable state and are clock-parameterized; the
+node composite (:class:`repro.core.clock_transform.ClockMachine`) owns
+them and supplies the shared node clock (Definition 2.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import TransitionError
+
+INFINITY = float("inf")
+_TOLERANCE = 1e-9
+
+Stamped = Tuple[object, float]  # (message, clock stamp)
+
+
+@dataclass
+class SendBuffer:
+    """``S_{ij,eps}``: tags outgoing messages with the send clock time."""
+
+    src: int
+    dst: int
+    queue: List[Stamped] = field(default_factory=list)
+
+    def enqueue(self, message: object, clock: float) -> None:
+        """``SENDMSG_i(j, m)`` effect: remember ``(m, clock)``."""
+        self.queue.append((message, clock))
+
+    def front(self) -> Optional[Stamped]:
+        """The next ``(message, stamp)`` to leave, if any."""
+        return self.queue[0] if self.queue else None
+
+    def can_emit(self, clock: float) -> bool:
+        """``ESENDMSG`` precondition: the front's stamp equals the clock.
+
+        Operationally the stamp can only be ``<= clock``, and the
+        time-passage guard keeps it from falling behind, so emission is
+        urgent: enabled as soon as the entry is buffered.
+        """
+        if not self.queue:
+            return False
+        return self.queue[0][1] <= clock + _TOLERANCE
+
+    def emit(self, clock: float) -> Stamped:
+        """``ESENDMSG_i(j, (m, c))`` effect: dequeue the front."""
+        if not self.can_emit(clock):
+            raise TransitionError(
+                f"send buffer {self.src}->{self.dst}: nothing emittable at "
+                f"clock {clock:g}"
+            )
+        return self.queue.pop(0)
+
+    def clock_deadline(self) -> float:
+        """``nu`` guard: the clock may not pass any queued stamp."""
+        if not self.queue:
+            return INFINITY
+        return min(c for _, c in self.queue)
+
+
+@dataclass
+class ReceiveBuffer:
+    """``R_{ji,eps}``: holds ``(m, c)`` until the local clock reaches ``c``."""
+
+    src: int
+    dst: int
+    queue: List[Stamped] = field(default_factory=list)
+    held_count: int = 0
+    total_hold_clock: float = 0.0
+
+    def enqueue(self, message: object, stamp: float, clock: float) -> None:
+        """``ERECVMSG_i(j, (m, c))`` effect: buffer, ordered by stamp.
+
+        Also tracks whether the message actually had to wait (its stamp
+        exceeded the clock on arrival) for the Section 7.2 statistics.
+        """
+        if stamp > clock + _TOLERANCE:
+            self.held_count += 1
+            self.total_hold_clock += stamp - clock
+        entry = (message, stamp)
+        index = len(self.queue)
+        while index > 0 and self.queue[index - 1][1] > stamp:
+            index -= 1
+        self.queue.insert(index, entry)
+
+    def front(self) -> Optional[Stamped]:
+        """The minimal-stamp ``(message, stamp)`` held, if any."""
+        return self.queue[0] if self.queue else None
+
+    def can_deliver(self, clock: float) -> bool:
+        """``RECVMSG`` precondition: front stamp ``<=`` clock."""
+        if not self.queue:
+            return False
+        return self.queue[0][1] <= clock + _TOLERANCE
+
+    def deliver(self, clock: float) -> Stamped:
+        """``RECVMSG_i(j, m)`` effect: dequeue the front."""
+        if not self.can_deliver(clock):
+            raise TransitionError(
+                f"receive buffer {self.src}->{self.dst}: nothing deliverable "
+                f"at clock {clock:g}"
+            )
+        return self.queue.pop(0)
+
+    def clock_deadline(self) -> float:
+        """``nu`` guard: the clock may not pass any buffered stamp.
+
+        Forces delivery exactly when the clock reaches a stamp (or
+        immediately, if the stamp is already in the past).
+        """
+        if not self.queue:
+            return INFINITY
+        return self.queue[0][1]

@@ -1,0 +1,281 @@
+"""Simulation 1: the clock transformation (Section 4).
+
+:class:`ClockMachine` realizes the node-level clock-automaton composition
+of Section 4.2: the transformed algorithm ``C(A_i, eps)`` (Definition 4.1
+— the *same* process code, handed the node clock wherever the timed model
+hands it ``now``) composed with one :class:`~repro.core.buffers.SendBuffer`
+per outgoing edge and one :class:`~repro.core.buffers.ReceiveBuffer` per
+incoming edge, sharing the node clock (Definition 2.7), with the internal
+``SENDMSG``/``RECVMSG`` interface hidden.
+
+:class:`ClockNodeEntity` is the machine plus the engine glue: a
+:class:`~repro.sim.clock_drivers.ClockDriver` picks the clock trajectory
+within the ``C_eps`` envelope, and the machine's clock deadlines are
+mapped into real-time deadlines for the simulator.
+
+:class:`NativeClockNodeEntity` runs a process *natively* on the clock —
+no buffers, raw messages — for algorithms that were designed directly in
+the clock model (the Section 6.3 baseline of [10]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.automata.actions import Action, ActionPattern, PatternActionSet
+from repro.automata.signature import Signature
+from repro.components.base import Entity, Process, ProcessContext
+from repro.core.buffers import ReceiveBuffer, SendBuffer
+from repro.errors import TransitionError
+from repro.sim.clock_drivers import ClockDriver
+
+INFINITY = float("inf")
+_TOLERANCE = 1e-9
+
+
+@dataclass
+class MachineState:
+    """State of the node-level clock composition ``A^c_{i,eps}``."""
+
+    clock: float
+    proc_state: Any
+    send_buffers: Dict[int, SendBuffer]
+    recv_buffers: Dict[int, ReceiveBuffer]
+
+
+class ClockMachine:
+    """``C(A_i, eps)`` composed with its send/receive buffers.
+
+    Pure, clock-parameterized logic with no knowledge of real time; both
+    :class:`ClockNodeEntity` (Simulation 1) and the MMT transformation
+    (Simulation 2) drive it — the latter is exactly Theorem 5.2's
+    composition of the two simulations.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        out_edges: Sequence[int],
+        in_edges: Sequence[int],
+    ):
+        self.process = process
+        self.node = process.node
+        self.out_edges = list(out_edges)
+        self.in_edges = list(in_edges)
+
+    # -- state ---------------------------------------------------------------
+
+    def initial_state(self) -> MachineState:
+        """A fresh machine state: clock 0, empty buffers."""
+        return MachineState(
+            clock=0.0,
+            proc_state=self.process.initial_state(),
+            send_buffers={j: SendBuffer(self.node, j) for j in self.out_edges},
+            recv_buffers={j: ReceiveBuffer(j, self.node) for j in self.in_edges},
+        )
+
+    # -- transitions -----------------------------------------------------------
+
+    def enabled(self, state: MachineState) -> List[Action]:
+        """All locally controlled actions enabled at the current clock."""
+        ctx = ProcessContext(state.clock)
+        actions = list(self.process.enabled(state.proc_state, ctx))
+        for j, sbuf in state.send_buffers.items():
+            if sbuf.can_emit(state.clock):
+                message, stamp = sbuf.front()
+                actions.append(
+                    Action("ESENDMSG", (self.node, j, (message, stamp)))
+                )
+        for j, rbuf in state.recv_buffers.items():
+            if rbuf.can_deliver(state.clock):
+                message, _ = rbuf.front()
+                actions.append(Action("RECVMSG", (self.node, j, message)))
+        return actions
+
+    def fire(self, state: MachineState, action: Action) -> None:
+        """Perform one enabled locally controlled action.
+
+        ``SENDMSG`` (a process output, internal to the node) is routed
+        into the matching send buffer; ``RECVMSG`` (a receive-buffer
+        output, internal to the node) is routed into the process;
+        ``ESENDMSG`` leaves the node (the caller forwards it to the
+        channel); everything else is the process's own action.
+        """
+        ctx = ProcessContext(state.clock)
+        if action.name == "ESENDMSG":
+            j = action.params[1]
+            state.send_buffers[j].emit(state.clock)
+            return
+        if action.name == "RECVMSG":
+            j = action.params[1]
+            state.recv_buffers[j].deliver(state.clock)
+            self.process.apply_input(state.proc_state, action, ctx)
+            return
+        self.process.fire(state.proc_state, action, ctx)
+        if action.name == "SENDMSG":
+            j, message = action.params[1], action.params[2]
+            if j not in state.send_buffers:
+                raise TransitionError(
+                    f"node {self.node}: SENDMSG to {j} but no edge ({self.node},{j})"
+                )
+            state.send_buffers[j].enqueue(message, state.clock)
+
+    def apply_input(self, state: MachineState, action: Action) -> None:
+        """Apply an externally arriving input at the current clock."""
+        if action.name == "ERECVMSG":
+            j = action.params[1]
+            message, stamp = action.params[2]
+            if j not in state.recv_buffers:
+                raise TransitionError(
+                    f"node {self.node}: ERECVMSG from {j} but no edge ({j},{self.node})"
+                )
+            state.recv_buffers[j].enqueue(message, stamp, state.clock)
+            return
+        ctx = ProcessContext(state.clock)
+        self.process.apply_input(state.proc_state, action, ctx)
+
+    def clock_deadline(self, state: MachineState) -> float:
+        """Largest clock value time passage may reach (``nu`` guards)."""
+        deadline = self.process.deadline(
+            state.proc_state, ProcessContext(state.clock)
+        )
+        for sbuf in state.send_buffers.values():
+            deadline = min(deadline, sbuf.clock_deadline())
+        for rbuf in state.recv_buffers.values():
+            deadline = min(deadline, rbuf.clock_deadline())
+        return deadline
+
+    # -- statistics (Section 7.2) ------------------------------------------------
+
+    def buffering_stats(self, state: MachineState) -> Dict[str, float]:
+        """How often and how long the receive buffers actually held."""
+        held = sum(r.held_count for r in state.recv_buffers.values())
+        hold_clock = sum(r.total_hold_clock for r in state.recv_buffers.values())
+        return {"messages_held": held, "total_hold_clock": hold_clock}
+
+
+def _node_signature(process: Process, node: int) -> Signature:
+    """Signature of the transformed node ``A^c_{i,eps}`` (Section 4.2).
+
+    External inputs: the process's non-network inputs plus ``ERECVMSG``;
+    external outputs: the process's non-network outputs plus ``ESENDMSG``;
+    the ``SENDMSG``/``RECVMSG`` interface and the process internals are
+    internal to the node.
+    """
+    from repro.automata.signature import _DifferenceActionSet
+    from repro.automata.actions import UnionActionSet
+
+    network_in = PatternActionSet([ActionPattern("RECVMSG", (node,))])
+    network_out = PatternActionSet([ActionPattern("SENDMSG", (node,))])
+    erecv = PatternActionSet([ActionPattern("ERECVMSG", (node,))])
+    esend = PatternActionSet([ActionPattern("ESENDMSG", (node,))])
+    inputs = UnionActionSet(
+        [_DifferenceActionSet(process.signature.inputs, network_in), erecv]
+    )
+    outputs = UnionActionSet(
+        [_DifferenceActionSet(process.signature.outputs, network_out), esend]
+    )
+    internals = UnionActionSet(
+        [process.signature.internals, network_in, network_out]
+    )
+    return Signature(inputs=inputs, outputs=outputs, internals=internals)
+
+
+class ClockNodeEntity(Entity):
+    """``A^c_{i,eps}`` as a simulator entity (Simulation 1 node).
+
+    The driver chooses the clock trajectory within ``C_eps``; the
+    machine's clock deadlines become real-time deadlines through
+    :meth:`~repro.sim.clock_drivers.ClockDriver.max_now`.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        driver: ClockDriver,
+        out_edges: Sequence[int],
+        in_edges: Sequence[int],
+    ):
+        super().__init__(
+            f"{process.name}^c", _node_signature(process, process.node)
+        )
+        self.machine = ClockMachine(process, out_edges, in_edges)
+        self.driver = driver
+        self.node = process.node
+
+    def initial_state(self) -> MachineState:
+        return self.machine.initial_state()
+
+    def apply_input(self, state: MachineState, action: Action, now: float) -> None:
+        self.machine.apply_input(state, action)
+
+    def enabled(self, state: MachineState, now: float) -> List[Action]:
+        return self.machine.enabled(state)
+
+    def fire(self, state: MachineState, action: Action, now: float) -> None:
+        self.machine.fire(state, action)
+
+    def deadline(self, state: MachineState, now: float) -> float:
+        cap = self.machine.clock_deadline(state)
+        return self.driver.target_now(now, state.clock, cap)
+
+    def advance(self, state: MachineState, old_now: float, new_now: float) -> None:
+        cap = self.machine.clock_deadline(state)
+        state.clock = self.driver.step(old_now, state.clock, new_now, cap)
+
+    def clock_value(self, state: MachineState, now: float) -> Optional[float]:
+        return state.clock
+
+    def buffering_stats(self, state: MachineState) -> Dict[str, float]:
+        """Receive-buffer hold statistics (Section 7.2)."""
+        return self.machine.buffering_stats(state)
+
+
+@dataclass
+class NativeState:
+    """State of a natively-clock node: the clock plus the process state."""
+
+    clock: float
+    proc_state: Any
+
+
+class NativeClockNodeEntity(Entity):
+    """A process designed *directly* in the clock model (no buffers).
+
+    The process receives the node clock as its time and exchanges raw
+    ``SENDMSG``/``RECVMSG`` messages with ordinary channels. This models
+    the comparison class of Section 6.3: algorithms like [10]'s that
+    were hand-built for inaccurate clocks rather than transformed.
+    """
+
+    def __init__(self, process: Process, driver: ClockDriver):
+        super().__init__(f"{process.name}@clock", process.signature)
+        self.process = process
+        self.driver = driver
+        self.node = process.node
+
+    def initial_state(self) -> NativeState:
+        return NativeState(clock=0.0, proc_state=self.process.initial_state())
+
+    def apply_input(self, state: NativeState, action: Action, now: float) -> None:
+        self.process.apply_input(
+            state.proc_state, action, ProcessContext(state.clock)
+        )
+
+    def enabled(self, state: NativeState, now: float) -> List[Action]:
+        return self.process.enabled(state.proc_state, ProcessContext(state.clock))
+
+    def fire(self, state: NativeState, action: Action, now: float) -> None:
+        self.process.fire(state.proc_state, action, ProcessContext(state.clock))
+
+    def deadline(self, state: NativeState, now: float) -> float:
+        cap = self.process.deadline(state.proc_state, ProcessContext(state.clock))
+        return self.driver.target_now(now, state.clock, cap)
+
+    def advance(self, state: NativeState, old_now: float, new_now: float) -> None:
+        cap = self.process.deadline(state.proc_state, ProcessContext(state.clock))
+        state.clock = self.driver.step(old_now, state.clock, new_now, cap)
+
+    def clock_value(self, state: NativeState, now: float) -> Optional[float]:
+        return state.clock

@@ -1,0 +1,94 @@
+"""The output-rate restriction of Lemma 4.3 / Section 5.3.
+
+Simulation 2 requires the clock automaton to emit at most ``k`` outputs
+in any clock interval of length ``k*l`` (half-open on either side). The
+restriction keeps the pending-output buffer of ``M(A^c, l)`` bounded, so
+outputs are delayed by at most a constant.
+
+These helpers measure the realized output rate of a recorded execution
+(using either real-time or clock stamps) and check the ``(k, l)``
+condition, so tests can validate Lemma 4.3's transfer — if the timed
+automaton obeys the rate bound, so does its clock transformation — and
+benchmarks can report the ``k`` they actually ran at.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List, Optional
+
+from repro.automata.actions import Action, ActionSet
+from repro.automata.executions import TimedSequence
+
+_TOLERANCE = 1e-9
+
+
+def _output_times(
+    trace: TimedSequence, outputs: Optional[ActionSet] = None
+) -> List[float]:
+    times = [
+        ev.time
+        for ev in trace
+        if outputs is None or ev.action in outputs
+    ]
+    times.sort()
+    return times
+
+
+def max_outputs_in_window(
+    trace: TimedSequence,
+    window: float,
+    outputs: Optional[ActionSet] = None,
+) -> int:
+    """The most outputs in any half-open window of the given length.
+
+    Checks both the ``(c, c + w]`` and ``[c, c + w)`` forms of
+    Lemma 4.3 by sliding windows anchored at each event.
+    """
+    times = _output_times(trace, outputs)
+    if not times:
+        return 0
+    best = 0
+    for anchor in times:
+        # (anchor - w, anchor]  == outputs with anchor - w < t <= anchor
+        lo = bisect_right(times, anchor - window + _TOLERANCE)
+        hi = bisect_right(times, anchor + _TOLERANCE)
+        best = max(best, hi - lo)
+        # [anchor, anchor + w)
+        lo = bisect_left(times, anchor - _TOLERANCE)
+        hi = bisect_left(times, anchor + window - _TOLERANCE)
+        best = max(best, hi - lo)
+    return best
+
+
+def check_output_rate(
+    trace: TimedSequence,
+    k: int,
+    step_bound: float,
+    outputs: Optional[ActionSet] = None,
+) -> bool:
+    """Whether the trace satisfies the ``(k, l)`` restriction.
+
+    At most ``k`` outputs in any interval of length ``k * step_bound``
+    (Lemma 4.3 / Section 5.3 with ``l = step_bound``).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return max_outputs_in_window(trace, k * step_bound, outputs) <= k
+
+
+def smallest_k(
+    trace: TimedSequence,
+    step_bound: float,
+    outputs: Optional[ActionSet] = None,
+    k_max: int = 1000,
+) -> Optional[int]:
+    """The smallest ``k`` for which the ``(k, l)`` restriction holds.
+
+    Returns ``None`` when no ``k <= k_max`` works (the trace is too
+    bursty for the given step bound).
+    """
+    for k in range(1, k_max + 1):
+        if check_output_rate(trace, k, step_bound, outputs):
+            return k
+    return None

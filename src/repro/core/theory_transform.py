@@ -1,0 +1,89 @@
+"""Definition 4.1 at the theory level: ``C(A_i, eps)`` as a clock automaton.
+
+The executable layer realizes the clock transformation by *reinterpreting*
+the process's time input; this module constructs the transformation
+literally over a relation-level
+:class:`~repro.automata.theory_timed.TimedAutomaton`:
+
+- ``states(C(A, eps)) = states(A) × R+`` — each transformed state packs
+  the inner state's non-``now`` components (``cbasic``), the real time
+  ``now``, and the ``clock``; the *inner* view ``s.A`` is the inner
+  state with its ``now`` set to the transformed state's ``clock``;
+- discrete transitions are the inner automaton's, read at the clock;
+- ``nu(Δt, Δc)`` advances ``clock`` along an inner time-passage step of
+  size ``Δc`` and ``now`` by ``Δt``, guarded by ``C_eps``.
+
+Lemma 4.1 (the result satisfies ``C_eps`` and is eps-time independent)
+and Lemma 4.2 (clock-stamped schedules of the transformation are timed
+schedules of the inner automaton) become checkable statements — the
+theory tests verify them with the axiom checkers and by replaying
+schedules against the inner automaton.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.automata.actions import Action
+from repro.automata.state import State
+from repro.automata.theory_clock import ClockAutomaton, c_epsilon
+from repro.automata.theory_timed import TimedAutomaton
+from repro.errors import TransitionError
+
+
+class TheoryClockTransform(ClockAutomaton):
+    """``C(A, eps)`` (Definition 4.1), relation level."""
+
+    def __init__(self, inner: TimedAutomaton, eps: float):
+        if eps < 0:
+            raise ValueError("eps must be non-negative")
+        super().__init__(inner.signature, name=f"C({inner.name},{eps:g})")
+        self.inner = inner
+        self.eps = eps
+        self.predicate = c_epsilon(eps)
+
+    # -- the state correspondence of Definition 4.1 ----------------------
+
+    def inner_view(self, state: State) -> State:
+        """``s.A``: the inner state whose ``now`` is the clock."""
+        fields = {k: v for k, v in state.items() if k not in ("now", "clock")}
+        return State(now=state.clock, **fields)
+
+    def _pack(self, inner_state: State, now: float, clock: float) -> State:
+        if abs(inner_state.now - clock) > 1e-12:
+            raise TransitionError(
+                f"{self.name}: inner now {inner_state.now} != clock {clock}"
+            )
+        fields = {k: v for k, v in inner_state.items() if k != "now"}
+        return State(now=now, clock=clock, **fields)
+
+    # -- clock automaton interface --------------------------------------------
+
+    def start_states(self) -> Iterable[State]:
+        for inner_start in self.inner.start_states():
+            yield self._pack(inner_start, 0.0, 0.0)
+
+    def discrete_transitions(self, state: State) -> Iterator[Tuple[Action, State]]:
+        inner_state = self.inner_view(state)
+        for action, target in self.inner.discrete_transitions(inner_state):
+            yield action, self._pack(target, state.now, state.clock)
+
+    def input_transitions(self, state: State, action: Action) -> List[State]:
+        inner_state = self.inner_view(state)
+        return [
+            self._pack(target, state.now, state.clock)
+            for target in self.inner.input_transitions(inner_state, action)
+        ]
+
+    def time_passage_clock(
+        self, state: State, dt: float, dc: float
+    ) -> Optional[State]:
+        if dt <= 0 or dc <= 0:
+            return None
+        if not self.predicate.holds(state.now + dt, state.clock + dc):
+            return None
+        inner_state = self.inner_view(state)
+        inner_target = self.inner.time_passage(inner_state, dc)
+        if inner_target is None:
+            return None
+        return self._pack(inner_target, state.now + dt, state.clock + dc)

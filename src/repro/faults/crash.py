@@ -1,0 +1,96 @@
+"""Crash-stop node failures.
+
+:class:`CrashableEntity` proxies any entity and silences it from its
+scheduled crash time onward: no more enabled actions, inputs ignored, no
+time-passage constraints. This is the classic crash-stop model; the
+paper's Section 7.3 points to Welch [17] for how the first simulation
+extends to faulty processes — operationally, a crashed node constrains
+nothing, so the transformation machinery is untouched and detectors
+built on top of it (``examples/failure_monitor.py``) can now be tested
+for completeness (crashed nodes get suspected) as well as accuracy
+(live nodes do not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.automata.actions import Action
+from repro.components.base import Entity
+
+INFINITY = float("inf")
+
+
+@dataclass
+class CrashSchedule:
+    """When (and whether) a node crashes."""
+
+    crash_time: Optional[float] = None  # None: never crashes
+
+    def crashed(self, now: float) -> bool:
+        """Whether the node is down at real time ``now``."""
+        return self.crash_time is not None and now >= self.crash_time - 1e-12
+
+
+@dataclass
+class CrashableState:
+    inner: Any
+    crashed: bool = False
+
+
+class CrashableEntity(Entity):
+    """An entity that stops dead at ``schedule.crash_time``."""
+
+    def __init__(self, inner: Entity, schedule: CrashSchedule):
+        super().__init__(inner.name, inner.signature)
+        self.inner = inner
+        self.schedule = schedule
+
+    def initial_state(self) -> CrashableState:
+        return CrashableState(inner=self.inner.initial_state())
+
+    def _check_crash(self, state: CrashableState, now: float) -> bool:
+        if not state.crashed and self.schedule.crashed(now):
+            state.crashed = True
+        return state.crashed
+
+    def apply_input(self, state: CrashableState, action: Action, now: float) -> None:
+        if self._check_crash(state, now):
+            return  # inputs fall on deaf ears
+        self.inner.apply_input(state.inner, action, now)
+
+    def enabled(self, state: CrashableState, now: float) -> List[Action]:
+        if self._check_crash(state, now):
+            return []
+        return self.inner.enabled(state.inner, now)
+
+    def fire(self, state: CrashableState, action: Action, now: float) -> None:
+        if self._check_crash(state, now):
+            return
+        self.inner.fire(state.inner, action, now)
+
+    def deadline(self, state: CrashableState, now: float) -> float:
+        if self._check_crash(state, now):
+            return INFINITY
+        inner_deadline = self.inner.deadline(state.inner, now)
+        if self.schedule.crash_time is None:
+            return inner_deadline
+        # the crash instant itself is a scheduling boundary: time may
+        # not silently pass it while the node still owes urgent actions
+        return min(inner_deadline, max(self.schedule.crash_time, now))
+
+    def advance(self, state: CrashableState, old_now: float, new_now: float) -> None:
+        if state.crashed:
+            return
+        if self.schedule.crash_time is not None and new_now >= self.schedule.crash_time:
+            self.inner.advance(state.inner, old_now, self.schedule.crash_time)
+            state.crashed = True
+            return
+        self.inner.advance(state.inner, old_now, new_now)
+
+    def clock_value(self, state: CrashableState, now: float):
+        return self.inner.clock_value(state.inner, now)
+
+    def __repr__(self) -> str:
+        return f"<CrashableEntity {self.name} crash@{self.schedule.crash_time}>"

@@ -1,0 +1,67 @@
+"""A Figure 1 channel that loses and duplicates messages.
+
+Identical to :class:`~repro.network.channel.ChannelEntity` except that
+each ``SENDMSG`` attempt is filtered through a
+:class:`~repro.faults.models.FaultModel`: zero copies (loss), one, or
+several (duplication) enter the in-transit buffer, each with its own
+sampled delay in ``[d1, d2]``. Loss/duplication statistics are kept on
+the channel state for the fault benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.automata.actions import Action
+from repro.network.channel import ChannelEntity, ChannelState, InTransit
+from repro.faults.models import FaultModel, NoFaults
+from repro.sim.delay import DelayModel
+
+
+@dataclass
+class LossyChannelState(ChannelState):
+    dropped: int = 0
+    duplicated: int = 0
+
+
+class LossyChannelEntity(ChannelEntity):
+    """``E_{ij,[d1,d2]}`` with omission and duplication failures."""
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        d1: float,
+        d2: float,
+        delay_model: Optional[DelayModel] = None,
+        fault_model: Optional[FaultModel] = None,
+        prefix: str = "",
+    ):
+        super().__init__(src, dst, d1, d2, delay_model=delay_model, prefix=prefix)
+        self.fault_model = fault_model or NoFaults()
+        self.name = f"lossychan[{src}->{dst}]{prefix and '^c' or ''}"
+
+    def initial_state(self) -> LossyChannelState:
+        return LossyChannelState()
+
+    def apply_input(self, state: LossyChannelState, action: Action, now: float) -> None:
+        message = action.params[2]
+        copies = self.fault_model.copies((self.src, self.dst), message, now)
+        state.sent += 1
+        if copies == 0:
+            state.dropped += 1
+            return
+        if copies > 1:
+            state.duplicated += copies - 1
+        for _ in range(copies):
+            delay = self.delay_model.sample(
+                (self.src, self.dst), message, now, self.d1, self.d2
+            )
+            state.buffer.append(InTransit(message, now, now + delay))
+
+    def __repr__(self) -> str:
+        return (
+            f"<LossyChannelEntity {self.name} [{self.d1:g},{self.d2:g}] "
+            f"faults={self.fault_model!r}>"
+        )

@@ -1,0 +1,159 @@
+"""Channel fault models.
+
+A :class:`FaultModel` decides, per transmission attempt, how many copies
+of the message actually enter the network: ``0`` (dropped), ``1``
+(delivered), or more (duplicated). Models are seeded and deterministic.
+
+For the retransmission adapter's worst-case analysis to apply, a model
+must bound how many *consecutive* attempts of the same logical message
+can be lost; :attr:`FaultModel.max_consecutive_drops` states that bound
+(the stochastic models enforce it by force-delivering after a run of
+drops — the standard "fairness" assumption of [1]).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+
+class FaultModel:
+    """Decides the fate of each transmission attempt."""
+
+    max_consecutive_drops: int = 0
+
+    def copies(self, edge: Tuple[int, int], message: object, now: float) -> int:
+        """How many copies of this attempt enter the channel (>= 0)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class NoFaults(FaultModel):
+    """The reliable channel: every attempt delivers exactly one copy."""
+
+    max_consecutive_drops = 0
+
+    def copies(self, edge, message, now) -> int:
+        return 1
+
+
+class _BoundedDropMixin:
+    """Tracks per-logical-message drop runs and enforces the bound."""
+
+    def __init__(self, max_consecutive_drops: int):
+        if max_consecutive_drops < 0:
+            raise ValueError("max_consecutive_drops must be >= 0")
+        self.max_consecutive_drops = max_consecutive_drops
+        self._drop_runs: Dict[Tuple, int] = {}
+
+    def _bounded_drop(self, key: Tuple, wants_drop: bool) -> bool:
+        """Apply the bound: returns whether the attempt is dropped."""
+        run = self._drop_runs.get(key, 0)
+        if wants_drop and run < self.max_consecutive_drops:
+            self._drop_runs[key] = run + 1
+            return True
+        self._drop_runs[key] = 0
+        return False
+
+
+class BernoulliFaults(_BoundedDropMixin, FaultModel):
+    """i.i.d. loss and duplication with a consecutive-drop bound.
+
+    Each attempt is dropped with probability ``p_drop`` (unless the
+    bound forces delivery) and, if delivered, duplicated with
+    probability ``p_duplicate``.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        p_drop: float = 0.2,
+        p_duplicate: float = 0.1,
+        max_consecutive_drops: int = 3,
+    ):
+        if not 0.0 <= p_drop < 1.0:
+            raise ValueError("p_drop must be in [0, 1)")
+        if not 0.0 <= p_duplicate <= 1.0:
+            raise ValueError("p_duplicate must be in [0, 1]")
+        _BoundedDropMixin.__init__(self, max_consecutive_drops)
+        self._rng = random.Random(seed)
+        self.p_drop = p_drop
+        self.p_duplicate = p_duplicate
+
+    def copies(self, edge, message, now) -> int:
+        key = (edge, _logical_key(message))
+        if self._bounded_drop(key, self._rng.random() < self.p_drop):
+            return 0
+        return 2 if self._rng.random() < self.p_duplicate else 1
+
+
+class BurstFaults(_BoundedDropMixin, FaultModel):
+    """Loss arrives in bursts: alternating good and bad periods.
+
+    During a bad period every attempt is dropped (up to the consecutive
+    bound); during a good period everything is delivered.
+    """
+
+    def __init__(
+        self,
+        good_duration: float = 5.0,
+        bad_duration: float = 1.0,
+        max_consecutive_drops: int = 4,
+    ):
+        if good_duration <= 0 or bad_duration < 0:
+            raise ValueError("invalid burst durations")
+        _BoundedDropMixin.__init__(self, max_consecutive_drops)
+        self.good_duration = good_duration
+        self.bad_duration = bad_duration
+
+    def copies(self, edge, message, now) -> int:
+        cycle = self.good_duration + self.bad_duration
+        in_bad = (now % cycle) >= self.good_duration
+        key = (edge, _logical_key(message))
+        if self._bounded_drop(key, in_bad):
+            return 0
+        return 1
+
+
+class ScriptedFaults(FaultModel):
+    """An explicit per-attempt script (for deterministic tests).
+
+    ``script`` is a sequence of copy counts consumed per attempt on any
+    edge; once exhausted, every attempt delivers one copy.
+    """
+
+    def __init__(self, script: Sequence[int]):
+        self._script: List[int] = list(script)
+        self._index = 0
+        self.max_consecutive_drops = _longest_zero_run(self._script)
+
+    def copies(self, edge, message, now) -> int:
+        if self._index < len(self._script):
+            value = self._script[self._index]
+            self._index += 1
+            return value
+        return 1
+
+
+def _logical_key(message: object) -> object:
+    """The logical identity of a message across retransmissions.
+
+    Retransmitted DATA frames carry the same ``(kind, seq)`` prefix; the
+    consecutive-drop bound applies to the logical message, not the
+    individual attempt. Non-framed messages are their own key.
+    """
+    if isinstance(message, tuple) and len(message) >= 2 and message[0] in (
+        "DATA", "ACK",
+    ):
+        return message[:2]
+    return message
+
+
+def _longest_zero_run(script: Sequence[int]) -> int:
+    longest = run = 0
+    for value in script:
+        run = run + 1 if value == 0 else 0
+        longest = max(longest, run)
+    return longest

@@ -1,0 +1,193 @@
+"""Reliable messaging over lossy channels ([1]-style ARQ adapter).
+
+:class:`ReliableAdapter` wraps any :class:`~repro.components.base.Process`
+and makes its ``SENDMSG``/``RECVMSG`` interface reliable over channels
+that lose and duplicate messages:
+
+- outgoing messages are framed ``("DATA", seq, m)`` and retransmitted
+  every ``retransmit_interval`` until acknowledged;
+- the receiver acknowledges every DATA frame (``("ACK", seq)``) and
+  delivers each sequence number to the inner process exactly once;
+- duplicate frames and duplicate acks are absorbed.
+
+**Worst-case timing.** If the fault model loses at most ``B``
+consecutive attempts of a message and the raw channel delay is in
+``[d1, d2]``, attempt ``B`` (0-based) departs at ``send + B*R`` and
+arrives by ``send + B*R + d2``, so the adapted channel behaves like a
+*reliable* channel with delay bounds ``[d1, d2 + B*R]`` —
+:func:`effective_delay_bounds`. Design the inner algorithm against
+those effective bounds (plus the usual ``2*eps`` widening for the
+clock model) and every theorem in the paper goes through unchanged:
+the adapter is itself eps-time independent, so it transforms like any
+other process code.
+
+Acks are subject to loss too; a lost ack merely causes a retransmission
+that the receiver's dedup absorbs, so correctness never depends on ack
+delivery — only outbox garbage collection does. Senders cap
+retransmissions at ``max_attempts`` (default: enough to cover ``B``
+plus ack losses) to keep quiescent runs finite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.automata.actions import Action
+from repro.components.base import Process, ProcessContext
+from repro.errors import TransitionError
+
+INFINITY = float("inf")
+_TOLERANCE = 1e-9
+
+
+def effective_delay_bounds(
+    d1: float, d2: float, retransmit_interval: float, max_consecutive_drops: int
+) -> Tuple[float, float]:
+    """Delay bounds of the *adapted* (reliable) channel.
+
+    ``[d1, d2 + B * R]`` with ``B`` the consecutive-loss bound and ``R``
+    the retransmission interval.
+    """
+    return (d1, d2 + max_consecutive_drops * retransmit_interval)
+
+
+@dataclass
+class _OutboxEntry:
+    dst: int
+    seq: int
+    message: object
+    next_attempt: float
+    attempts: int = 0
+
+
+@dataclass
+class AdapterState:
+    inner: Any
+    outbox: Dict[Tuple[int, int], _OutboxEntry] = field(default_factory=dict)
+    next_seq: Dict[int, int] = field(default_factory=dict)
+    delivered: Dict[int, Set[int]] = field(default_factory=dict)
+    pending_acks: List[Tuple[int, int]] = field(default_factory=list)  # (dst, seq)
+
+
+class ReliableAdapter(Process):
+    """Wraps a process with sequence-numbered retransmission."""
+
+    def __init__(
+        self,
+        inner: Process,
+        retransmit_interval: float,
+        max_attempts: int = 25,
+    ):
+        if retransmit_interval <= 0:
+            raise ValueError("retransmit_interval must be positive")
+        super().__init__(inner.node, inner.signature, name=f"arq({inner.name})")
+        self.inner = inner
+        self.retransmit_interval = retransmit_interval
+        self.max_attempts = max_attempts
+
+    # -- helpers ---------------------------------------------------------
+
+    def _frame(self, entry: _OutboxEntry) -> Action:
+        return Action(
+            "SENDMSG", (self.node, entry.dst, ("DATA", entry.seq, entry.message))
+        )
+
+    def _ack(self, dst: int, seq: int) -> Action:
+        return Action("SENDMSG", (self.node, dst, ("ACK", seq)))
+
+    # -- process interface -------------------------------------------------
+
+    def initial_state(self) -> AdapterState:
+        return AdapterState(inner=self.inner.initial_state())
+
+    def apply_input(self, state: AdapterState, action: Action, ctx: ProcessContext) -> None:
+        if action.name != "RECVMSG":
+            self.inner.apply_input(state.inner, action, ctx)
+            return
+        sender = action.params[1]
+        frame = action.params[2]
+        if not isinstance(frame, tuple) or not frame:
+            raise TransitionError(f"{self.name}: unframed message {frame!r}")
+        if frame[0] == "DATA":
+            _, seq, message = frame
+            state.pending_acks.append((sender, seq))
+            seen = state.delivered.setdefault(sender, set())
+            if seq not in seen:
+                seen.add(seq)
+                self.inner.apply_input(
+                    state.inner, Action("RECVMSG", (self.node, sender, message)), ctx
+                )
+        elif frame[0] == "ACK":
+            _, seq = frame
+            state.outbox.pop((sender, seq), None)
+        else:
+            raise TransitionError(f"{self.name}: unknown frame kind {frame[0]!r}")
+
+    def enabled(self, state: AdapterState, ctx: ProcessContext) -> List[Action]:
+        now = ctx.time
+        actions: List[Action] = []
+        # acks first: urgent
+        for dst, seq in state.pending_acks:
+            actions.append(self._ack(dst, seq))
+        # due (re)transmissions
+        for entry in state.outbox.values():
+            if entry.next_attempt <= now + _TOLERANCE:
+                actions.append(self._frame(entry))
+        # inner actions, with SENDMSG rewritten into fresh DATA frames
+        for action in self.inner.enabled(state.inner, ctx):
+            if action.name == "SENDMSG":
+                dst, message = action.params[1], action.params[2]
+                seq = state.next_seq.get(dst, 0)
+                actions.append(
+                    Action("SENDMSG", (self.node, dst, ("DATA", seq, message)))
+                )
+            else:
+                actions.append(action)
+        return actions
+
+    def fire(self, state: AdapterState, action: Action, ctx: ProcessContext) -> None:
+        now = ctx.time
+        if action.name != "SENDMSG":
+            self.inner.fire(state.inner, action, ctx)
+            return
+        dst, frame = action.params[1], action.params[2]
+        if frame[0] == "ACK":
+            _, seq = frame
+            try:
+                state.pending_acks.remove((dst, seq))
+            except ValueError:
+                raise TransitionError(f"{self.name}: no pending ack {frame!r}")
+            return
+        _, seq, message = frame
+        entry = state.outbox.get((dst, seq))
+        if entry is None:
+            # a *fresh* send: perform the inner SENDMSG effect, register
+            # the outbox entry, schedule the first retransmission
+            expected = state.next_seq.get(dst, 0)
+            if seq != expected:
+                raise TransitionError(
+                    f"{self.name}: fresh frame seq {seq} != expected {expected}"
+                )
+            self.inner.fire(
+                state.inner, Action("SENDMSG", (self.node, dst, message)), ctx
+            )
+            state.next_seq[dst] = seq + 1
+            state.outbox[(dst, seq)] = _OutboxEntry(
+                dst, seq, message, now + self.retransmit_interval, attempts=1
+            )
+            return
+        # a retransmission
+        entry.attempts += 1
+        if entry.attempts >= self.max_attempts:
+            del state.outbox[(dst, seq)]
+        else:
+            entry.next_attempt = now + self.retransmit_interval
+
+    def deadline(self, state: AdapterState, ctx: ProcessContext) -> float:
+        deadline = self.inner.deadline(state.inner, ctx)
+        if state.pending_acks:
+            return ctx.time
+        for entry in state.outbox.values():
+            deadline = min(deadline, entry.next_attempt)
+        return deadline

@@ -1,0 +1,6 @@
+"""Network substrate: topology and the channel automata of Figure 1."""
+
+from repro.network.channel import ChannelEntity, ChannelState, InTransit
+from repro.network.topology import Topology
+
+__all__ = ["Topology", "ChannelEntity", "ChannelState", "InTransit"]

@@ -1,0 +1,62 @@
+"""The register problems ``P`` and ``Q`` (Sections 6.1, 6.2).
+
+``P`` — linearizable read-write object: the allowed timed traces are
+those where either the environment is first to violate the alternation
+condition, or the trace alternates correctly and is linearizable.
+
+``Q`` — the eps-superlinearizable variant, with every linearization
+point at least ``2*eps`` after its invocation.
+
+Both are :class:`~repro.traces.problems.Problem` instances whose
+membership predicates delegate to the analytic checkers of
+:mod:`repro.traces.linearizability`; Lemma 6.4's inclusion
+``Q_eps ⊆ P`` is exercised by tests through these objects.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.automata.actions import ActionPattern, PatternActionSet
+from repro.automata.signature import Signature
+from repro.traces.linearizability import is_linearizable, is_superlinearizable
+from repro.traces.problems import PredicateProblem
+
+
+def register_problem_partition(n: int) -> List[Signature]:
+    """Per-node external signatures of the register problem."""
+    partition = []
+    for i in range(n):
+        partition.append(
+            Signature(
+                inputs=PatternActionSet(
+                    [ActionPattern("READ", (i,)), ActionPattern("WRITE", (i,))]
+                ),
+                outputs=PatternActionSet(
+                    [ActionPattern("RETURN", (i,)), ActionPattern("ACK", (i,))]
+                ),
+            )
+        )
+    return partition
+
+
+def linearizable_register_problem(
+    n: int, initial_value: object = None
+) -> PredicateProblem:
+    """The problem ``P`` of a linearizable read-write object."""
+    return PredicateProblem(
+        register_problem_partition(n),
+        lambda trace: is_linearizable(trace, initial_value),
+        name="P(linearizable)",
+    )
+
+
+def superlinearizable_register_problem(
+    n: int, eps: float, initial_value: object = None
+) -> PredicateProblem:
+    """The problem ``Q`` of an eps-superlinearizable read-write object."""
+    return PredicateProblem(
+        register_problem_partition(n),
+        lambda trace: is_superlinearizable(trace, eps, initial_value),
+        name=f"Q(superlinearizable, eps={eps:g})",
+    )

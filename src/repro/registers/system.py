@@ -1,0 +1,265 @@
+"""One-call builders for register systems in all three models.
+
+Each builder wires: register processes on a complete topology with
+self-loops (algorithm S updates the sender's own copy by message),
+channels with the model-appropriate payloads, per-node clients, and — in
+the clock/MMT models — clock drivers or tick sources.
+
+:func:`run_register_experiment` runs a built system and packages the
+outcome as a :class:`RegisterRun`: completed operations, latency
+summaries, and correctness checks against the problems ``P`` and ``Q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.components.base import Process
+from repro.core.mmt_transform import StepPolicy
+from repro.core.pipeline import (
+    SystemSpec,
+    build_clock_system,
+    build_mmt_system,
+    build_native_clock_system,
+    build_timed_system,
+    simulation1_delay_bounds,
+)
+from repro.network.topology import Topology
+from repro.registers.algorithm_l import AlgorithmLProcess, RegisterProcess
+from repro.registers.algorithm_s import (
+    AlgorithmSProcess,
+    NaiveSuperlinearizableProcess,
+)
+from repro.registers.baseline import SlottedRegisterProcess
+from repro.registers.workload import ClientEntity, CompletedOp, RegisterWorkload
+from repro.sim.delay import DelayModel
+from repro.sim.engine import SimulationResult
+from repro.sim.scheduler import Scheduler
+from repro.traces.linearizability import is_linearizable, is_superlinearizable
+
+INITIAL_VALUE = ("v", -1, 0)
+"""Default initial register value ``v0`` (distinct from client values)."""
+
+
+def _register_process_factory(
+    algorithm: str,
+    n: int,
+    d2_prime: float,
+    c: float,
+    eps: float,
+    delta: float,
+    initial_value: object,
+) -> Callable[[int], Process]:
+    peers = list(range(n))
+
+    def make(i: int) -> Process:
+        if algorithm == "L":
+            return AlgorithmLProcess(
+                i, peers, d2_prime, c, delta=delta, initial_value=initial_value
+            )
+        if algorithm == "S":
+            return AlgorithmSProcess(
+                i, peers, d2_prime, c, eps, delta=delta,
+                initial_value=initial_value,
+            )
+        if algorithm == "naive":
+            return NaiveSuperlinearizableProcess(
+                i, peers, d2_prime, c, eps, delta=delta,
+                initial_value=initial_value,
+            )
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+    return make
+
+
+def _attach_clients(
+    spec: SystemSpec, n: int, workload: RegisterWorkload
+) -> SystemSpec:
+    clients = [ClientEntity(i, workload) for i in range(n)]
+    return spec.add(*clients)
+
+
+def timed_register_system(
+    n: int,
+    d1_prime: float,
+    d2_prime: float,
+    c: float,
+    workload: RegisterWorkload,
+    algorithm: str = "L",
+    eps: float = 0.0,
+    delta: float = 0.01,
+    delay_model: Optional[DelayModel] = None,
+    initial_value: object = INITIAL_VALUE,
+) -> SystemSpec:
+    """``D_T(G, L/S, E_{[d1',d2']})`` with clients (Lemmas 6.1, 6.2)."""
+    topology = Topology.complete(n, self_loops=True)
+    factory = _register_process_factory(
+        algorithm, n, d2_prime, c, eps, delta, initial_value
+    )
+    spec = build_timed_system(topology, factory, d1_prime, d2_prime, delay_model)
+    return _attach_clients(spec, n, workload)
+
+
+def clock_register_system(
+    n: int,
+    d1: float,
+    d2: float,
+    c: float,
+    eps: float,
+    workload: RegisterWorkload,
+    drivers,
+    algorithm: str = "S",
+    delta: float = 0.01,
+    delay_model: Optional[DelayModel] = None,
+    initial_value: object = INITIAL_VALUE,
+) -> SystemSpec:
+    """``D_C(G, S^c_eps, E^c_{[d1,d2]})`` with clients (Theorem 6.5).
+
+    The process is parameterized for the *design* bounds
+    ``[d1', d2'] = [max(d1 - 2*eps, 0), d2 + 2*eps]``; the physical
+    channels run at ``[d1, d2]``.
+    """
+    _, d2_prime = simulation1_delay_bounds(d1, d2, eps)
+    topology = Topology.complete(n, self_loops=True)
+    factory = _register_process_factory(
+        algorithm, n, d2_prime, c, eps, delta, initial_value
+    )
+    spec = build_clock_system(
+        topology, factory, eps, d1, d2, drivers, delay_model
+    )
+    return _attach_clients(spec, n, workload)
+
+
+def baseline_register_system(
+    n: int,
+    d1: float,
+    d2: float,
+    eps: float,
+    workload: RegisterWorkload,
+    drivers,
+    delay_model: Optional[DelayModel] = None,
+    initial_value: object = INITIAL_VALUE,
+) -> SystemSpec:
+    """The [10]-style slotted register, native in the clock model.
+
+    Slot width ``u = 2*eps`` (the models' correspondence of
+    Section 6.3).
+    """
+    topology = Topology.complete(n, self_loops=True)
+    u = 2.0 * eps
+    peers = list(range(n))
+
+    def factory(i: int) -> Process:
+        return SlottedRegisterProcess(i, peers, d2, u, initial_value=initial_value)
+
+    spec = build_native_clock_system(
+        topology, factory, eps, d1, d2, drivers, delay_model
+    )
+    return _attach_clients(spec, n, workload)
+
+
+def mmt_register_system(
+    n: int,
+    d1: float,
+    d2: float,
+    c: float,
+    eps: float,
+    step_bound: float,
+    sources,
+    workload: RegisterWorkload,
+    algorithm: str = "S",
+    delta: float = 0.01,
+    tick_interval: Optional[float] = None,
+    step_policy_factory: Optional[Callable[[int], StepPolicy]] = None,
+    delay_model: Optional[DelayModel] = None,
+    initial_value: object = INITIAL_VALUE,
+) -> SystemSpec:
+    """``D_M`` register system via both simulations (Theorem 5.2)."""
+    _, d2_prime = simulation1_delay_bounds(d1, d2, eps)
+    topology = Topology.complete(n, self_loops=True)
+    factory = _register_process_factory(
+        algorithm, n, d2_prime, c, eps, delta, initial_value
+    )
+    spec = build_mmt_system(
+        topology,
+        factory,
+        eps,
+        d1,
+        d2,
+        step_bound,
+        sources,
+        tick_interval=tick_interval,
+        step_policy_factory=step_policy_factory,
+        delay_model=delay_model,
+    )
+    return _attach_clients(spec, n, workload)
+
+
+@dataclass
+class RegisterRun:
+    """Outcome of one register experiment."""
+
+    result: SimulationResult
+    operations: List[CompletedOp]
+    initial_value: object
+
+    @property
+    def reads(self) -> List[CompletedOp]:
+        return [op for op in self.operations if op.kind == "R"]
+
+    @property
+    def writes(self) -> List[CompletedOp]:
+        return [op for op in self.operations if op.kind == "W"]
+
+    def max_read_latency(self) -> float:
+        """Worst completed-read latency."""
+        return max((op.latency for op in self.reads), default=0.0)
+
+    def max_write_latency(self) -> float:
+        """Worst completed-write latency."""
+        return max((op.latency for op in self.writes), default=0.0)
+
+    def mean_read_latency(self) -> float:
+        """Mean completed-read latency (0 with no reads)."""
+        reads = self.reads
+        return sum(op.latency for op in reads) / len(reads) if reads else 0.0
+
+    def mean_write_latency(self) -> float:
+        """Mean completed-write latency (0 with no writes)."""
+        writes = self.writes
+        return sum(op.latency for op in writes) / len(writes) if writes else 0.0
+
+    def linearizable(self) -> bool:
+        """Membership of the run's trace in problem ``P``."""
+        return is_linearizable(self.result.trace, self.initial_value)
+
+    def superlinearizable(self, eps: float) -> bool:
+        """Membership of the run's trace in problem ``Q``."""
+        return is_superlinearizable(self.result.trace, eps, self.initial_value)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RegisterRun: {len(self.reads)} reads "
+            f"(max {self.max_read_latency():.3f}), {len(self.writes)} writes "
+            f"(max {self.max_write_latency():.3f})>"
+        )
+
+
+def run_register_experiment(
+    spec: SystemSpec,
+    horizon: float,
+    scheduler: Optional[Scheduler] = None,
+    initial_value: object = INITIAL_VALUE,
+    max_steps: int = 1_000_000,
+) -> RegisterRun:
+    """Run a built register system and collect per-operation results."""
+    result = spec.run(horizon, scheduler=scheduler, max_steps=max_steps)
+    operations: List[CompletedOp] = []
+    for name, state in result.final_states.items():
+        if name.startswith("client(") and hasattr(state, "completed"):
+            operations.extend(state.completed)
+    operations.sort(key=lambda op: op.inv_time)
+    return RegisterRun(
+        result=result, operations=operations, initial_value=initial_value
+    )

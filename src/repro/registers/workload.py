@@ -1,0 +1,141 @@
+"""Register clients and workload generation.
+
+A :class:`ClientEntity` drives one node with an alternating sequence of
+invocations (satisfying the alternation condition of Section 6.1):
+``READ_i`` / ``WRITE_i(v)`` outputs, ``RETURN_i(v)`` / ``ACK_i`` inputs.
+Written values are globally unique (``(node, seq)`` pairs), which both
+matches the paper's unique-message assumption and makes linearizability
+checking unambiguous.
+
+Clients record every completed operation with invocation and response
+times, so latency analysis does not have to re-parse the trace.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.automata.actions import Action, ActionPattern, PatternActionSet
+from repro.automata.signature import Signature
+from repro.components.base import Entity
+from repro.errors import TransitionError
+
+INFINITY = float("inf")
+_TOLERANCE = 1e-9
+
+
+@dataclass
+class RegisterWorkload:
+    """Parameters of a closed-loop register workload."""
+
+    operations: int = 10
+    read_fraction: float = 0.5
+    think_min: float = 0.5
+    think_max: float = 2.0
+    start_delay: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.think_min < 0 or self.think_max < self.think_min:
+            raise ValueError("invalid think time range")
+
+
+@dataclass
+class CompletedOp:
+    """One completed operation as seen by the client."""
+
+    kind: str  # "R" or "W"
+    value: object
+    inv_time: float
+    res_time: float
+
+    @property
+    def latency(self) -> float:
+        return self.res_time - self.inv_time
+
+
+@dataclass
+class ClientState:
+    next_inv_time: float = 0.0
+    issued: int = 0
+    pending: Optional[Tuple[str, object, float]] = None  # (kind, value, inv)
+    completed: List[CompletedOp] = field(default_factory=list)
+
+
+class ClientEntity(Entity):
+    """Closed-loop client for node ``i``."""
+
+    def __init__(self, node: int, workload: RegisterWorkload):
+        signature = Signature(
+            inputs=PatternActionSet(
+                [ActionPattern("RETURN", (node,)), ActionPattern("ACK", (node,))]
+            ),
+            outputs=PatternActionSet(
+                [ActionPattern("READ", (node,)), ActionPattern("WRITE", (node,))]
+            ),
+        )
+        super().__init__(f"client({node})", signature)
+        self.node = node
+        self.workload = workload
+        self._rng = random.Random(workload.seed * 1_000_003 + node)
+        self._seq = 0
+
+    def initial_state(self) -> ClientState:
+        return ClientState(next_inv_time=self.workload.start_delay)
+
+    def _think(self) -> float:
+        return self._rng.uniform(self.workload.think_min, self.workload.think_max)
+
+    def enabled(self, state: ClientState, now: float) -> List[Action]:
+        if state.pending is not None:
+            return []
+        if state.issued >= self.workload.operations:
+            return []
+        if now + _TOLERANCE < state.next_inv_time:
+            return []
+        if self._rng.random() < self.workload.read_fraction:
+            return [Action("READ", (self.node,))]
+        value = ("v", self.node, self._seq)
+        return [Action("WRITE", (self.node, value))]
+
+    def fire(self, state: ClientState, action: Action, now: float) -> None:
+        if state.pending is not None:
+            raise TransitionError(f"{self.name}: invocation while pending")
+        if action.name == "READ":
+            state.pending = ("R", None, now)
+        elif action.name == "WRITE":
+            self._seq += 1
+            state.pending = ("W", action.params[1], now)
+        else:
+            raise TransitionError(f"{self.name}: cannot fire {action}")
+        state.issued += 1
+
+    def apply_input(self, state: ClientState, action: Action, now: float) -> None:
+        if state.pending is None:
+            raise TransitionError(f"{self.name}: response with nothing pending")
+        kind, value, inv_time = state.pending
+        if action.name == "RETURN":
+            if kind != "R":
+                raise TransitionError(f"{self.name}: RETURN answers a write")
+            state.completed.append(
+                CompletedOp("R", action.params[1], inv_time, now)
+            )
+        elif action.name == "ACK":
+            if kind != "W":
+                raise TransitionError(f"{self.name}: ACK answers a read")
+            state.completed.append(CompletedOp("W", value, inv_time, now))
+        else:
+            raise TransitionError(f"{self.name}: unexpected input {action}")
+        state.pending = None
+        state.next_inv_time = now + self._think()
+
+    def deadline(self, state: ClientState, now: float) -> float:
+        if state.pending is not None:
+            return INFINITY
+        if state.issued >= self.workload.operations:
+            return INFINITY
+        return max(state.next_inv_time, now)

@@ -1,0 +1,283 @@
+"""Clock drivers: adversaries for the ``C_eps`` envelope.
+
+In the clock-automaton model, time passage is ``nu(Δt, Δc)`` — the
+environment chooses how the local clock advances relative to real time,
+subject to:
+
+- the clock predicate ``C_eps``: ``|now - clock| <= eps`` after the step;
+- monotonicity (C3);
+- each component's clock deadline (the ``nu`` precondition of Figure 2
+  forbids the clock from passing a pending message's stamp, which forces
+  urgent deliveries).
+
+A :class:`ClockDriver` encapsulates that choice. Theorems 4.7/5.1
+quantify over *all* trajectories, so tests and benchmarks run the same
+system under many drivers, including the adversarial extremes
+(:class:`FastClockDriver`, :class:`SlowClockDriver`) that realize the
+worst cases of the ``2*eps`` terms in the delay bounds.
+
+Note on C3: the axiom requires the clock to *strictly* increase whenever
+time passes. Drivers clamp to the envelope boundary, which can hold the
+clock constant over an interval; this is the uniform limit of strictly
+increasing trajectories and is indistinguishable at the level of timed
+traces, so the executable layer permits it (the theory layer's axiom
+checker still enforces strictness).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Optional
+
+from repro.errors import ClockEnvelopeError
+
+INFINITY = float("inf")
+_TOLERANCE = 1e-9
+
+
+class ClockDriver:
+    """Chooses a node's clock trajectory within the ``C_eps`` envelope.
+
+    Subclasses override :meth:`desired` (a memoryless target trajectory)
+    or :meth:`step` (for stateful trajectories). The base class clamps
+    every proposal into the feasible window::
+
+        max(clock, new_now - eps, 0) <= clock' <= min(cap, new_now + eps)
+
+    where ``cap`` is the node's clock deadline.
+    """
+
+    def __init__(self, eps: float):
+        if eps < 0:
+            raise ValueError("eps must be non-negative")
+        self.eps = eps
+
+    # -- trajectory ------------------------------------------------------
+
+    def desired(self, now: float, clock: float, new_now: float) -> float:
+        """Unclamped target clock value at real time ``new_now``."""
+        raise NotImplementedError
+
+    def step(self, now: float, clock: float, new_now: float, cap: float) -> float:
+        """The clock value after real time advances to ``new_now``."""
+        lo = max(clock, new_now - self.eps, 0.0)
+        hi = min(cap, new_now + self.eps)
+        if lo > hi + _TOLERANCE:
+            raise ClockEnvelopeError(
+                f"no feasible clock value: window [{lo:g}, {hi:g}] is empty "
+                f"(now {now:g} -> {new_now:g}, clock {clock:g}, cap {cap:g}, "
+                f"eps {self.eps:g})"
+            )
+        proposal = self.desired(now, clock, new_now)
+        return min(max(proposal, lo), hi)
+
+    # -- deadline mapping -------------------------------------------------
+
+    def max_now(self, now: float, clock: float, cap: float) -> float:
+        """Latest real time reachable without the clock passing ``cap``.
+
+        If the cap is already binding (``cap <= clock``), time cannot
+        pass at all — some clock-urgent action must fire first.
+        """
+        if cap == INFINITY:
+            return INFINITY
+        if cap <= clock + _TOLERANCE:
+            return now
+        return cap + self.eps
+
+    def solve_cap(self, now: float, clock: float, cap: float) -> float:
+        """Real time at which the *desired* trajectory reaches ``cap``.
+
+        Subclass hook for :meth:`target_now`; the default is the latest
+        legal instant (riding the deadline, a legal adversary choice).
+        """
+        return cap + self.eps
+
+    def target_now(self, now: float, clock: float, cap: float) -> float:
+        """The real time the node should stop at so its clock hits ``cap``.
+
+        Stopping earlier than :meth:`max_now` is always a legal ``nu``
+        choice; drivers use it so clock-urgent actions fire when the
+        driver's own trajectory reaches the cap (a perfect clock fires
+        at ``now == cap``, not ``cap + eps``). The result is clamped
+        into ``(now, cap + eps]`` — falling back to the latest legal
+        instant when the solved time is degenerate — so the engine
+        always makes progress.
+        """
+        if cap == INFINITY:
+            return INFINITY
+        if cap <= clock + _TOLERANCE:
+            return now
+        target = self.solve_cap(now, clock, cap)
+        latest = cap + self.eps
+        earliest = max(cap - self.eps, 0.0)
+        target = min(max(target, earliest), latest)
+        if target <= now + _TOLERANCE:
+            target = latest
+        return target
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} eps={self.eps:g}>"
+
+
+class PerfectClockDriver(ClockDriver):
+    """``clock == now``: the degenerate, perfectly synchronized clock."""
+
+    def desired(self, now: float, clock: float, new_now: float) -> float:
+        return new_now
+
+    def solve_cap(self, now: float, clock: float, cap: float) -> float:
+        return cap
+
+
+class SkewedClockDriver(ClockDriver):
+    """A constant offset ``beta`` from real time, ``|beta| <= eps``."""
+
+    def __init__(self, eps: float, beta: float):
+        super().__init__(eps)
+        if abs(beta) > eps:
+            raise ValueError(f"|beta|={abs(beta):g} exceeds eps={eps:g}")
+        self.beta = beta
+
+    def desired(self, now: float, clock: float, new_now: float) -> float:
+        return new_now + self.beta
+
+    def solve_cap(self, now: float, clock: float, cap: float) -> float:
+        return cap - self.beta
+
+
+class FastClockDriver(SkewedClockDriver):
+    """The adversarial fast extreme: ``clock == now + eps``."""
+
+    def __init__(self, eps: float):
+        super().__init__(eps, eps)
+
+
+class SlowClockDriver(SkewedClockDriver):
+    """The adversarial slow extreme: ``clock == max(now - eps, 0)``."""
+
+    def __init__(self, eps: float):
+        super().__init__(eps, -eps)
+
+
+class DriftingClockDriver(ClockDriver):
+    """A clock running at a constant rate ``rho`` (1.0 = real time).
+
+    The integrated drift is clamped to the envelope, so a fast clock
+    (``rho > 1``) eventually rides the ``now + eps`` boundary and a slow
+    one (``rho < 1``) the ``now - eps`` boundary — exactly the behavior
+    of a hardware oscillator between synchronizations.
+    """
+
+    def __init__(self, eps: float, rho: float):
+        super().__init__(eps)
+        if rho <= 0:
+            raise ValueError("drift rate must be positive")
+        self.rho = rho
+
+    def desired(self, now: float, clock: float, new_now: float) -> float:
+        return clock + self.rho * (new_now - now)
+
+    def solve_cap(self, now: float, clock: float, cap: float) -> float:
+        return now + (cap - clock) / self.rho
+
+
+class SawtoothClockDriver(ClockDriver):
+    """Drift at rate ``rho``, resynchronize toward real time every ``period``.
+
+    Models a clock disciplined by a synchronization service (e.g. NTP
+    [12]): between syncs it drifts; at each sync boundary it slews
+    rapidly back toward ``now`` (never backwards — monotonicity).
+    """
+
+    def __init__(self, eps: float, rho: float, period: float, slew: float = 4.0):
+        super().__init__(eps)
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.rho = rho
+        self.period = period
+        self.slew = slew
+
+    def desired(self, now: float, clock: float, new_now: float) -> float:
+        phase = math.fmod(new_now, self.period)
+        drifting = clock + self.rho * (new_now - now)
+        if phase < self.period * 0.25 and drifting < new_now:
+            # Early in the period: slew back toward real time.
+            return min(new_now, clock + self.slew * (new_now - now))
+        return drifting
+
+    def solve_cap(self, now: float, clock: float, cap: float) -> float:
+        return now + (cap - clock) / self.rho
+
+
+class RandomWalkClockDriver(ClockDriver):
+    """A seeded random rate in ``[lo_rate, hi_rate]`` per step."""
+
+    def __init__(
+        self,
+        eps: float,
+        seed: int = 0,
+        lo_rate: float = 0.5,
+        hi_rate: float = 1.5,
+    ):
+        super().__init__(eps)
+        self._rng = random.Random(seed)
+        self.lo_rate = lo_rate
+        self.hi_rate = hi_rate
+
+    def desired(self, now: float, clock: float, new_now: float) -> float:
+        rate = self._rng.uniform(self.lo_rate, self.hi_rate)
+        return clock + rate * (new_now - now)
+
+    def solve_cap(self, now: float, clock: float, cap: float) -> float:
+        # Nominal rate 1.0; target_now re-solves if the sampled rate
+        # undershoots, so convergence to the cap is still guaranteed.
+        return now + (cap - clock)
+
+
+DriverFactory = Callable[[int], ClockDriver]
+"""A factory producing a fresh driver for node ``i`` (drivers may be
+stateful, so each node of each run needs its own instance)."""
+
+
+def driver_factory(
+    kind: str, eps: float, seed: int = 0, **kwargs
+) -> DriverFactory:
+    """Build a per-node driver factory by name.
+
+    ``kind`` is one of ``perfect``, ``fast``, ``slow``, ``skewed``,
+    ``drift``, ``sawtooth``, ``random``, ``mixed``. ``mixed`` assigns
+    alternating fast/slow/random drivers by node index — a convenient
+    worst case where communicating nodes disagree by the full ``2*eps``.
+    """
+
+    def make(node: int) -> ClockDriver:
+        if kind == "perfect":
+            return PerfectClockDriver(eps)
+        if kind == "fast":
+            return FastClockDriver(eps)
+        if kind == "slow":
+            return SlowClockDriver(eps)
+        if kind == "skewed":
+            return SkewedClockDriver(eps, kwargs.get("beta", eps / 2.0))
+        if kind == "drift":
+            return DriftingClockDriver(eps, kwargs.get("rho", 1.0005))
+        if kind == "sawtooth":
+            return SawtoothClockDriver(
+                eps,
+                kwargs.get("rho", 1.001),
+                kwargs.get("period", 10.0),
+            )
+        if kind == "random":
+            return RandomWalkClockDriver(eps, seed + node * 7919)
+        if kind == "mixed":
+            cycle = node % 3
+            if cycle == 0:
+                return FastClockDriver(eps)
+            if cycle == 1:
+                return SlowClockDriver(eps)
+            return RandomWalkClockDriver(eps, seed + node * 7919)
+        raise ValueError(f"unknown clock driver kind: {kind!r}")
+
+    return make

@@ -1,0 +1,256 @@
+"""The discrete-event simulator.
+
+The engine realizes the operational semantics shared by all three system
+models:
+
+1. While any entity has an enabled locally controlled action, the
+   scheduler picks one and it fires *now* (actions take zero time, S2).
+   If the action is an output, it is synchronously applied as an input
+   to every entity that accepts it (the composition rule of
+   Definition 2.2).
+2. When no action is enabled, time advances to the minimum of all
+   entities' deadlines (the operational reading of the ``nu``
+   preconditions) capped by the horizon; entities update their
+   time-dependent state (clocks, timers) in ``advance``.
+3. A deadline equal to the current time with no enabled action is a
+   *timelock* — a modeling bug — and raises immediately rather than
+   spinning.
+
+Every fired action is recorded with its real time and the owner's local
+clock, so the run yields both ``t-trace`` (real-time stamps) and the
+``gamma`` sequences of Definition 4.2 (clock stamps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.automata.actions import Action, ActionSet
+from repro.automata.executions import TimedSequence
+from repro.components.base import Entity
+from repro.errors import ScheduleError, SimulationLimitError, TimelockError
+from repro.sim.recorder import Recorder
+from repro.sim.scheduler import DeterministicScheduler, Scheduler
+
+INFINITY = float("inf")
+_TOLERANCE = 1e-9
+
+
+@dataclass
+class SimulationResult:
+    """Everything observable about one finished run."""
+
+    horizon: float
+    now: float
+    steps: int
+    recorder: Recorder
+    final_states: Dict[str, Any]
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def trace(self) -> TimedSequence:
+        """``t-trace``: visible actions with real-time stamps."""
+        return self.recorder.timed_trace()
+
+    @property
+    def schedule(self) -> TimedSequence:
+        """All recorded actions with real-time stamps."""
+        return self.recorder.timed_schedule()
+
+    def clock_trace(self, resort: bool = True) -> TimedSequence:
+        """Clock-stamped visible trace (``gamma`` of Definition 4.2)."""
+        return self.recorder.clock_stamped_trace(resort=resort)
+
+    def completed(self) -> bool:
+        """Whether the run covered the whole horizon (admissibility)."""
+        return self.now >= self.horizon - _TOLERANCE
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimulationResult: {self.steps} steps, "
+            f"{len(self.recorder)} events, now={self.now:g}/{self.horizon:g}>"
+        )
+
+
+class Simulator:
+    """Composes entities and runs them to a horizon.
+
+    Parameters
+    ----------
+    entities:
+        the top-level automata (nodes, channels, clients, tick sources).
+        Entity names must be unique — they key the state map.
+    scheduler:
+        policy among simultaneously enabled actions (default
+        deterministic).
+    hidden:
+        actions matching this set are recorded as invisible; they appear
+        in the timed schedule but not the timed trace. System builders
+        hide the node/channel interface actions per Sections 3.3 and 4.1.
+    max_steps:
+        safety valve against runaway action loops.
+    """
+
+    def __init__(
+        self,
+        entities: Sequence[Entity],
+        scheduler: Optional[Scheduler] = None,
+        hidden: Optional[ActionSet] = None,
+        max_steps: int = 1_000_000,
+        strict: bool = False,
+    ):
+        names = [e.name for e in entities]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ScheduleError(f"duplicate entity names: {duplicates}")
+        self.entities = list(entities)
+        self.scheduler = scheduler or DeterministicScheduler()
+        self.hidden = hidden
+        self.max_steps = max_steps
+        self.strict = strict
+
+    # -- internals ---------------------------------------------------------
+
+    def _is_visible(self, action: Action, owner: Entity) -> bool:
+        if not owner.signature.is_output(action):
+            return False
+        if self.hidden is not None and action in self.hidden:
+            return False
+        return True
+
+    def _route(
+        self,
+        action: Action,
+        owner: Entity,
+        states: Dict[str, Any],
+        now: float,
+    ) -> None:
+        """Deliver an output action to every entity accepting it."""
+        if not owner.signature.is_output(action):
+            return
+        for entity in self.entities:
+            if entity is owner:
+                continue
+            if entity.accepts(action):
+                entity.apply_input(states[entity.name], action, now)
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(
+        self,
+        horizon: float,
+        recorder: Optional[Recorder] = None,
+        initial_inputs: Sequence[Tuple[Action, float]] = (),
+        stop_when: Optional[Callable[[Recorder, float], bool]] = None,
+    ) -> SimulationResult:
+        """Run the composed system until ``now`` reaches ``horizon``.
+
+        ``initial_inputs`` optionally injects environment actions at
+        given times — a convenience for driving open systems without
+        writing a client entity. (Most workloads use client entities.)
+
+        ``stop_when(recorder, now)``, checked after every fired action,
+        ends the run early when it returns true — e.g. "stop once every
+        node announced a leader". An early-stopped run reports
+        ``completed() == False``.
+        """
+        recorder = recorder or Recorder()
+        states: Dict[str, Any] = {e.name: e.initial_state() for e in self.entities}
+        now = 0.0
+        steps = 0
+        injections = sorted(initial_inputs, key=lambda pair: pair[1])
+        inject_idx = 0
+        stats = {"actions": 0, "time_advances": 0, "injections": 0}
+
+        while True:
+            # Deliver any injections scheduled at (or before) this time.
+            while (
+                inject_idx < len(injections)
+                and injections[inject_idx][1] <= now + _TOLERANCE
+            ):
+                action, _ = injections[inject_idx]
+                inject_idx += 1
+                stats["injections"] += 1
+                for entity in self.entities:
+                    if entity.accepts(action):
+                        entity.apply_input(states[entity.name], action, now)
+                recorder.record(action, now, "environment", None, True)
+
+            # Gather enabled locally controlled actions.
+            candidates = []
+            for entity in self.entities:
+                for action in entity.enabled(states[entity.name], now):
+                    candidates.append((entity, action))
+
+            if candidates:
+                if steps >= self.max_steps:
+                    raise SimulationLimitError(
+                        f"exceeded {self.max_steps} steps at now={now:g}"
+                    )
+                entity, action = self.scheduler.pick(candidates, now)
+                if self.strict and not (
+                    entity.signature.is_output(action)
+                    or entity.signature.is_internal(action)
+                ):
+                    raise ScheduleError(
+                        f"{entity.name} offered {action}, which is not a "
+                        f"locally controlled action of its signature"
+                    )
+                state = states[entity.name]
+                clock = entity.clock_value(state, now)
+                entity.fire(state, action, now)
+                recorder.record(
+                    action, now, entity.name, clock, self._is_visible(action, entity)
+                )
+                self._route(action, entity, states, now)
+                steps += 1
+                stats["actions"] += 1
+                if stop_when is not None and stop_when(recorder, now):
+                    break
+                continue
+
+            # No action enabled: advance time.
+            target = horizon
+            if inject_idx < len(injections):
+                target = min(target, injections[inject_idx][1])
+            blocker = None
+            for entity in self.entities:
+                entity_deadline = entity.deadline(states[entity.name], now)
+                if entity_deadline < target:
+                    target = entity_deadline
+                    blocker = entity
+            if target >= horizon and not (
+                inject_idx < len(injections) and injections[inject_idx][1] < horizon
+            ):
+                target = horizon
+            if target <= now + _TOLERANCE:
+                if now >= horizon - _TOLERANCE:
+                    break
+                raise TimelockError(
+                    f"timelock at now={now:g}: entity "
+                    f"{blocker.name if blocker else '?'} blocks time passage "
+                    f"but nothing is enabled"
+                )
+            for entity in self.entities:
+                entity.advance(states[entity.name], now, target)
+            now = target
+            stats["time_advances"] += 1
+            if now >= horizon - _TOLERANCE and inject_idx >= len(injections):
+                # One final drain: fire anything that became enabled
+                # exactly at the horizon before stopping.
+                final_candidates = []
+                for entity in self.entities:
+                    for action in entity.enabled(states[entity.name], now):
+                        final_candidates.append((entity, action))
+                if not final_candidates:
+                    break
+
+        return SimulationResult(
+            horizon=horizon,
+            now=now,
+            steps=steps,
+            recorder=recorder,
+            final_states=states,
+            stats=stats,
+        )

@@ -1,0 +1,122 @@
+"""Execution recording and trace extraction.
+
+The recorder captures every non-time-passage action with:
+
+- the global real time (``now``) at which it fired;
+- the owning entity (the automaton that controls the action);
+- the owner's local clock value at that instant, when it has one.
+
+From the raw record it derives the paper's trace notions:
+
+- :meth:`Recorder.timed_trace` — ``t-trace``: visible actions with real
+  times (what Definition 2.10's *solves* relation inspects);
+- :meth:`Recorder.timed_schedule` — ``t-sched``: all non-``nu`` actions;
+- :meth:`Recorder.clock_stamped_trace` — the ``gamma'_alpha`` sequence
+  of Definition 4.2 (clock stamps instead of real times), plus the
+  re-sorted ``gamma_alpha`` used by the Theorem 4.6/4.7 argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.automata.actions import Action, ActionSet
+from repro.automata.executions import TimedEvent, TimedSequence
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One recorded action occurrence."""
+
+    index: int
+    action: Action
+    now: float
+    owner: str
+    clock: Optional[float]
+    visible: bool
+
+    def __repr__(self) -> str:
+        vis = "" if self.visible else " (hidden)"
+        clk = "" if self.clock is None else f", clock={self.clock:g}"
+        return f"[{self.index}] {self.action} @now={self.now:g}{clk} by {self.owner}{vis}"
+
+
+class Recorder:
+    """Accumulates :class:`EventRecord` values during a run."""
+
+    def __init__(self):
+        self.events: List[EventRecord] = []
+
+    def record(
+        self,
+        action: Action,
+        now: float,
+        owner: str,
+        clock: Optional[float],
+        visible: bool,
+    ) -> None:
+        """Append one action occurrence."""
+        self.events.append(
+            EventRecord(len(self.events), action, now, owner, clock, visible)
+        )
+
+    # -- derived traces -----------------------------------------------------
+
+    def timed_schedule(self) -> TimedSequence:
+        """All recorded actions with real times (``t-sched``)."""
+        return TimedSequence(TimedEvent(e.action, e.now) for e in self.events)
+
+    def timed_trace(self, restrict_to: Optional[ActionSet] = None) -> TimedSequence:
+        """Visible actions with real times (``t-trace``)."""
+        events = (
+            TimedEvent(e.action, e.now) for e in self.events if e.visible
+        )
+        seq = TimedSequence(events)
+        if restrict_to is not None:
+            seq = seq.restrict(restrict_to)
+        return seq
+
+    def clock_stamped_trace(
+        self,
+        restrict_to: Optional[ActionSet] = None,
+        visible_only: bool = True,
+        resort: bool = True,
+    ) -> TimedSequence:
+        """The ``gamma`` sequences of Definition 4.2.
+
+        Events are stamped with the owner's *clock* value (falling back
+        to ``now`` for clockless owners such as channels). With
+        ``resort=True`` the result is ``gamma_alpha``: reordered into
+        non-decreasing stamp order, ties keeping their original order;
+        with ``resort=False`` it is the raw ``gamma'_alpha``.
+        """
+        events = []
+        for e in self.events:
+            if visible_only and not e.visible:
+                continue
+            stamp = e.clock if e.clock is not None else e.now
+            events.append(TimedEvent(e.action, stamp))
+        if restrict_to is not None:
+            events = [ev for ev in events if ev.action in restrict_to]
+        if not resort:
+            seq = TimedSequence.__new__(TimedSequence)
+            object.__setattr__(seq, "_events", tuple(events))
+            return seq
+        raw = TimedSequence.__new__(TimedSequence)
+        object.__setattr__(raw, "_events", tuple(events))
+        return raw.stable_sort_by_time()
+
+    def filter(self, predicate: Callable[[EventRecord], bool]) -> List[EventRecord]:
+        """Records satisfying the predicate, in order."""
+        return [e for e in self.events if predicate(e)]
+
+    def count(self, name: str) -> int:
+        """How many recorded actions carry the given name."""
+        return sum(1 for e in self.events if e.action.name == name)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"<Recorder: {len(self.events)} events>"

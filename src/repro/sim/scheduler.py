@@ -1,0 +1,84 @@
+"""Schedulers: policies choosing among simultaneously enabled actions.
+
+When several locally controlled actions are enabled at the same instant,
+the models leave the interleaving unspecified. A :class:`Scheduler`
+resolves it. Both provided schedulers are deterministic given their
+construction arguments, so whole simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.automata.actions import Action
+from repro.errors import ScheduleError
+
+
+Candidate = Tuple[object, Action]  # (entity, action)
+
+
+def _sort_key(candidate: Candidate) -> Tuple[str, str]:
+    entity, action = candidate
+    return (entity.name, repr(action))
+
+
+class Scheduler:
+    """Chooses the next action among simultaneously enabled candidates."""
+
+    def pick(self, candidates: Sequence[Candidate], now: float) -> Candidate:
+        """Choose which enabled ``(entity, action)`` fires next."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class DeterministicScheduler(Scheduler):
+    """Always picks the least candidate in (entity name, action) order.
+
+    Stable and fully reproducible; biases toward lexicographically early
+    entities, which is fine for safety checking (any schedule is legal).
+    """
+
+    def pick(self, candidates: Sequence[Candidate], now: float) -> Candidate:
+        if not candidates:
+            raise ScheduleError("no candidates to pick from")
+        return min(candidates, key=_sort_key)
+
+
+class RandomScheduler(Scheduler):
+    """Uniform seeded choice among the candidates.
+
+    Sorts first so the choice depends only on the seed and the candidate
+    set, not on the engine's iteration order.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def pick(self, candidates: Sequence[Candidate], now: float) -> Candidate:
+        if not candidates:
+            raise ScheduleError("no candidates to pick from")
+        ordered: List[Candidate] = sorted(candidates, key=_sort_key)
+        return ordered[self._rng.randrange(len(ordered))]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Rotates priority across entities to avoid starving any of them."""
+
+    def __init__(self):
+        self._last_entity_name = None
+
+    def pick(self, candidates: Sequence[Candidate], now: float) -> Candidate:
+        if not candidates:
+            raise ScheduleError("no candidates to pick from")
+        ordered = sorted(candidates, key=_sort_key)
+        if self._last_entity_name is not None:
+            for cand in ordered:
+                if cand[0].name > self._last_entity_name:
+                    self._last_entity_name = cand[0].name
+                    return cand
+        choice = ordered[0]
+        self._last_entity_name = choice[0].name
+        return choice

@@ -1,0 +1,49 @@
+"""Relations on traces, problem specifications, and correctness checkers.
+
+- :mod:`repro.traces.relations` — the equivalences ``=_{eps,K}``
+  (Definition 2.8) and shifts ``<=_{delta,K}`` (Definition 2.9);
+- :mod:`repro.traces.problems` — problems, ``P_eps``, ``P^delta``, and
+  the *solves* relation (Definitions 2.10-2.12);
+- :mod:`repro.traces.linearizability` — linearizability and
+  eps-superlinearizability of read/write histories (Section 6).
+"""
+
+from repro.traces.linearizability import (
+    Operation,
+    check_alternation,
+    extract_operations,
+    is_linearizable,
+    is_superlinearizable,
+)
+from repro.traces.problems import (
+    DeltaShiftedProblem,
+    EpsilonRelaxedProblem,
+    Problem,
+    PredicateProblem,
+    solves_trace,
+)
+from repro.traces.relations import (
+    equivalent_eps,
+    find_eps_matching,
+    find_shift_matching,
+    shifted_delta,
+    verify_eps_bijection,
+)
+
+__all__ = [
+    "Operation",
+    "check_alternation",
+    "extract_operations",
+    "is_linearizable",
+    "is_superlinearizable",
+    "Problem",
+    "PredicateProblem",
+    "EpsilonRelaxedProblem",
+    "DeltaShiftedProblem",
+    "solves_trace",
+    "equivalent_eps",
+    "shifted_delta",
+    "find_eps_matching",
+    "find_shift_matching",
+    "verify_eps_bijection",
+]

@@ -1,0 +1,289 @@
+"""Linearizability and eps-superlinearizability of register histories.
+
+Section 6 defines linearizability of a timed schedule: a point ``t`` can
+be inserted for every operation, between its invocation and response, such
+that each READ returns the value of the latest preceding WRITE in the
+induced point order. eps-superlinearizability (Section 6.2) additionally
+requires each point to be at least ``2*eps`` after the invocation.
+
+Register action conventions (matching :mod:`repro.registers`):
+
+- ``READ_i()`` — read invocation at node ``i``;
+- ``RETURN_i(v)`` — read response carrying the returned value;
+- ``WRITE_i(v)`` — write invocation carrying the written value;
+- ``ACK_i()`` — write response.
+
+The checker reduces to: given one closed interval ``[lo, hi]`` per
+operation, does a system of increasing representative points exist whose
+order makes every read legal? This is decided by a depth-first search over
+"which operation is linearized next" with memoization; candidates at each
+step are restricted to operations whose window opens before every other
+remaining operation's window closes, which keeps the search shallow for
+realistic histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.automata.executions import TimedSequence
+from repro.errors import SpecificationError
+
+READ = "READ"
+WRITE = "WRITE"
+RETURN = "RETURN"
+ACK = "ACK"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One complete register operation extracted from a trace."""
+
+    op_id: int
+    node: int
+    kind: str  # "R" or "W"
+    value: object  # value read (for R) or written (for W)
+    inv_time: float
+    res_time: float
+
+    def window(self, min_after_inv: float = 0.0) -> Tuple[float, float]:
+        """The closed interval in which the linearization point may lie."""
+        return (self.inv_time + min_after_inv, self.res_time)
+
+    @property
+    def latency(self) -> float:
+        return self.res_time - self.inv_time
+
+    def __repr__(self) -> str:
+        arrow = "->" if self.kind == "R" else "<-"
+        return (
+            f"Op#{self.op_id}({self.kind}{arrow}{self.value!r} @node{self.node} "
+            f"[{self.inv_time:g},{self.res_time:g}])"
+        )
+
+
+class AlternationViolation(SpecificationError):
+    """The alternation condition failed (Section 6.1).
+
+    :attr:`by_environment` is ``True`` when the violation is two
+    consecutive invocations at a node (the environment misbehaved, so the
+    trace is vacuously allowed by problem ``P``).
+    """
+
+    def __init__(self, message: str, by_environment: bool):
+        super().__init__(message)
+        self.by_environment = by_environment
+
+
+def _is_invocation(name: str) -> bool:
+    return name in (READ, WRITE)
+
+
+def _is_response(name: str) -> bool:
+    return name in (RETURN, ACK)
+
+
+def check_alternation(trace: TimedSequence) -> Optional[str]:
+    """Check the alternation condition (Section 6.1).
+
+    Returns ``None`` when invocations and responses alternate correctly
+    at every node; otherwise ``"environment"`` when the first violation
+    is a double invocation (the environment is at fault) or ``"system"``
+    when it is a response without a pending invocation or a mismatched
+    response kind.
+    """
+    pending: Dict[int, Optional[str]] = {}
+    for ev in trace:
+        name = ev.action.name
+        if not (_is_invocation(name) or _is_response(name)):
+            continue
+        node = ev.action.params[0]
+        outstanding = pending.get(node)
+        if _is_invocation(name):
+            if outstanding is not None:
+                return "environment"
+            pending[node] = name
+        else:
+            if outstanding is None:
+                return "system"
+            expected = RETURN if outstanding == READ else ACK
+            if name != expected:
+                return "system"
+            pending[node] = None
+    return None
+
+
+def extract_operations(trace: TimedSequence) -> List[Operation]:
+    """Pair invocations with responses into :class:`Operation` records.
+
+    Incomplete (pending) operations at the end of the trace are dropped,
+    mirroring the usual treatment when checking safety of a finite prefix.
+    Raises :class:`AlternationViolation` when the alternation condition
+    fails, tagging who violated it first.
+    """
+    verdict = check_alternation(trace)
+    if verdict is not None:
+        raise AlternationViolation(
+            f"alternation condition violated by the {verdict}",
+            by_environment=(verdict == "environment"),
+        )
+    ops: List[Operation] = []
+    pending: Dict[int, Tuple[str, object, float]] = {}
+    next_id = 0
+    for ev in trace:
+        name = ev.action.name
+        if name == READ:
+            node = ev.action.params[0]
+            pending[node] = (READ, None, ev.time)
+        elif name == WRITE:
+            node, value = ev.action.params[0], ev.action.params[1]
+            pending[node] = (WRITE, value, ev.time)
+        elif name == RETURN:
+            node, value = ev.action.params[0], ev.action.params[1]
+            _, __, inv_time = pending.pop(node)
+            ops.append(Operation(next_id, node, "R", value, inv_time, ev.time))
+            next_id += 1
+        elif name == ACK:
+            node = ev.action.params[0]
+            _, value, inv_time = pending.pop(node)
+            ops.append(Operation(next_id, node, "W", value, inv_time, ev.time))
+            next_id += 1
+    return ops
+
+
+def _search_linearization(
+    ops: Sequence[Operation],
+    windows: Dict[int, Tuple[float, float]],
+    initial_value: object,
+    tolerance: float,
+) -> Optional[List[Tuple[int, float]]]:
+    """Find increasing points, one per op window, making reads legal.
+
+    Depth-first search with memoization on the (remaining set, value)
+    pair; the current time floor is implied by the chosen prefix and is
+    folded into the memo key. Returns the linearization as a list of
+    ``(op_id, point)`` pairs or ``None``.
+    """
+    by_id = {op.op_id: op for op in ops}
+    all_ids = frozenset(by_id)
+    memo: Dict[Tuple[FrozenSet[int], object, float], bool] = {}
+
+    order: List[Tuple[int, float]] = []
+
+    def recurse(remaining: FrozenSet[int], value: object, floor: float) -> bool:
+        if not remaining:
+            return True
+        key = (remaining, value, round(floor, 9))
+        if key in memo:
+            return False  # memo only stores failures; successes return early
+        # A candidate must be placeable before every other remaining
+        # operation's window closes.
+        min_hi = min(windows[i][1] for i in remaining)
+        candidates = [
+            i
+            for i in remaining
+            if windows[i][0] <= min_hi + tolerance
+            and max(windows[i][0], floor) <= windows[i][1] + tolerance
+        ]
+        # Prefer earliest-opening windows: heuristics only, completeness
+        # comes from trying every candidate.
+        candidates.sort(key=lambda i: windows[i][0])
+        for i in candidates:
+            op = by_id[i]
+            if op.kind == "R" and op.value != value:
+                continue
+            point = max(windows[i][0], floor)
+            if point > windows[i][1] + tolerance:
+                continue
+            new_value = op.value if op.kind == "W" else value
+            order.append((i, point))
+            if recurse(remaining - {i}, new_value, point):
+                return True
+            order.pop()
+        memo[key] = False
+        return False
+
+    if recurse(all_ids, initial_value, 0.0):
+        return list(order)
+    return None
+
+
+def find_linearization(
+    ops: Sequence[Operation],
+    initial_value: object = None,
+    min_after_inv: float = 0.0,
+    tolerance: float = 1e-9,
+) -> Optional[List[Tuple[int, float]]]:
+    """Find a (super)linearization of complete operations.
+
+    ``min_after_inv`` is ``0`` for plain linearizability and ``2*eps``
+    for eps-superlinearizability (Section 6.2). Returns ``(op_id, point)``
+    pairs in linearization order, or ``None``.
+    """
+    windows = {op.op_id: op.window(min_after_inv) for op in ops}
+    for op_id, (lo, hi) in windows.items():
+        if lo > hi + tolerance:
+            return None
+    return _search_linearization(ops, windows, initial_value, tolerance)
+
+
+def is_linearizable(
+    history: Iterable,
+    initial_value: object = None,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Whether a history is linearizable (Section 6.1).
+
+    ``history`` may be a :class:`TimedSequence` (operations are extracted
+    first; a trace whose alternation condition is violated *by the
+    environment* is accepted, per the definition of problem ``P``) or an
+    iterable of :class:`Operation`.
+    """
+    ops = _coerce_operations(history)
+    if ops is None:
+        return True
+    return find_linearization(ops, initial_value, 0.0, tolerance) is not None
+
+
+def is_superlinearizable(
+    history: Iterable,
+    eps: float,
+    initial_value: object = None,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Whether a history is eps-superlinearizable (Section 6.2).
+
+    Each linearization point must be at least ``2*eps`` after the
+    operation's invocation and no later than its response.
+    """
+    ops = _coerce_operations(history)
+    if ops is None:
+        return True
+    return (
+        find_linearization(ops, initial_value, 2.0 * eps, tolerance) is not None
+    )
+
+
+def _coerce_operations(history: Iterable) -> Optional[List[Operation]]:
+    """Normalize a trace or operation list; ``None`` means vacuously OK."""
+    if isinstance(history, TimedSequence):
+        try:
+            return extract_operations(history)
+        except AlternationViolation as violation:
+            if violation.by_environment:
+                return None
+            raise
+    return list(history)
+
+
+def shift_points_earlier(
+    linearization: Sequence[Tuple[int, float]], delta: float
+) -> List[Tuple[int, float]]:
+    """Shift all linearization points earlier by ``delta``.
+
+    This is the Lemma 6.4 move: a superlinearization of the ``=_eps``
+    perturbed trace, shifted earlier by ``eps``, is a linearization of
+    the original trace.
+    """
+    return [(op_id, point - delta) for op_id, point in linearization]

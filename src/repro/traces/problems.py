@@ -1,0 +1,177 @@
+"""Problems and the *solves* relation (Definitions 2.10-2.12).
+
+A problem ``P`` consists of an external action signature, a partition of
+those actions across the nodes, and a set of allowed timed sequences
+``tseq(P)``. Since ``tseq(P)`` is infinite, it is represented by a
+membership predicate.
+
+The generalizations:
+
+- ``P_eps`` (Definition 2.11) allows any trace that is ``=_{eps,K}`` to a
+  trace of ``P``, where ``K`` partitions actions by node;
+- ``P^delta`` (Definition 2.12) allows output actions to be shifted up to
+  ``delta`` into the future, per Definition 2.9 with
+  ``K = {out(p_1), ..., out(p_n)}``.
+
+Membership in ``P_eps`` / ``P^delta`` quantifies existentially over
+``tseq(P)``, which is undecidable for arbitrary predicates. The wrappers
+therefore take a *witness strategy*: a function proposing candidate
+members of ``tseq(P)`` for a given trace. The default strategy proposes
+the trace itself (sound but incomplete); simulations supply stronger
+strategies — e.g. Theorem 4.7's proof shows the clock-stamped, re-sorted
+schedule ``gamma_alpha`` is the right witness for Simulation 1, and the
+register application replaces the witness search with the analytic
+checkers of :mod:`repro.traces.linearizability` (Lemma 6.4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.automata.actions import ActionSet
+from repro.automata.executions import TimedSequence
+from repro.automata.signature import Signature
+from repro.errors import SpecificationError
+from repro.traces.relations import equivalent_eps, shifted_delta
+
+
+class Problem:
+    """A problem ``P = (sig, part, tseq)`` on a graph (Section 2.4).
+
+    ``partition`` maps each node index to the :class:`Signature` of
+    external actions owned by that node (``in(P_i)``, ``out(P_i)``).
+    """
+
+    def __init__(self, partition: Sequence[Signature], name: str = "P"):
+        if not partition:
+            raise SpecificationError("a problem needs at least one node class")
+        self.partition = list(partition)
+        self.name = name
+
+    # -- signature views --------------------------------------------------
+
+    def node_signature(self, node: int) -> Signature:
+        """The external signature owned by one node (``P_i``)."""
+        return self.partition[node]
+
+    @property
+    def kappa(self) -> List[ActionSet]:
+        """``K = {p_1, ..., p_n}`` — per-node visible-action classes."""
+        return [sig.visible for sig in self.partition]
+
+    @property
+    def output_kappa(self) -> List[ActionSet]:
+        """``K = {out(p_1), ..., out(p_n)}`` (Definition 2.12)."""
+        return [sig.outputs for sig in self.partition]
+
+    # -- membership ----------------------------------------------------------
+
+    def contains(self, trace: TimedSequence) -> bool:
+        """Whether ``trace`` is in ``tseq(P)``."""
+        raise NotImplementedError
+
+    def __contains__(self, trace: TimedSequence) -> bool:
+        return self.contains(trace)
+
+    # -- generalizations ------------------------------------------------------
+
+    def relax_eps(
+        self,
+        eps: float,
+        witnesses: Optional[Callable[[TimedSequence], Iterable[TimedSequence]]] = None,
+    ) -> "EpsilonRelaxedProblem":
+        """Construct ``P_eps`` (Definition 2.11)."""
+        return EpsilonRelaxedProblem(self, eps, witnesses)
+
+    def shift_outputs(
+        self,
+        delta: float,
+        witnesses: Optional[Callable[[TimedSequence], Iterable[TimedSequence]]] = None,
+    ) -> "DeltaShiftedProblem":
+        """Construct ``P^delta`` (Definition 2.12)."""
+        return DeltaShiftedProblem(self, delta, witnesses)
+
+    def __repr__(self) -> str:
+        return f"<Problem {self.name} on {len(self.partition)} nodes>"
+
+
+class PredicateProblem(Problem):
+    """A problem whose ``tseq`` membership is an arbitrary predicate."""
+
+    def __init__(
+        self,
+        partition: Sequence[Signature],
+        predicate: Callable[[TimedSequence], bool],
+        name: str = "P",
+    ):
+        super().__init__(partition, name)
+        self._predicate = predicate
+
+    def contains(self, trace: TimedSequence) -> bool:
+        return bool(self._predicate(trace))
+
+
+def _identity_witness(trace: TimedSequence) -> Iterable[TimedSequence]:
+    yield trace
+
+
+class EpsilonRelaxedProblem(Problem):
+    """``P_eps``: traces ``=_{eps,K}``-related to some trace of ``P``.
+
+    Membership checks each candidate produced by the witness strategy:
+    the candidate must be in ``tseq(P)`` and related to the trace by
+    ``=_{eps,K}`` with ``K`` the per-node visible-action classes.
+    """
+
+    def __init__(
+        self,
+        base: Problem,
+        eps: float,
+        witnesses: Optional[Callable[[TimedSequence], Iterable[TimedSequence]]] = None,
+    ):
+        super().__init__(base.partition, name=f"{base.name}_eps({eps:g})")
+        self.base = base
+        self.eps = eps
+        self._witnesses = witnesses or _identity_witness
+
+    def contains(self, trace: TimedSequence) -> bool:
+        kappa = self.base.kappa
+        for candidate in self._witnesses(trace):
+            if candidate in self.base and equivalent_eps(
+                candidate, trace, self.eps, kappa
+            ):
+                return True
+        return False
+
+
+class DeltaShiftedProblem(Problem):
+    """``P^delta``: traces whose outputs are shifted ≤ ``delta`` forward."""
+
+    def __init__(
+        self,
+        base: Problem,
+        delta: float,
+        witnesses: Optional[Callable[[TimedSequence], Iterable[TimedSequence]]] = None,
+    ):
+        super().__init__(base.partition, name=f"{base.name}^{delta:g}")
+        self.base = base
+        self.delta = delta
+        self._witnesses = witnesses or _identity_witness
+
+    def contains(self, trace: TimedSequence) -> bool:
+        big_k = self.base.output_kappa
+        for candidate in self._witnesses(trace):
+            if candidate in self.base and shifted_delta(
+                candidate, trace, self.delta, big_k
+            ):
+                return True
+        return False
+
+
+def solves_trace(problem: Problem, trace: TimedSequence) -> bool:
+    """Single-trace fragment of Definition 2.10.
+
+    ``D`` solves ``P`` when every admissible timed trace of ``D`` is in
+    ``tseq(P)``; simulators verify this trace-by-trace with this helper.
+    """
+    return problem.contains(trace)

@@ -1,0 +1,240 @@
+"""The trace relations ``=_{eps,K}`` and ``<=_{delta,K}``.
+
+Definition 2.8 (``=_{eps,K}``): two timed sequences are related when a
+bijection matches equal actions, preserves the relative order of actions
+within each class ``k`` of the partition ``K``, and moves each action's
+time by at most ``eps``.
+
+Definition 2.9 (``<=_{delta,K}``): actions in a class ``k`` may be shifted
+*forward* by up to ``delta`` (their mutual order preserved, their order
+relative to other actions free); actions outside every class must keep
+their exact times and relative order.
+
+Both relations are decided constructively: the deciders return an explicit
+matching (a list of index pairs) or ``None``. The key observations making
+the decision tractable:
+
+- within a class ``k``, the bijection must be an order isomorphism on the
+  ``k``-subsequences, so the matching is forced to be positional;
+- outside all classes (for ``=_{eps,K}``), occurrences of the *same*
+  action are interchangeable, and the monotone (sorted) matching
+  minimizes the maximum time displacement, so it is optimal.
+
+A brute-force verifier (:func:`verify_eps_bijection`) checks an explicit
+bijection against Definition 2.8 directly; property tests use it as the
+ground truth for the fast deciders.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.automata.actions import Action, ActionSet
+from repro.automata.executions import TimedSequence
+
+Matching = List[Tuple[int, int]]
+
+
+def _class_of(action: Action, kappa: Sequence[ActionSet]) -> Optional[int]:
+    """Index of the (unique) class containing the action, or ``None``."""
+    for idx, k in enumerate(kappa):
+        if action in k:
+            return idx
+    return None
+
+
+def _group_indices(
+    seq: TimedSequence, kappa: Sequence[ActionSet]
+) -> Tuple[Dict[int, List[int]], Dict[str, List[int]]]:
+    """Split event indices into per-class lists and unclassified groups.
+
+    Unclassified events are grouped by action (identical actions are
+    interchangeable under Definition 2.8).
+    """
+    by_class: Dict[int, List[int]] = defaultdict(list)
+    loose: Dict[str, List[int]] = defaultdict(list)
+    for i, ev in enumerate(seq):
+        cls = _class_of(ev.action, kappa)
+        if cls is None:
+            loose[repr(ev.action)].append(i)
+        else:
+            by_class[cls].append(i)
+    return by_class, loose
+
+
+def find_eps_matching(
+    alpha1: TimedSequence,
+    alpha2: TimedSequence,
+    eps: float,
+    kappa: Sequence[ActionSet] = (),
+    tolerance: float = 1e-9,
+) -> Optional[Matching]:
+    """Find a bijection witnessing ``alpha1 =_{eps,K} alpha2``.
+
+    Returns a list of index pairs ``(i, f(i))`` or ``None`` when the
+    sequences are not related.
+    """
+    if len(alpha1) != len(alpha2):
+        return None
+    by_class1, loose1 = _group_indices(alpha1, kappa)
+    by_class2, loose2 = _group_indices(alpha2, kappa)
+
+    matching: Matching = []
+
+    # Classified actions: positional matching within each class.
+    if set(by_class1) != set(by_class2):
+        return None
+    for cls, idx1 in by_class1.items():
+        idx2 = by_class2[cls]
+        if len(idx1) != len(idx2):
+            return None
+        for i, j in zip(idx1, idx2):
+            if alpha1[i].action != alpha2[j].action:
+                return None
+            if abs(alpha1[i].time - alpha2[j].time) > eps + tolerance:
+                return None
+            matching.append((i, j))
+
+    # Unclassified actions: per-action monotone matching.
+    if set(loose1) != set(loose2):
+        return None
+    for key, idx1 in loose1.items():
+        idx2 = loose2[key]
+        if len(idx1) != len(idx2):
+            return None
+        ordered1 = sorted(idx1, key=lambda i: (alpha1[i].time, i))
+        ordered2 = sorted(idx2, key=lambda j: (alpha2[j].time, j))
+        for i, j in zip(ordered1, ordered2):
+            if abs(alpha1[i].time - alpha2[j].time) > eps + tolerance:
+                return None
+            matching.append((i, j))
+
+    matching.sort()
+    return matching
+
+
+def equivalent_eps(
+    alpha1: TimedSequence,
+    alpha2: TimedSequence,
+    eps: float,
+    kappa: Sequence[ActionSet] = (),
+) -> bool:
+    """Decide ``alpha1 =_{eps,K} alpha2`` (Definition 2.8)."""
+    return find_eps_matching(alpha1, alpha2, eps, kappa) is not None
+
+
+def verify_eps_bijection(
+    alpha1: TimedSequence,
+    alpha2: TimedSequence,
+    eps: float,
+    kappa: Sequence[ActionSet],
+    matching: Matching,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Check an explicit bijection against Definition 2.8 literally."""
+    if len(matching) != len(alpha1) or len(alpha1) != len(alpha2):
+        return False
+    domain = [i for i, _ in matching]
+    codomain = [j for _, j in matching]
+    if sorted(domain) != list(range(len(alpha1))):
+        return False
+    if sorted(codomain) != list(range(len(alpha2))):
+        return False
+    f = dict(matching)
+    for i in range(len(alpha1)):
+        if alpha2[f[i]].action != alpha1[i].action:
+            return False
+        if abs(alpha2[f[i]].time - alpha1[i].time) > eps + tolerance:
+            return False
+    for k in kappa:
+        members = [i for i in range(len(alpha1)) if alpha1[i].action in k]
+        for x in range(len(members)):
+            for y in range(x + 1, len(members)):
+                i, j = members[x], members[y]
+                if not (f[i] < f[j]):
+                    return False
+    return True
+
+
+def find_shift_matching(
+    alpha1: TimedSequence,
+    alpha2: TimedSequence,
+    delta: float,
+    big_k: Sequence[ActionSet] = (),
+    tolerance: float = 1e-9,
+) -> Optional[Matching]:
+    """Find a bijection witnessing ``alpha1 <=_{delta,K} alpha2``.
+
+    Classified actions (members of some ``k`` in ``K``) may move forward
+    in time by at most ``delta`` with their mutual order preserved;
+    unclassified actions must keep exact times and mutual order.
+    """
+    if len(alpha1) != len(alpha2):
+        return None
+    by_class1, loose1 = _group_indices(alpha1, big_k)
+    by_class2, loose2 = _group_indices(alpha2, big_k)
+
+    matching: Matching = []
+
+    if set(by_class1) != set(by_class2):
+        return None
+    for cls, idx1 in by_class1.items():
+        idx2 = by_class2[cls]
+        if len(idx1) != len(idx2):
+            return None
+        for i, j in zip(idx1, idx2):
+            if alpha1[i].action != alpha2[j].action:
+                return None
+            lo = alpha1[i].time - tolerance
+            hi = alpha1[i].time + delta + tolerance
+            if not (lo <= alpha2[j].time <= hi):
+                return None
+            matching.append((i, j))
+
+    # Unclassified actions: exact times, preserved mutual order. The
+    # unclassified subsequences must therefore be equal event-for-event.
+    flat1 = [i for idx in loose1.values() for i in idx]
+    flat2 = [j for idx in loose2.values() for j in idx]
+    flat1.sort()
+    flat2.sort()
+    if len(flat1) != len(flat2):
+        return None
+    for i, j in zip(flat1, flat2):
+        if alpha1[i].action != alpha2[j].action:
+            return None
+        if abs(alpha1[i].time - alpha2[j].time) > tolerance:
+            return None
+        matching.append((i, j))
+
+    matching.sort()
+    return matching
+
+
+def shifted_delta(
+    alpha1: TimedSequence,
+    alpha2: TimedSequence,
+    delta: float,
+    big_k: Sequence[ActionSet] = (),
+) -> bool:
+    """Decide ``alpha1 <=_{delta,K} alpha2`` (Definition 2.9)."""
+    return find_shift_matching(alpha1, alpha2, delta, big_k) is not None
+
+
+def max_time_displacement(
+    alpha1: TimedSequence,
+    alpha2: TimedSequence,
+    kappa: Sequence[ActionSet] = (),
+) -> Optional[float]:
+    """The smallest ``eps`` for which ``alpha1 =_{eps,K} alpha2`` holds.
+
+    Returns ``None`` when no ``eps`` works (the sequences differ in more
+    than timing). Useful for measuring how tight Theorem 4.7's ``eps``
+    bound is in practice.
+    """
+    matching = find_eps_matching(alpha1, alpha2, float("inf"), kappa)
+    if matching is None:
+        return None
+    if not matching:
+        return 0.0
+    return max(abs(alpha1[i].time - alpha2[j].time) for i, j in matching)

@@ -1,0 +1,146 @@
+"""Tests for algorithm L in the timed model (Lemma 6.1)."""
+
+import pytest
+
+from repro.registers.algorithm_l import AlgorithmLProcess, RegisterState
+from repro.registers.system import (
+    INITIAL_VALUE,
+    run_register_experiment,
+    timed_register_system,
+)
+from repro.registers.workload import RegisterWorkload
+from repro.sim.delay import MaximalDelay, MinimalDelay, UniformDelay
+from repro.sim.scheduler import RandomScheduler
+from repro.automata.actions import Action
+from repro.components.base import ProcessContext
+
+D1P, D2P = 0.2, 1.0
+DELTA = 0.01
+
+
+def run(c, seed=0, n=3, ops=6, delay_model=None, horizon=60.0):
+    workload = RegisterWorkload(operations=ops, read_fraction=0.5, seed=seed)
+    spec = timed_register_system(
+        n=n, d1_prime=D1P, d2_prime=D2P, c=c, workload=workload,
+        algorithm="L", delta=DELTA, delay_model=delay_model,
+    )
+    return run_register_experiment(
+        spec, horizon, scheduler=RandomScheduler(seed=seed)
+    )
+
+
+class TestUnitTransitions:
+    def process(self, c=0.3):
+        return AlgorithmLProcess(0, [0, 1], D2P, c, delta=DELTA)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AlgorithmLProcess(0, [0], D2P, c=-0.1)
+        with pytest.raises(ValueError):
+            AlgorithmLProcess(0, [0], D2P, c=D2P + 1.0)
+        with pytest.raises(ValueError):
+            AlgorithmLProcess(0, [0], D2P, c=0.1, delta=0.0)
+
+    def test_read_schedules_return(self):
+        proc = self.process(c=0.3)
+        state = proc.initial_state()
+        proc.apply_input(state, Action("READ", (0,)), ProcessContext(5.0))
+        assert state.read_time == pytest.approx(5.0 + 0.3 + DELTA)
+        assert proc.deadline(state, ProcessContext(5.0)) == state.read_time
+
+    def test_write_sends_to_all_peers_then_acks(self):
+        proc = self.process(c=0.3)
+        state = proc.initial_state()
+        ctx = ProcessContext(2.0)
+        proc.apply_input(state, Action("WRITE", (0, "v")), ctx)
+        sends = [a for a in proc.enabled(state, ctx) if a.name == "SENDMSG"]
+        assert {a.params[1] for a in sends} == {0, 1}
+        # messages carry t = now + d2'
+        assert all(a.params[2] == ("v", 2.0 + D2P) for a in sends)
+        for a in sends:
+            proc.fire(state, a, ctx)
+        assert state.write_status == "ack"
+        assert state.ack_time == pytest.approx(2.0 + D2P - 0.3)
+
+    def test_update_applied_at_scheduled_time(self):
+        proc = self.process()
+        state = proc.initial_state()
+        t = 3.0
+        proc.apply_input(
+            state, Action("RECVMSG", (0, 1, ("v", t))), ProcessContext(2.5)
+        )
+        ctx = ProcessContext(t + DELTA)
+        (update,) = [a for a in proc.enabled(state, ctx) if a.name == "UPDATE"]
+        proc.fire(state, update, ctx)
+        assert state.value == "v"
+        assert not state.updates
+
+    def test_same_time_updates_largest_sender_wins(self):
+        proc = self.process()
+        state = proc.initial_state()
+        ctx = ProcessContext(2.0)
+        proc.apply_input(state, Action("RECVMSG", (0, 1, ("from1", 3.0))), ctx)
+        proc.apply_input(state, Action("RECVMSG", (0, 2, ("from2", 3.0))), ctx)
+        proc.apply_input(state, Action("RECVMSG", (0, 0, ("from0", 3.0))), ctx)
+        assert state.updates[3.0 + DELTA] == (2, "from2")
+
+    def test_return_waits_for_same_instant_update(self):
+        proc = self.process(c=0.3)
+        state = proc.initial_state()
+        read_at = 1.0
+        proc.apply_input(state, Action("READ", (0,)), ProcessContext(read_at))
+        due = state.read_time
+        # an update lands at exactly the same instant
+        proc.apply_input(
+            state,
+            Action("RECVMSG", (0, 1, ("new", due - DELTA))),
+            ProcessContext(read_at + 0.1),
+        )
+        ctx = ProcessContext(due)
+        enabled = proc.enabled(state, ctx)
+        assert all(a.name != "RETURN" for a in enabled)
+        (update,) = [a for a in enabled if a.name == "UPDATE"]
+        proc.fire(state, update, ctx)
+        (ret,) = [a for a in proc.enabled(state, ctx) if a.name == "RETURN"]
+        assert ret.params[1] == "new"
+
+    def test_mintime_infinity_when_idle(self):
+        proc = self.process()
+        state = proc.initial_state()
+        assert state.mintime() == float("inf")
+
+
+class TestLemma61:
+    @pytest.mark.parametrize("c", [0.0, 0.3, 0.5, 0.8])
+    def test_latency_bounds(self, c):
+        result = run(c, seed=1)
+        assert result.max_read_latency() <= c + DELTA + 1e-9
+        assert result.max_write_latency() <= D2P - c + 1e-9
+        assert result.reads and result.writes
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_linearizable_across_seeds(self, seed):
+        assert run(0.4, seed=seed).linearizable()
+
+    @pytest.mark.parametrize(
+        "delay_model", [MinimalDelay(), MaximalDelay(), UniformDelay(seed=2)],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_linearizable_across_delay_models(self, delay_model):
+        assert run(0.4, seed=2, delay_model=delay_model).linearizable()
+
+    def test_read_write_tradeoff(self):
+        cheap_reads = run(0.0, seed=3)
+        cheap_writes = run(0.8, seed=3)
+        assert cheap_reads.max_read_latency() < cheap_writes.max_read_latency()
+        assert cheap_writes.max_write_latency() < cheap_reads.max_write_latency()
+
+    def test_five_nodes(self):
+        result = run(0.3, seed=5, n=5, ops=4, horizon=80.0)
+        assert result.linearizable()
+        assert len(result.operations) >= 10
+
+    def test_reads_return_written_values(self):
+        result = run(0.4, seed=7)
+        written = {op.value for op in result.writes} | {INITIAL_VALUE}
+        assert all(op.value in written for op in result.reads)

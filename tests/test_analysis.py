@@ -1,0 +1,68 @@
+"""Tests for the analysis helpers (stats, report tables)."""
+
+import pytest
+
+from repro.analysis.report import Table, format_row
+from repro.analysis.stats import Summary, percentile, summarize
+
+
+class TestPercentile:
+    def test_single_element(self):
+        assert percentile([5.0], 0.5) == 5.0
+
+    def test_median_of_two(self):
+        assert percentile([1.0, 3.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert summarize([]) == Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_known_sample(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0 and summary.maximum == 3.0
+        assert summary.p50 == pytest.approx(2.0)
+        assert summary.stdev == pytest.approx(1.0)
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.stdev == 0.0
+        assert summary.p95 == 7.0
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("alpha", 1.23456)
+        table.add_row("beta", 42)
+        table.add_note("a note")
+        text = table.render()
+        assert "demo" in text
+        assert "alpha" in text and "1.235" in text
+        assert "42" in text
+        assert "note: a note" in text
+
+    def test_row_width_validated(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_format_row_floats(self):
+        assert "1.5" in format_row([1.5], [6])
+
+    def test_wide_cells_stretch_columns(self):
+        table = Table("demo", ["x"])
+        table.add_row("a-very-long-cell-value")
+        lines = table.render().splitlines()
+        assert "a-very-long-cell-value" in lines[-1]

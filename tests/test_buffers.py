@@ -1,0 +1,99 @@
+"""Tests for the Figure 2 send/receive buffers (FIG2 semantics)."""
+
+import pytest
+
+from repro.core.buffers import ReceiveBuffer, SendBuffer
+from repro.errors import TransitionError
+
+INFINITY = float("inf")
+
+
+class TestSendBuffer:
+    def test_tags_with_send_clock(self):
+        buf = SendBuffer(0, 1)
+        buf.enqueue("m", clock=2.5)
+        assert buf.front() == ("m", 2.5)
+
+    def test_emission_urgent_once_buffered(self):
+        buf = SendBuffer(0, 1)
+        assert not buf.can_emit(1.0)
+        buf.enqueue("m", clock=1.0)
+        assert buf.can_emit(1.0)
+
+    def test_clock_deadline_pins_clock(self):
+        buf = SendBuffer(0, 1)
+        assert buf.clock_deadline() == INFINITY
+        buf.enqueue("m", clock=3.0)
+        assert buf.clock_deadline() == 3.0
+
+    def test_fifo_order(self):
+        buf = SendBuffer(0, 1)
+        buf.enqueue("a", clock=1.0)
+        buf.enqueue("b", clock=1.0)
+        assert buf.emit(1.0) == ("a", 1.0)
+        assert buf.emit(1.0) == ("b", 1.0)
+
+    def test_emit_empty_raises(self):
+        with pytest.raises(TransitionError):
+            SendBuffer(0, 1).emit(0.0)
+
+
+class TestReceiveBuffer:
+    def test_holds_until_clock_reaches_stamp(self):
+        buf = ReceiveBuffer(0, 1)
+        buf.enqueue("m", stamp=5.0, clock=4.0)
+        assert not buf.can_deliver(4.9)
+        assert buf.can_deliver(5.0)
+
+    def test_immediate_delivery_for_past_stamps(self):
+        buf = ReceiveBuffer(0, 1)
+        buf.enqueue("m", stamp=1.0, clock=3.0)
+        assert buf.can_deliver(3.0)
+
+    def test_clock_deadline_forces_delivery_time(self):
+        buf = ReceiveBuffer(0, 1)
+        buf.enqueue("m", stamp=5.0, clock=4.0)
+        assert buf.clock_deadline() == 5.0
+
+    def test_min_stamp_first_despite_arrival_order(self):
+        # Reordering network: the late-stamped message arrives first.
+        buf = ReceiveBuffer(0, 1)
+        buf.enqueue("late", stamp=5.0, clock=2.0)
+        buf.enqueue("early", stamp=3.0, clock=2.0)
+        assert buf.front() == ("early", 3.0)
+        assert buf.clock_deadline() == 3.0  # no wedge: min stamp governs
+
+    def test_fifo_within_equal_stamps(self):
+        buf = ReceiveBuffer(0, 1)
+        buf.enqueue("first", stamp=3.0, clock=2.0)
+        buf.enqueue("second", stamp=3.0, clock=2.0)
+        assert buf.deliver(3.0) == ("first", 3.0)
+        assert buf.deliver(3.0) == ("second", 3.0)
+
+    def test_deliver_too_early_raises(self):
+        buf = ReceiveBuffer(0, 1)
+        buf.enqueue("m", stamp=5.0, clock=0.0)
+        with pytest.raises(TransitionError):
+            buf.deliver(4.0)
+
+    def test_hold_statistics(self):
+        buf = ReceiveBuffer(0, 1)
+        buf.enqueue("held", stamp=5.0, clock=4.0)     # had to wait 1.0
+        buf.enqueue("instant", stamp=2.0, clock=4.0)  # no wait
+        assert buf.held_count == 1
+        assert buf.total_hold_clock == pytest.approx(1.0)
+
+    def test_lamport_invariant(self):
+        """Receive clock time is never below the send clock stamp."""
+        buf = ReceiveBuffer(0, 1)
+        stamps = [4.0, 2.0, 7.0, 3.5]
+        for i, stamp in enumerate(stamps):
+            buf.enqueue(("m", i), stamp=stamp, clock=1.0)
+        clock = 1.0
+        delivered = []
+        while buf.front() is not None:
+            clock = max(clock, buf.clock_deadline())
+            message, stamp = buf.deliver(clock)
+            assert clock >= stamp - 1e-9
+            delivered.append(stamp)
+        assert delivered == sorted(stamps)

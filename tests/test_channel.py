@@ -1,0 +1,127 @@
+"""Tests for the Figure 1 channel automaton (FIG1 conformance)."""
+
+import pytest
+
+from repro.automata.actions import Action
+from repro.network.channel import ChannelEntity, channel_actions
+from repro.sim.delay import (
+    AlternatingExtremesDelay,
+    ConstantFractionDelay,
+    MaximalDelay,
+    MinimalDelay,
+    UniformDelay,
+)
+from repro.errors import TransitionError
+
+INFINITY = float("inf")
+
+
+def send(channel, state, message, now):
+    channel.apply_input(state, Action("SENDMSG", (channel.src, channel.dst, message)), now)
+
+
+class TestChannelBasics:
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelEntity(0, 1, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            ChannelEntity(0, 1, -1.0, 1.0)
+
+    def test_signature(self):
+        chan = ChannelEntity(0, 1, 0.1, 1.0)
+        assert chan.accepts(Action("SENDMSG", (0, 1, "m")))
+        assert not chan.accepts(Action("SENDMSG", (1, 0, "m")))
+        assert chan.signature.is_output(Action("RECVMSG", (1, 0, "m")))
+
+    def test_clock_model_prefix(self):
+        chan = ChannelEntity(0, 1, 0.1, 1.0, prefix="E")
+        assert chan.accepts(Action("ESENDMSG", (0, 1, ("m", 0.5))))
+        assert chan.signature.is_output(Action("ERECVMSG", (1, 0, ("m", 0.5))))
+
+
+class TestDeliveryWindow:
+    def test_not_deliverable_before_sampled_time(self):
+        chan = ChannelEntity(0, 1, 1.0, 2.0, delay_model=ConstantFractionDelay(0.5))
+        state = chan.initial_state()
+        send(chan, state, "m", now=0.0)
+        assert chan.enabled(state, 1.0) == []
+        assert chan.enabled(state, 1.5) == [Action("RECVMSG", (1, 0, "m"))]
+
+    def test_deadline_is_sampled_delivery_time(self):
+        chan = ChannelEntity(0, 1, 1.0, 2.0, delay_model=MaximalDelay())
+        state = chan.initial_state()
+        send(chan, state, "m", now=3.0)
+        assert chan.deadline(state, 3.0) == pytest.approx(5.0)
+
+    def test_empty_channel_never_blocks_time(self):
+        chan = ChannelEntity(0, 1, 1.0, 2.0)
+        assert chan.deadline(chan.initial_state(), 0.0) == INFINITY
+
+    def test_delivery_removes_message(self):
+        chan = ChannelEntity(0, 1, 0.0, 1.0, delay_model=MinimalDelay())
+        state = chan.initial_state()
+        send(chan, state, "m", now=0.0)
+        action = chan.enabled(state, 0.0)[0]
+        chan.fire(state, action, 0.0)
+        assert state.buffer == []
+        assert state.delivered == 1
+
+    def test_firing_undeliverable_raises(self):
+        chan = ChannelEntity(0, 1, 1.0, 2.0, delay_model=MaximalDelay())
+        state = chan.initial_state()
+        send(chan, state, "m", now=0.0)
+        with pytest.raises(TransitionError):
+            chan.fire(state, Action("RECVMSG", (1, 0, "m")), 0.5)
+
+    def test_delay_model_violating_bounds_rejected(self):
+        class Bad:
+            def sample(self, edge, message, send_time, d1, d2):
+                return d2 + 1.0
+
+        chan = ChannelEntity(0, 1, 0.0, 1.0, delay_model=Bad())
+        state = chan.initial_state()
+        with pytest.raises(TransitionError):
+            send(chan, state, "m", now=0.0)
+
+
+class TestReordering:
+    def test_alternating_extremes_reorders(self):
+        chan = ChannelEntity(0, 1, 0.1, 2.0, delay_model=AlternatingExtremesDelay())
+        state = chan.initial_state()
+        send(chan, state, "first", now=0.0)   # delay d1 = 0.1
+        send(chan, state, "second", now=0.0)  # delay d2 = 2.0
+        send(chan, state, "third", now=0.0)   # delay d1 again
+        ready_early = {a.params[2] for a in chan.enabled(state, 0.1)}
+        assert ready_early == {"first", "third"}
+        assert "second" not in ready_early
+
+    def test_all_messages_eventually_delivered(self):
+        chan = ChannelEntity(0, 1, 0.5, 1.5, delay_model=UniformDelay(seed=3))
+        state = chan.initial_state()
+        for k in range(20):
+            send(chan, state, ("m", k), now=0.0)
+        # advance to past d2: everything deliverable
+        enabled = chan.enabled(state, 1.5)
+        assert len(enabled) == 20
+
+    def test_duplicate_payloads_each_delivered_once(self):
+        chan = ChannelEntity(0, 1, 0.0, 1.0, delay_model=MinimalDelay())
+        state = chan.initial_state()
+        send(chan, state, "same", now=0.0)
+        send(chan, state, "same", now=0.0)
+        action = Action("RECVMSG", (1, 0, "same"))
+        chan.fire(state, action, 0.0)
+        chan.fire(state, action, 0.0)
+        assert state.delivered == 2
+        with pytest.raises(TransitionError):
+            chan.fire(state, action, 0.0)
+
+
+class TestHiddenActionSet:
+    def test_channel_actions_pattern(self):
+        hidden = channel_actions("")
+        assert Action("SENDMSG", (0, 1, "m")) in hidden
+        assert Action("RECVMSG", (1, 0, "m")) in hidden
+        assert Action("ESENDMSG", (0, 1, ("m", 1.0))) not in hidden
+        e_hidden = channel_actions("E")
+        assert Action("ESENDMSG", (0, 1, ("m", 1.0))) in e_hidden

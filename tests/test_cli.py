@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_register_defaults(self):
+        args = build_parser().parse_args(["register"])
+        assert args.model == "clock"
+        assert args.n == 3
+
+    def test_detector_worst_driver_accepted(self):
+        args = build_parser().parse_args(["detector", "--driver", "worst"])
+        assert args.driver == "worst"
+
+
+class TestCommands:
+    def test_register_clock(self, capsys):
+        code = main(["register", "--ops", "4", "--horizon", "60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "linearizable     : True" in out
+
+    def test_register_timed(self, capsys):
+        code = main(["register", "--model", "timed", "--ops", "4",
+                     "--horizon", "60"])
+        assert code == 0
+        assert "linearizable" in capsys.readouterr().out
+
+    def test_register_baseline(self, capsys):
+        code = main(["register", "--model", "baseline", "--ops", "4",
+                     "--horizon", "80"])
+        assert code == 0
+
+    def test_object_counter(self, capsys):
+        code = main(["object", "--type", "counter", "--ops", "4",
+                     "--horizon", "60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "object=counter" in out
+
+    def test_object_gset_timed(self, capsys):
+        code = main(["object", "--type", "g-set", "--model", "timed",
+                     "--ops", "4", "--horizon", "60"])
+        assert code == 0
+
+    def test_detector_accurate(self, capsys):
+        code = main(["detector", "--driver", "worst"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "suspicions: 0" in out
+
+    def test_detector_naive_shows_false_suspicions(self, capsys):
+        code = main(["detector", "--driver", "worst", "--naive"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "suspicions: 0" not in out
+
+    def test_detector_crash_detected(self, capsys):
+        code = main(["detector", "--driver", "worst", "--crash-at", "7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "suspicions: 0" not in out
+
+    def test_tdma_sufficient_guard(self, capsys):
+        code = main(["tdma", "--guard", "0.1", "--eps", "0.1",
+                     "--driver", "fast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mutual exclusion : True" in out
+
+    def test_tdma_insufficient_guard_reported(self, capsys):
+        code = main(["tdma", "--guard", "0.0", "--eps", "0.2",
+                     "--driver", "mixed"])
+        out = capsys.readouterr().out
+        assert code == 0  # outcome matches the guard < eps prediction
+        assert "mutual exclusion : False" in out
+
+    def test_sync(self, capsys):
+        code = main(["sync", "--horizon", "100"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "monotone         : True" in out
+
+
+class TestLeaderCommand:
+    def test_leader_ring(self, capsys):
+        code = main(["leader", "--topology", "ring", "--n", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "leaders       : [0]" in out
+
+    def test_leader_chain(self, capsys):
+        code = main(["leader", "--topology", "chain", "--n", "4",
+                     "--driver", "random"])
+        assert code == 0
+
+    def test_leader_parser(self):
+        args = build_parser().parse_args(["leader", "--topology", "star"])
+        assert args.topology == "star"

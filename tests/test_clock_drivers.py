@@ -1,0 +1,135 @@
+"""Tests for clock drivers (the C_eps envelope adversaries)."""
+
+import pytest
+
+from repro.errors import ClockEnvelopeError
+from repro.sim.clock_drivers import (
+    DriftingClockDriver,
+    FastClockDriver,
+    PerfectClockDriver,
+    RandomWalkClockDriver,
+    SawtoothClockDriver,
+    SkewedClockDriver,
+    SlowClockDriver,
+    driver_factory,
+)
+
+INFINITY = float("inf")
+
+
+class TestEnvelope:
+    @pytest.mark.parametrize(
+        "driver",
+        [
+            PerfectClockDriver(0.1),
+            FastClockDriver(0.1),
+            SlowClockDriver(0.1),
+            SkewedClockDriver(0.1, 0.05),
+            DriftingClockDriver(0.1, 1.5),
+            DriftingClockDriver(0.1, 0.7),
+            SawtoothClockDriver(0.1, 1.02, 5.0),
+            RandomWalkClockDriver(0.1, seed=4),
+        ],
+    )
+    def test_trajectory_stays_in_envelope(self, driver):
+        now, clock = 0.0, 0.0
+        for _ in range(200):
+            new_now = now + 0.25
+            clock = driver.step(now, clock, new_now, INFINITY)
+            now = new_now
+            assert abs(now - clock) <= driver.eps + 1e-9
+            assert clock >= 0.0
+
+    def test_monotone(self):
+        driver = RandomWalkClockDriver(0.2, seed=9, lo_rate=0.1, hi_rate=2.0)
+        now, clock = 0.0, 0.0
+        for _ in range(100):
+            new_now = now + 0.1
+            new_clock = driver.step(now, clock, new_now, INFINITY)
+            assert new_clock >= clock - 1e-12
+            now, clock = new_now, new_clock
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ValueError):
+            PerfectClockDriver(-0.1)
+
+    def test_beta_beyond_eps_rejected(self):
+        with pytest.raises(ValueError):
+            SkewedClockDriver(0.1, 0.2)
+
+
+class TestCap:
+    def test_cap_clamps_clock(self):
+        driver = FastClockDriver(0.5)
+        clock = driver.step(0.0, 0.0, 1.0, cap=0.8)
+        assert clock == pytest.approx(0.8)
+
+    def test_infeasible_window_raises(self):
+        driver = PerfectClockDriver(0.1)
+        # new_now - eps > cap: no feasible clock value
+        with pytest.raises(ClockEnvelopeError):
+            driver.step(0.0, 0.0, 1.0, cap=0.5)
+
+    def test_max_now_maps_cap_through_eps(self):
+        driver = PerfectClockDriver(0.25)
+        assert driver.max_now(0.0, 0.0, cap=2.0) == pytest.approx(2.25)
+
+    def test_max_now_infinite_cap(self):
+        assert PerfectClockDriver(0.1).max_now(5.0, 5.0, INFINITY) == INFINITY
+
+    def test_binding_cap_makes_time_urgent(self):
+        driver = PerfectClockDriver(0.1)
+        assert driver.max_now(3.0, 2.0, cap=2.0) == 3.0
+
+
+class TestExtremes:
+    def test_fast_clock_rides_upper_boundary(self):
+        driver = FastClockDriver(0.2)
+        clock = driver.step(0.0, 0.0, 5.0, INFINITY)
+        assert clock == pytest.approx(5.2)
+
+    def test_slow_clock_rides_lower_boundary(self):
+        driver = SlowClockDriver(0.2)
+        clock = driver.step(0.0, 0.0, 5.0, INFINITY)
+        assert clock == pytest.approx(4.8)
+
+    def test_slow_clock_never_negative(self):
+        driver = SlowClockDriver(0.5)
+        clock = driver.step(0.0, 0.0, 0.2, INFINITY)
+        assert clock >= 0.0
+
+    def test_drifting_clock_saturates(self):
+        driver = DriftingClockDriver(0.1, 2.0)
+        now, clock = 0.0, 0.0
+        for _ in range(50):
+            clock = driver.step(now, clock, now + 1.0, INFINITY)
+            now += 1.0
+        assert clock == pytest.approx(now + 0.1)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind", ["perfect", "fast", "slow", "skewed", "drift", "sawtooth",
+                 "random", "mixed"]
+    )
+    def test_all_kinds_construct(self, kind):
+        factory = driver_factory(kind, 0.1, seed=1)
+        for node in range(4):
+            driver = factory(node)
+            assert driver.eps == 0.1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            driver_factory("bogus", 0.1)(0)
+
+    def test_mixed_varies_by_node(self):
+        factory = driver_factory("mixed", 0.1)
+        kinds = {type(factory(i)).__name__ for i in range(3)}
+        assert len(kinds) == 3
+
+    def test_random_drivers_differ_by_node(self):
+        factory = driver_factory("random", 10.0, seed=0)
+        d0, d1 = factory(0), factory(1)
+        c0 = d0.step(0.0, 0.0, 1.0, INFINITY)
+        c1 = d1.step(0.0, 0.0, 1.0, INFINITY)
+        assert c0 != c1

@@ -1,0 +1,93 @@
+"""Tests for the transformed register in the clock model (Theorem 6.5)."""
+
+import pytest
+
+from repro.registers.system import (
+    clock_register_system,
+    run_register_experiment,
+)
+from repro.registers.workload import RegisterWorkload
+from repro.sim.clock_drivers import driver_factory
+from repro.sim.delay import (
+    AlternatingExtremesDelay,
+    MaximalDelay,
+    MinimalDelay,
+    UniformDelay,
+)
+from repro.sim.scheduler import DeterministicScheduler, RandomScheduler
+
+D1, D2 = 0.2, 1.0
+DELTA = 0.01
+
+
+def run(c, eps, driver_kind="mixed", seed=0, delay_model=None, ops=5,
+        horizon=70.0, n=3):
+    workload = RegisterWorkload(operations=ops, read_fraction=0.5, seed=seed)
+    spec = clock_register_system(
+        n=n, d1=D1, d2=D2, c=c, eps=eps, workload=workload,
+        drivers=driver_factory(driver_kind, eps, seed=seed),
+        delta=DELTA,
+        delay_model=delay_model or UniformDelay(seed=seed),
+    )
+    return run_register_experiment(
+        spec, horizon, scheduler=RandomScheduler(seed=seed)
+    )
+
+
+class TestTheorem65:
+    @pytest.mark.parametrize(
+        "driver_kind", ["perfect", "fast", "slow", "mixed", "random", "drift"]
+    )
+    def test_linearizable_under_clock_adversaries(self, driver_kind):
+        assert run(0.3, 0.1, driver_kind, seed=1).linearizable()
+
+    @pytest.mark.parametrize(
+        "delay_model",
+        [MinimalDelay(), MaximalDelay(), AlternatingExtremesDelay()],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_linearizable_under_delay_adversaries(self, delay_model):
+        assert run(0.3, 0.1, "mixed", seed=2, delay_model=delay_model).linearizable()
+
+    @pytest.mark.parametrize("eps", [0.0, 0.05, 0.2])
+    def test_latency_bounds(self, eps):
+        """Read <= (2*eps + delta + c) + 2*eps real-time stretch; write <=
+        (d2 + 2*eps - c) + 2*eps (clock-time bounds of Theorem 6.5, plus
+        the eps skew at each endpoint)."""
+        c = 0.3
+        result = run(c, eps, "mixed", seed=3)
+        read_bound = (2 * eps + DELTA + c) + 2 * eps
+        write_bound = (D2 + 2 * eps - c) + 2 * eps
+        assert result.max_read_latency() <= read_bound + 1e-9
+        assert result.max_write_latency() <= write_bound + 1e-9
+
+    def test_buffering_regime_still_linearizable(self):
+        """d1 < 2*eps: receive buffers must actually hold messages."""
+        eps = 0.3  # 2*eps = 0.6 > d1 = 0.2
+        result = run(0.2, eps, "mixed", seed=4, delay_model=MinimalDelay())
+        assert result.linearizable()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_many_seeds(self, seed):
+        assert run(0.4, 0.1, "random", seed=seed).linearizable()
+
+    def test_deterministic_scheduler_run(self):
+        workload = RegisterWorkload(operations=4, read_fraction=0.5, seed=8)
+        spec = clock_register_system(
+            n=3, d1=D1, d2=D2, c=0.3, eps=0.1, workload=workload,
+            drivers=driver_factory("mixed", 0.1),
+        )
+        result = run_register_experiment(
+            spec, 60.0, scheduler=DeterministicScheduler()
+        )
+        assert result.linearizable()
+
+    def test_five_nodes(self):
+        assert run(0.3, 0.1, "mixed", seed=6, n=5, ops=4, horizon=90.0).linearizable()
+
+    def test_tradeoff_parameter(self):
+        eps = 0.1
+        cheap_reads = run(0.0, eps, "mixed", seed=7)
+        cheap_writes = run(0.8, eps, "mixed", seed=7)
+        assert cheap_reads.mean_read_latency() < cheap_writes.mean_read_latency()
+        assert cheap_writes.mean_write_latency() < cheap_reads.mean_write_latency()

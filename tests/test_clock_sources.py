@@ -1,0 +1,78 @@
+"""Tests for hardware clock sources."""
+
+import pytest
+
+from repro.clocks.sources import (
+    DriftingClockSource,
+    JitteryClockSource,
+    OffsetClockSource,
+    PerfectClockSource,
+    QuantizedClockSource,
+)
+from repro.errors import ClockEnvelopeError
+
+
+class TestEnvelope:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            PerfectClockSource(),
+            OffsetClockSource(0.1, 0.07),
+            OffsetClockSource(0.1, -0.1),
+            DriftingClockSource(0.1, 1.005, 10.0),
+            DriftingClockSource(0.2, 0.99, 10.0),
+            QuantizedClockSource(PerfectClockSource(), 0.05),
+            JitteryClockSource(PerfectClockSource(), 0.02, seed=3),
+        ],
+    )
+    def test_reading_within_stated_envelope(self, source):
+        for i in range(200):
+            now = i * 0.173
+            assert abs(source.value(now) - now) <= source.eps + 1e-12
+            assert source.value(now) >= 0.0
+
+    def test_offset_beyond_envelope_rejected(self):
+        with pytest.raises(ClockEnvelopeError):
+            OffsetClockSource(0.1, 0.2)
+
+    def test_drift_needing_bigger_envelope_rejected(self):
+        with pytest.raises(ClockEnvelopeError):
+            DriftingClockSource(0.01, 1.1, 10.0)
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ValueError):
+            OffsetClockSource(-0.1, 0.0)
+
+
+class TestBehaviors:
+    def test_perfect_source(self):
+        assert PerfectClockSource().value(3.7) == 3.7
+
+    def test_drifting_sawtooth_resyncs(self):
+        source = DriftingClockSource(0.2, 1.01, 10.0)
+        just_before_sync = source.value(9.99)
+        just_after_sync = source.value(10.0)
+        # error collapses at the sync boundary
+        assert abs(just_after_sync - 10.0) < abs(just_before_sync - 9.99)
+
+    def test_quantization_floors(self):
+        source = QuantizedClockSource(PerfectClockSource(), 0.25)
+        assert source.value(1.3) == pytest.approx(1.25)
+        assert source.value(1.249) == pytest.approx(1.0)
+
+    def test_quantization_grows_envelope(self):
+        inner = OffsetClockSource(0.1, 0.05)
+        assert QuantizedClockSource(inner, 0.25).eps == pytest.approx(0.35)
+
+    def test_jitter_deterministic_per_instant(self):
+        source = JitteryClockSource(PerfectClockSource(), 0.05, seed=7)
+        assert source.value(2.0) == source.value(2.0)
+
+    def test_jitter_varies_between_instants(self):
+        source = JitteryClockSource(PerfectClockSource(), 0.05, seed=7)
+        offsets = {round(source.value(t) - t, 9) for t in (1.0, 2.0, 3.0, 4.0)}
+        assert len(offsets) > 1
+
+    def test_quantized_granularity_validated(self):
+        with pytest.raises(ValueError):
+            QuantizedClockSource(PerfectClockSource(), 0.0)

@@ -1,0 +1,83 @@
+"""Direct tests for the executable-layer base interfaces."""
+
+import pytest
+
+from helpers import EchoProcess, PingerProcess
+from repro.automata.actions import Action
+from repro.components.base import Entity, Process, ProcessContext, TimedNodeEntity
+
+
+class TestProcessContext:
+    def test_carries_time(self):
+        assert ProcessContext(3.5).time == 3.5
+
+    def test_repr(self):
+        assert "3.5" in repr(ProcessContext(3.5))
+
+    def test_slots_prevent_extra_attrs(self):
+        ctx = ProcessContext(1.0)
+        with pytest.raises(AttributeError):
+            ctx.extra = 1
+
+
+class TestProcessDefaults:
+    def test_abstract_methods_raise(self):
+        from repro.automata.signature import Signature
+
+        proc = Process(0, Signature())
+        with pytest.raises(NotImplementedError):
+            proc.initial_state()
+        with pytest.raises(NotImplementedError):
+            proc.enabled(None, ProcessContext(0.0))
+        with pytest.raises(NotImplementedError):
+            proc.fire(None, Action("X"), ProcessContext(0.0))
+        with pytest.raises(NotImplementedError):
+            proc.apply_input(None, Action("X"), ProcessContext(0.0))
+
+    def test_default_deadline_is_infinite(self):
+        from repro.automata.signature import Signature
+
+        proc = Process(0, Signature())
+        assert proc.deadline(None, ProcessContext(0.0)) == float("inf")
+
+    def test_default_name(self):
+        from repro.automata.signature import Signature
+
+        assert "3" in Process(3, Signature()).name
+
+
+class TestTimedNodeEntity:
+    def make(self):
+        return TimedNodeEntity(PingerProcess(0, 1, count=2, interval=1.0))
+
+    def test_name_and_signature_from_process(self):
+        entity = self.make()
+        assert entity.name == "pinger(0)"
+        assert entity.signature.is_output(Action("PING", (0, 1)))
+
+    def test_clock_value_is_real_time(self):
+        entity = self.make()
+        state = entity.initial_state()
+        assert entity.clock_value(state, 7.25) == 7.25
+
+    def test_delegation_passes_now_as_time(self):
+        entity = self.make()
+        state = entity.initial_state()
+        # at now=1.0 the pinger's PING is enabled (its schedule is met)
+        assert Action("PING", (0, 1)) in entity.enabled(state, 1.0)
+        assert entity.enabled(state, 0.5) == []
+        assert entity.deadline(state, 0.5) == 1.0
+
+    def test_default_advance_is_noop(self):
+        entity = self.make()
+        state = entity.initial_state()
+        entity.advance(state, 0.0, 5.0)  # must not raise or mutate time
+        assert entity.deadline(state, 5.0) == 1.0
+
+    def test_entity_base_defaults(self):
+        from repro.automata.signature import Signature
+
+        entity = Entity("e", Signature())
+        assert entity.deadline(None, 0.0) == float("inf")
+        assert entity.clock_value(None, 0.0) is None
+        assert not entity.accepts(Action("X"))

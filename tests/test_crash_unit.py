@@ -1,0 +1,103 @@
+"""Unit tests for crash-stop proxies."""
+
+import pytest
+
+from repro.automata.actions import Action, action_set
+from repro.automata.signature import Signature
+from repro.components.base import Entity
+from repro.faults.crash import CrashSchedule, CrashableEntity
+
+INFINITY = float("inf")
+
+
+class Chatty(Entity):
+    """Emits SAY every second; counts inputs."""
+
+    def __init__(self):
+        super().__init__(
+            "chatty",
+            Signature(inputs=action_set("HEAR"), outputs=action_set("SAY")),
+        )
+
+    def initial_state(self):
+        return {"next": 1.0, "heard": 0, "advanced_to": 0.0}
+
+    def enabled(self, state, now):
+        if abs(now - state["next"]) < 1e-9:
+            return [Action("SAY", (0,))]
+        return []
+
+    def fire(self, state, action, now):
+        state["next"] += 1.0
+
+    def apply_input(self, state, action, now):
+        state["heard"] += 1
+
+    def deadline(self, state, now):
+        return state["next"]
+
+    def advance(self, state, old_now, new_now):
+        state["advanced_to"] = new_now
+
+    def clock_value(self, state, now):
+        return now
+
+
+class TestCrashSchedule:
+    def test_never_crashes(self):
+        assert not CrashSchedule(None).crashed(1e9)
+
+    def test_crash_boundary(self):
+        schedule = CrashSchedule(5.0)
+        assert not schedule.crashed(4.9)
+        assert schedule.crashed(5.0)
+        assert schedule.crashed(6.0)
+
+
+class TestCrashableEntity:
+    def test_behaves_normally_before_crash(self):
+        entity = CrashableEntity(Chatty(), CrashSchedule(10.0))
+        state = entity.initial_state()
+        assert entity.enabled(state, 1.0) == [Action("SAY", (0,))]
+        entity.fire(state, Action("SAY", (0,)), 1.0)
+        assert state.inner["next"] == 2.0
+        entity.apply_input(state, Action("HEAR", (0,)), 1.5)
+        assert state.inner["heard"] == 1
+
+    def test_silent_after_crash(self):
+        entity = CrashableEntity(Chatty(), CrashSchedule(1.5))
+        state = entity.initial_state()
+        assert entity.enabled(state, 2.0) == []
+        entity.apply_input(state, Action("HEAR", (0,)), 2.0)
+        assert state.inner["heard"] == 0
+        assert entity.deadline(state, 2.0) == INFINITY
+
+    def test_fire_after_crash_is_noop(self):
+        entity = CrashableEntity(Chatty(), CrashSchedule(0.5))
+        state = entity.initial_state()
+        entity.fire(state, Action("SAY", (0,)), 1.0)
+        assert state.inner["next"] == 1.0
+
+    def test_deadline_capped_by_crash_time(self):
+        entity = CrashableEntity(Chatty(), CrashSchedule(0.4))
+        state = entity.initial_state()
+        assert entity.deadline(state, 0.0) == pytest.approx(0.4)
+
+    def test_advance_truncated_at_crash(self):
+        entity = CrashableEntity(Chatty(), CrashSchedule(2.5))
+        state = entity.initial_state()
+        entity.advance(state, 0.0, 5.0)
+        assert state.inner["advanced_to"] == pytest.approx(2.5)
+        assert state.crashed
+
+    def test_clock_value_still_readable(self):
+        entity = CrashableEntity(Chatty(), CrashSchedule(1.0))
+        state = entity.initial_state()
+        assert entity.clock_value(state, 0.5) == 0.5
+
+    def test_none_schedule_never_interferes(self):
+        entity = CrashableEntity(Chatty(), CrashSchedule(None))
+        state = entity.initial_state()
+        assert entity.deadline(state, 0.0) == 1.0
+        entity.advance(state, 0.0, 100.0)
+        assert not state.crashed

@@ -1,0 +1,102 @@
+"""Tests for delay models and schedulers."""
+
+import pytest
+
+from repro.automata.actions import Action
+from repro.errors import ScheduleError
+from repro.sim.delay import (
+    AlternatingExtremesDelay,
+    ConstantFractionDelay,
+    JitteredDelay,
+    MaximalDelay,
+    MinimalDelay,
+    UniformDelay,
+)
+from repro.sim.scheduler import (
+    DeterministicScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+
+
+class FakeEntity:
+    def __init__(self, name):
+        self.name = name
+
+
+class TestDelayModels:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            ConstantFractionDelay(0.3),
+            MinimalDelay(),
+            MaximalDelay(),
+            UniformDelay(seed=1),
+            AlternatingExtremesDelay(),
+            JitteredDelay(seed=2),
+        ],
+    )
+    def test_samples_within_bounds(self, model):
+        for k in range(50):
+            delay = model.sample((0, 1), ("m", k), float(k), 0.5, 2.0)
+            assert 0.5 - 1e-12 <= delay <= 2.0 + 1e-12
+
+    def test_constant_fraction_value(self):
+        assert ConstantFractionDelay(0.5).sample((0, 1), "m", 0.0, 1.0, 3.0) == 2.0
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            ConstantFractionDelay(1.5)
+
+    def test_uniform_reproducible(self):
+        a = UniformDelay(seed=7)
+        b = UniformDelay(seed=7)
+        for _ in range(10):
+            assert a.sample((0, 1), "m", 0.0, 0.0, 1.0) == b.sample(
+                (0, 1), "m", 0.0, 0.0, 1.0
+            )
+
+    def test_alternating_per_edge(self):
+        model = AlternatingExtremesDelay()
+        first = model.sample((0, 1), "a", 0.0, 1.0, 2.0)
+        second = model.sample((0, 1), "b", 0.0, 1.0, 2.0)
+        other_edge = model.sample((1, 0), "c", 0.0, 1.0, 2.0)
+        assert first == 1.0 and second == 2.0
+        assert other_edge == 1.0  # independent toggle per edge
+
+
+class TestSchedulers:
+    def candidates(self):
+        return [
+            (FakeEntity("b"), Action("Y")),
+            (FakeEntity("a"), Action("X")),
+            (FakeEntity("a"), Action("Z")),
+        ]
+
+    def test_deterministic_picks_least(self):
+        entity, action = DeterministicScheduler().pick(self.candidates(), 0.0)
+        assert entity.name == "a" and action.name == "X"
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ScheduleError):
+            DeterministicScheduler().pick([], 0.0)
+        with pytest.raises(ScheduleError):
+            RandomScheduler().pick([], 0.0)
+
+    def test_random_reproducible(self):
+        picks1 = [RandomScheduler(seed=5).pick(self.candidates(), 0.0)[1].name]
+        picks2 = [RandomScheduler(seed=5).pick(self.candidates(), 0.0)[1].name]
+        assert picks1 == picks2
+
+    def test_random_choice_independent_of_input_order(self):
+        cands = self.candidates()
+        a = RandomScheduler(seed=3).pick(cands, 0.0)
+        b = RandomScheduler(seed=3).pick(list(reversed(cands)), 0.0)
+        assert a[1] == b[1]
+
+    def test_round_robin_rotates(self):
+        scheduler = RoundRobinScheduler()
+        first = scheduler.pick(self.candidates(), 0.0)
+        second = scheduler.pick(self.candidates(), 0.0)
+        assert first[0].name == "a"
+        assert second[0].name == "b"

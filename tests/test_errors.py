@@ -1,0 +1,53 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AxiomViolation,
+    ClockEnvelopeError,
+    CompositionError,
+    ReproError,
+    ScheduleError,
+    SignatureError,
+    SimulationLimitError,
+    SpecificationError,
+    TimelockError,
+    TransitionError,
+)
+
+ALL_ERRORS = [
+    AxiomViolation("S1", "msg"),
+    ClockEnvelopeError("msg"),
+    CompositionError("msg"),
+    ScheduleError("msg"),
+    SignatureError("msg"),
+    SimulationLimitError("msg"),
+    SpecificationError("msg"),
+    TimelockError("msg"),
+    TransitionError("msg"),
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error", ALL_ERRORS, ids=lambda e: type(e).__name__)
+    def test_all_derive_from_repro_error(self, error):
+        assert isinstance(error, ReproError)
+        assert isinstance(error, Exception)
+
+    def test_single_except_catches_everything(self):
+        for error in ALL_ERRORS:
+            try:
+                raise error
+            except ReproError:
+                pass
+
+    def test_axiom_violation_carries_details(self):
+        witness = ("state", "transition")
+        error = AxiomViolation("C3", "clock went backward", witness)
+        assert error.axiom == "C3"
+        assert error.witness is witness
+        assert "C3" in str(error)
+        assert "clock went backward" in str(error)
+
+    def test_axiom_violation_witness_optional(self):
+        assert AxiomViolation("S2", "msg").witness is None

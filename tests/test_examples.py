@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples assert their own claims internally (linearizability, zero
+false suspicions, crossovers), so a clean exit is a real check, not
+just an import test.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "failure_monitor.py",
+    "register_comparison.py",
+    "tdma_scheduler.py",
+    "verify_design.py",
+    "trace_tooling.py",
+    "realistic_stack.py",  # the slowest: full MMT tower
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    completed = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script} produced no output"

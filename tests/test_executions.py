@@ -1,0 +1,108 @@
+"""Unit tests for executions, timed sequences, schedules, and traces."""
+
+import pytest
+
+from repro.automata.actions import NU, Action, action_set
+from repro.automata.executions import (
+    Execution,
+    TimedEvent,
+    TimedSequence,
+    timed_sequence,
+)
+from repro.automata.state import State
+from repro.errors import ReproError
+
+A = Action("A")
+B = Action("B", (1,))
+C = Action("C")
+
+
+class TestTimedSequence:
+    def test_construction_from_pairs(self):
+        seq = timed_sequence((A, 0.0), (B, 1.0))
+        assert len(seq) == 2
+        assert seq[0] == TimedEvent(A, 0.0)
+
+    def test_monotonicity_enforced(self):
+        with pytest.raises(ReproError):
+            timed_sequence((A, 1.0), (B, 0.5))
+
+    def test_ties_allowed(self):
+        seq = timed_sequence((A, 1.0), (B, 1.0))
+        assert seq.times() == [1.0, 1.0]
+
+    def test_restrict(self):
+        seq = timed_sequence((A, 0.0), (B, 1.0), (C, 2.0))
+        restricted = seq | action_set("A", "C")
+        assert restricted.actions() == [A, C]
+
+    def test_shift(self):
+        seq = timed_sequence((A, 0.0), (B, 1.0)).shift(0.5)
+        assert seq.times() == [0.5, 1.5]
+
+    def test_equality_and_hash(self):
+        assert timed_sequence((A, 0.0)) == timed_sequence((A, 0.0))
+        assert hash(timed_sequence((A, 0.0))) == hash(timed_sequence((A, 0.0)))
+
+    def test_slicing_returns_sequence(self):
+        seq = timed_sequence((A, 0.0), (B, 1.0), (C, 2.0))
+        assert isinstance(seq[1:], TimedSequence)
+        assert seq[1:].actions() == [B, C]
+
+    def test_stable_sort_preserves_tie_order(self):
+        raw = TimedSequence.__new__(TimedSequence)
+        object.__setattr__(
+            raw,
+            "_events",
+            (TimedEvent(A, 2.0), TimedEvent(B, 1.0), TimedEvent(C, 1.0)),
+        )
+        ordered = raw.stable_sort_by_time()
+        assert ordered.actions() == [B, C, A]
+
+    def test_ltime(self):
+        assert timed_sequence((A, 0.0), (B, 3.0)).ltime() == 3.0
+        assert TimedSequence([]).ltime() == 0.0
+
+
+class TestExecution:
+    def make_execution(self):
+        s0 = State(now=0.0, x=0)
+        s1 = State(now=0.0, x=1)
+        s2 = State(now=2.0, x=1)
+        s3 = State(now=2.0, x=2)
+        ex = Execution(s0)
+        ex.append(A, s1)
+        ex.append(NU, s2)
+        ex.append(B, s3)
+        return ex
+
+    def test_timed_schedule_skips_nu(self):
+        sched = self.make_execution().timed_schedule()
+        assert sched.actions() == [A, B]
+
+    def test_schedule_times_are_pre_state_now(self):
+        sched = self.make_execution().timed_schedule()
+        assert sched.times() == [0.0, 2.0]
+
+    def test_timed_trace_restricts_to_visible(self):
+        trace = self.make_execution().timed_trace(action_set("B"))
+        assert trace.actions() == [B]
+
+    def test_ltime_and_admissibility(self):
+        ex = self.make_execution()
+        assert ex.ltime() == 2.0
+        assert ex.is_admissible_to(2.0)
+        assert not ex.is_admissible_to(3.0)
+
+    def test_states_and_last_state(self):
+        ex = self.make_execution()
+        assert len(ex.states()) == 4
+        assert ex.last_state().x == 2
+
+    def test_clock_stamped_schedule(self):
+        s0 = State(now=0.0, clock=0.5, x=0)
+        s1 = State(now=0.0, clock=0.5, x=1)
+        ex = Execution(s0)
+        ex.append(A, s1)
+        stamped = ex.clock_stamped_schedule()
+        assert stamped[0].time == 0.5

@@ -1,0 +1,169 @@
+"""Tests for the fault substrate: fault models, lossy channels, ARQ."""
+
+import pytest
+
+from repro.automata.actions import Action
+from repro.components.base import ProcessContext
+from repro.faults.lossy_channel import LossyChannelEntity
+from repro.faults.models import (
+    BernoulliFaults,
+    BurstFaults,
+    NoFaults,
+    ScriptedFaults,
+)
+from repro.faults.retransmit import ReliableAdapter, effective_delay_bounds
+from repro.sim.delay import MinimalDelay
+
+from helpers import PingerProcess
+
+
+class TestFaultModels:
+    def test_no_faults(self):
+        model = NoFaults()
+        assert all(model.copies((0, 1), "m", t) == 1 for t in range(10))
+
+    def test_bernoulli_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliFaults(p_drop=1.0)
+        with pytest.raises(ValueError):
+            BernoulliFaults(p_duplicate=-0.1)
+        with pytest.raises(ValueError):
+            BernoulliFaults(max_consecutive_drops=-1)
+
+    def test_bernoulli_consecutive_drop_bound(self):
+        model = BernoulliFaults(seed=1, p_drop=0.95, max_consecutive_drops=3)
+        run = 0
+        for attempt in range(200):
+            copies = model.copies((0, 1), ("DATA", 7, "m"), float(attempt))
+            if copies == 0:
+                run += 1
+                assert run <= 3
+            else:
+                run = 0
+
+    def test_bernoulli_duplication(self):
+        model = BernoulliFaults(seed=2, p_drop=0.0, p_duplicate=1.0)
+        assert model.copies((0, 1), "m", 0.0) == 2
+
+    def test_burst_faults(self):
+        model = BurstFaults(good_duration=5.0, bad_duration=2.0,
+                            max_consecutive_drops=10)
+        assert model.copies((0, 1), "a", 1.0) == 1      # good period
+        assert model.copies((0, 1), "b", 6.0) == 0      # bad period
+
+    def test_scripted_faults(self):
+        model = ScriptedFaults([0, 0, 2, 1])
+        assert model.max_consecutive_drops == 2
+        observed = [model.copies((0, 1), "m", 0.0) for _ in range(6)]
+        assert observed == [0, 0, 2, 1, 1, 1]
+
+    def test_logical_key_shared_across_retransmissions(self):
+        """The drop bound applies to the logical DATA frame."""
+        model = BernoulliFaults(seed=3, p_drop=0.999, max_consecutive_drops=2)
+        drops = 0
+        for attempt in range(3):
+            if model.copies((0, 1), ("DATA", 5, "payload"), attempt) == 0:
+                drops += 1
+        assert drops <= 2
+
+
+class TestLossyChannel:
+    def test_drop(self):
+        chan = LossyChannelEntity(
+            0, 1, 0.0, 1.0, delay_model=MinimalDelay(),
+            fault_model=ScriptedFaults([0]),
+        )
+        state = chan.initial_state()
+        chan.apply_input(state, Action("SENDMSG", (0, 1, "gone")), 0.0)
+        assert state.buffer == []
+        assert state.dropped == 1
+
+    def test_duplicate(self):
+        chan = LossyChannelEntity(
+            0, 1, 0.0, 1.0, delay_model=MinimalDelay(),
+            fault_model=ScriptedFaults([3]),
+        )
+        state = chan.initial_state()
+        chan.apply_input(state, Action("SENDMSG", (0, 1, "multi")), 0.0)
+        assert len(state.buffer) == 3
+        assert state.duplicated == 2
+
+    def test_no_faults_is_plain_channel(self):
+        chan = LossyChannelEntity(0, 1, 0.0, 1.0, delay_model=MinimalDelay())
+        state = chan.initial_state()
+        chan.apply_input(state, Action("SENDMSG", (0, 1, "m")), 0.0)
+        assert len(state.buffer) == 1
+
+
+class TestReliableAdapter:
+    def adapter(self, retx=0.5):
+        return ReliableAdapter(PingerProcess(0, 1, 2, 1.0), retx)
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            self.adapter(retx=0.0)
+
+    def test_fresh_send_framed_and_tracked(self):
+        adapter = self.adapter()
+        state = adapter.initial_state()
+        ctx = ProcessContext(1.0)
+        # drive the inner pinger to its send
+        adapter.fire(state, Action("PING", (0, 1)), ctx)
+        (frame,) = [a for a in adapter.enabled(state, ctx) if a.name == "SENDMSG"]
+        assert frame.params[2] == ("DATA", 0, ("ping", 1))
+        adapter.fire(state, frame, ctx)
+        assert (1, 0) in state.outbox
+        assert state.outbox[(1, 0)].next_attempt == pytest.approx(1.5)
+
+    def test_retransmission_until_ack(self):
+        adapter = self.adapter()
+        state = adapter.initial_state()
+        adapter.fire(state, Action("PING", (0, 1)), ProcessContext(1.0))
+        frame = adapter.enabled(state, ProcessContext(1.0))[0]
+        adapter.fire(state, frame, ProcessContext(1.0))
+        # retransmission due at 1.5
+        assert adapter.deadline(state, ProcessContext(1.2)) == pytest.approx(1.5)
+        (retx,) = [a for a in adapter.enabled(state, ProcessContext(1.5))
+                   if a.name == "SENDMSG"]
+        assert retx.params[2][0] == "DATA"
+        adapter.fire(state, retx, ProcessContext(1.5))
+        assert state.outbox[(1, 0)].attempts == 2
+        # ack clears the outbox
+        adapter.apply_input(
+            state, Action("RECVMSG", (0, 1, ("ACK", 0))), ProcessContext(2.0)
+        )
+        assert not state.outbox
+
+    def test_receiver_dedup_and_ack(self):
+        adapter = self.adapter()
+        state = adapter.initial_state()
+        ctx = ProcessContext(3.0)
+        data = Action("RECVMSG", (0, 1, ("DATA", 0, ("pong", 1))))
+        adapter.apply_input(state, data, ctx)
+        adapter.apply_input(state, data, ctx)  # duplicate
+        # inner saw the pong exactly once
+        assert state.inner.pending_pongs == [1]
+        # two acks owed (one per received frame)
+        acks = [a for a in adapter.enabled(state, ctx)
+                if a.name == "SENDMSG" and a.params[2][0] == "ACK"]
+        assert len(acks) == 2
+        adapter.fire(state, acks[0], ctx)
+        assert len(state.pending_acks) == 1
+
+    def test_effective_delay_bounds(self):
+        assert effective_delay_bounds(0.1, 1.0, 0.5, 3) == (0.1, 2.5)
+        assert effective_delay_bounds(0.1, 1.0, 0.5, 0) == (0.1, 1.0)
+
+    def test_max_attempts_caps_retransmission(self):
+        adapter = ReliableAdapter(PingerProcess(0, 1, 1, 1.0), 0.5, max_attempts=3)
+        state = adapter.initial_state()
+        adapter.fire(state, Action("PING", (0, 1)), ProcessContext(1.0))
+        now = 1.0
+        for _ in range(3):
+            frames = [a for a in adapter.enabled(state, ProcessContext(now))
+                      if a.name == "SENDMSG"]
+            if not frames:
+                break
+            adapter.fire(state, frames[0], ProcessContext(now))
+            now += 0.5
+        assert not state.outbox

@@ -1,0 +1,84 @@
+"""Tests for the adversary-search harness, including a real sweep."""
+
+import pytest
+
+from repro.analysis.fuzz import (
+    AdversaryChoice,
+    adversary_grid,
+    fuzz,
+)
+from repro.registers.system import (
+    clock_register_system,
+    run_register_experiment,
+)
+from repro.registers.workload import RegisterWorkload
+
+
+class TestHarness:
+    def test_grid_size(self):
+        grid = adversary_grid(range(3), ("fast", "slow"))
+        assert len(grid) == 6
+        assert grid[0].driver_kind == "fast"
+
+    def test_report_aggregation(self):
+        grid = adversary_grid(range(4), ("perfect",))
+        report = fuzz(
+            lambda adv: (adv.seed != 2, float(adv.seed)),
+            grid,
+        )
+        assert report.runs == 4
+        assert len(report.failures) == 1
+        assert report.failures[0].adversary.seed == 2
+        assert report.worst_metric == 3.0
+        assert not report.all_passed
+
+    def test_empty_report(self):
+        report = fuzz(lambda adv: (True, 0.0), [])
+        assert report.worst is None
+        assert report.all_passed
+
+    def test_exceptions_propagate(self):
+        def boom(adv):
+            raise RuntimeError("finding")
+
+        with pytest.raises(RuntimeError):
+            fuzz(boom, adversary_grid([1], ("perfect",)))
+
+    def test_adversary_components_seeded(self):
+        adv = AdversaryChoice(5, "random")
+        assert adv.drivers(0.1)(0).eps == 0.1
+        a = adv.delay_model().sample((0, 1), "m", 0.0, 0.0, 1.0)
+        b = AdversaryChoice(5, "random").delay_model().sample(
+            (0, 1), "m", 0.0, 0.0, 1.0
+        )
+        assert a == b
+
+
+class TestRegisterSweep:
+    """A real sweep: Theorem 6.5 across a 3x4 adversary grid."""
+
+    EPS, D1, D2, C = 0.1, 0.2, 1.0, 0.3
+
+    def run_one(self, adversary):
+        workload = RegisterWorkload(
+            operations=4, read_fraction=0.5, seed=adversary.seed
+        )
+        spec = clock_register_system(
+            n=3, d1=self.D1, d2=self.D2, c=self.C, eps=self.EPS,
+            workload=workload,
+            drivers=adversary.drivers(self.EPS),
+            delay_model=adversary.delay_model(),
+        )
+        run = run_register_experiment(
+            spec, 60.0, scheduler=adversary.scheduler()
+        )
+        return run.linearizable(), run.max_read_latency()
+
+    def test_linearizable_across_grid(self):
+        grid = adversary_grid(range(3), ("fast", "slow", "mixed", "random"))
+        report = fuzz(self.run_one, grid)
+        assert report.runs == 12
+        assert report.all_passed
+        # worst read latency across the whole grid within the bound
+        bound = (2 * self.EPS + 0.01 + self.C) + 2 * self.EPS
+        assert report.worst_metric <= bound + 1e-9

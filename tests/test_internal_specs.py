@@ -1,0 +1,62 @@
+"""End-to-end: internal vs real-time specifications (Section 4.3).
+
+Sequential consistency never mentions real time, so ``P_eps = P`` and
+the bare clock transformation preserves it (the Lamport [5] /
+Neiger-Toueg [13] regime). Linearizability references real time, so the
+bare transformation loses it and algorithm S's ``2*eps`` margin is
+needed (the paper's contribution)."""
+
+import pytest
+
+from repro.registers.system import (
+    INITIAL_VALUE,
+    clock_register_system,
+    run_register_experiment,
+)
+from repro.registers.workload import RegisterWorkload
+from repro.sim.clock_drivers import driver_factory
+from repro.sim.delay import MaximalDelay
+from repro.sim.scheduler import RandomScheduler
+from repro.traces.sequential_consistency import is_sequentially_consistent
+
+EPS, D1, D2 = 0.3, 0.1, 1.0
+
+
+def run_algorithm(algorithm, seed):
+    workload = RegisterWorkload(
+        operations=6, read_fraction=0.6, seed=seed,
+        think_min=0.05, think_max=0.6,
+    )
+    spec = clock_register_system(
+        n=3, d1=D1, d2=D2, c=0.0, eps=EPS, workload=workload,
+        drivers=driver_factory("mixed", EPS, seed=seed),
+        delay_model=MaximalDelay(), algorithm=algorithm,
+    )
+    return run_register_experiment(
+        spec, 80.0, scheduler=RandomScheduler(seed=seed)
+    )
+
+
+class TestInternalVsRealTime:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sequential_consistency_survives_bare_transformation(self, seed):
+        run = run_algorithm("L", seed)
+        assert is_sequentially_consistent(run.result.trace, INITIAL_VALUE)
+
+    def test_linearizability_lost_without_margin(self):
+        violations = sum(
+            1 for seed in range(8) if not run_algorithm("L", seed).linearizable()
+        )
+        assert violations >= 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_s_margin_restores_linearizability(self, seed):
+        assert run_algorithm("S", seed).linearizable()
+
+    def test_margin_costs_exactly_two_eps_on_reads(self):
+        fast = run_algorithm("L", 3)
+        safe = run_algorithm("S", 3)
+        # clock-time read latencies: delta vs 2*eps + delta
+        assert safe.max_read_latency() - fast.max_read_latency() == pytest.approx(
+            2 * EPS, abs=2 * EPS * 0.35  # modulo real-time stretch
+        )

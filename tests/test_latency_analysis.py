@@ -1,0 +1,108 @@
+"""Tests for generic latency extraction and engine early stopping."""
+
+import pytest
+
+from repro.analysis.latency import (
+    OBJECT_RULES,
+    PINGER_RULES,
+    REGISTER_RULES,
+    PairingRule,
+    extract_latencies,
+    latency_summaries,
+)
+from repro.automata.actions import Action
+from repro.automata.executions import timed_sequence
+from repro.errors import SpecificationError
+from repro.registers.system import run_register_experiment, timed_register_system
+from repro.registers.workload import RegisterWorkload
+from repro.sim.delay import UniformDelay
+
+from helpers import pinger_process_factory, pinger_topology
+from repro.core.pipeline import build_timed_system
+
+
+class TestExtraction:
+    def register_trace(self):
+        return timed_sequence(
+            (Action("WRITE", (0, "v")), 0.0),
+            (Action("READ", (1,)), 0.5),
+            (Action("ACK", (0,)), 1.0),
+            (Action("RETURN", (1, "v")), 1.5),
+        )
+
+    def test_pairs_by_node(self):
+        samples = extract_latencies(self.register_trace())
+        by_label = {s.label: s for s in samples}
+        assert by_label["write"].latency == pytest.approx(1.0)
+        assert by_label["read"].latency == pytest.approx(1.0)
+
+    def test_unanswered_invocation_dropped(self):
+        trace = timed_sequence((Action("READ", (0,)), 0.0))
+        assert extract_latencies(trace) == []
+
+    def test_unmatched_response_skipped_or_strict(self):
+        trace = timed_sequence((Action("ACK", (0,)), 0.0))
+        assert extract_latencies(trace) == []
+        with pytest.raises(SpecificationError):
+            extract_latencies(trace, strict=True)
+
+    def test_pinger_rules_key_by_sequence(self):
+        trace = timed_sequence(
+            (Action("PING", (0, 1)), 0.0),
+            (Action("PING", (0, 2)), 0.5),
+            (Action("GOTPONG", (0, 2)), 1.0),
+            (Action("GOTPONG", (0, 1)), 2.0),
+        )
+        samples = extract_latencies(trace, PINGER_RULES)
+        latencies = {s.key: s.latency for s in samples}
+        assert latencies[(0, 1)] == pytest.approx(2.0)
+        assert latencies[(0, 2)] == pytest.approx(0.5)
+
+    def test_custom_rule(self):
+        rule = PairingRule("beat-gap", ("BEAT",), ("BEAT",))
+        # pathological rule: same name in both roles — invocation wins
+        trace = timed_sequence((Action("BEAT", (0, 1)), 0.0))
+        samples = extract_latencies(trace, (rule,))
+        assert samples == []
+
+    def test_agrees_with_client_side_measurement(self):
+        workload = RegisterWorkload(operations=5, read_fraction=0.5, seed=6)
+        spec = timed_register_system(
+            n=3, d1_prime=0.2, d2_prime=1.0, c=0.3, workload=workload,
+            delay_model=UniformDelay(seed=6),
+        )
+        run = run_register_experiment(spec, 50.0)
+        samples = extract_latencies(run.result.trace, REGISTER_RULES)
+        trace_reads = sorted(
+            s.latency for s in samples if s.label == "read"
+        )
+        client_reads = sorted(op.latency for op in run.reads)
+        assert trace_reads == pytest.approx(client_reads)
+
+    def test_summaries(self):
+        samples = extract_latencies(self.register_trace())
+        summaries = latency_summaries(samples)
+        assert summaries["read"].count == 1
+        assert summaries["write"].mean == pytest.approx(1.0)
+
+
+class TestEarlyStop:
+    def test_stop_when_ends_run_early(self):
+        spec = build_timed_system(
+            pinger_topology(), pinger_process_factory(10, 1.0), 0.1, 0.5,
+        )
+        sim = spec.simulator()
+        result = sim.run(
+            100.0,
+            stop_when=lambda recorder, now: recorder.count("GOTPONG") >= 3,
+        )
+        assert result.recorder.count("GOTPONG") == 3
+        assert not result.completed()
+        assert result.now < 100.0
+
+    def test_no_stop_when_runs_to_horizon(self):
+        spec = build_timed_system(
+            pinger_topology(), pinger_process_factory(2, 1.0), 0.1, 0.5,
+        )
+        result = spec.simulator().run(10.0)
+        assert result.completed()

@@ -1,0 +1,107 @@
+"""Tests for sequential object specifications."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.objects.specs import (
+    CounterSpec,
+    GrowSetSpec,
+    LWWMapSpec,
+    MaxRegisterSpec,
+    PNCounterSpec,
+    RegisterSpec,
+)
+
+
+class TestRegisterSpec:
+    def test_write_then_read(self):
+        spec = RegisterSpec("v0")
+        state = spec.initial()
+        assert spec.evaluate(state, ("read",)) == "v0"
+        state = spec.apply_update(state, ("write", "v1"))
+        assert spec.evaluate(state, ("read",)) == "v1"
+
+    def test_unknown_ops_rejected(self):
+        spec = RegisterSpec()
+        with pytest.raises(SpecificationError):
+            spec.apply_update(spec.initial(), ("bump", 1))
+        with pytest.raises(SpecificationError):
+            spec.evaluate(spec.initial(), ("peek",))
+
+
+class TestCounterSpec:
+    def test_adds_accumulate(self):
+        spec = CounterSpec()
+        state = spec.initial()
+        for k in (1, 2, 3):
+            state = spec.apply_update(state, ("add", k))
+        assert spec.evaluate(state, ("read",)) == 6
+
+    def test_commutative(self):
+        spec = CounterSpec()
+        a = spec.apply_update(spec.apply_update(spec.initial(), ("add", 2)), ("add", 5))
+        b = spec.apply_update(spec.apply_update(spec.initial(), ("add", 5)), ("add", 2))
+        assert a == b
+
+
+class TestMaxRegisterSpec:
+    def test_max_semantics(self):
+        spec = MaxRegisterSpec()
+        state = spec.initial()
+        state = spec.apply_update(state, ("writemax", 7))
+        state = spec.apply_update(state, ("writemax", 3))
+        assert spec.evaluate(state, ("read",)) == 7
+
+    def test_floor(self):
+        assert MaxRegisterSpec(floor=10).initial() == 10
+
+
+class TestGrowSetSpec:
+    def test_add_and_queries(self):
+        spec = GrowSetSpec()
+        state = spec.apply_update(spec.initial(), ("add", "x"))
+        assert spec.evaluate(state, ("contains", "x")) is True
+        assert spec.evaluate(state, ("contains", "y")) is False
+        assert spec.evaluate(state, ("size",)) == 1
+
+    def test_idempotent_add(self):
+        spec = GrowSetSpec()
+        state = spec.apply_update(spec.initial(), ("add", "x"))
+        state = spec.apply_update(state, ("add", "x"))
+        assert spec.evaluate(state, ("size",)) == 1
+
+    def test_state_hashable(self):
+        spec = GrowSetSpec()
+        state = spec.apply_update(spec.initial(), ("add", (1, "a")))
+        hash(state)
+
+
+class TestPNCounterSpec:
+    def test_add_and_sub(self):
+        spec = PNCounterSpec()
+        state = spec.apply_update(spec.initial(), ("add", 5))
+        state = spec.apply_update(state, ("sub", 2))
+        assert spec.evaluate(state, ("read",)) == 3
+
+
+class TestLWWMapSpec:
+    def test_put_get_remove(self):
+        spec = LWWMapSpec()
+        state = spec.apply_update(spec.initial(), ("put", "k", 1))
+        assert spec.evaluate(state, ("get", "k")) == 1
+        state = spec.apply_update(state, ("put", "k", 2))
+        assert spec.evaluate(state, ("get", "k")) == 2
+        state = spec.apply_update(state, ("remove", "k"))
+        assert spec.evaluate(state, ("get", "k")) is None
+
+    def test_size_and_absent_get(self):
+        spec = LWWMapSpec()
+        assert spec.evaluate(spec.initial(), ("size",)) == 0
+        assert spec.evaluate(spec.initial(), ("get", "missing")) is None
+
+    def test_state_hashable_and_order_independent(self):
+        spec = LWWMapSpec()
+        a = spec.apply_update(spec.apply_update(spec.initial(), ("put", "a", 1)), ("put", "b", 2))
+        b = spec.apply_update(spec.apply_update(spec.initial(), ("put", "b", 2)), ("put", "a", 1))
+        assert a == b
+        hash(a)

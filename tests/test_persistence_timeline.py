@@ -1,0 +1,139 @@
+"""Tests for trace persistence and the ASCII timeline renderer."""
+
+import io
+
+import pytest
+
+from repro.automata.actions import Action
+from repro.automata.executions import timed_sequence
+from repro.errors import ReproError
+from repro.registers.system import (
+    run_register_experiment,
+    timed_register_system,
+)
+from repro.registers.workload import RegisterWorkload
+from repro.sim.delay import UniformDelay
+from repro.sim.persistence import (
+    dump_events,
+    dumps_timed_sequence,
+    load_events,
+    load_recorder,
+    loads_timed_sequence,
+    save_recorder,
+)
+from repro.analysis.timeline import render_timeline
+from repro.traces.linearizability import is_linearizable
+
+
+def sample_run():
+    workload = RegisterWorkload(operations=4, read_fraction=0.5, seed=5)
+    spec = timed_register_system(
+        n=2, d1_prime=0.2, d2_prime=1.0, c=0.3, workload=workload,
+        delay_model=UniformDelay(seed=5),
+    )
+    return run_register_experiment(spec, 40.0)
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_events(self, tmp_path):
+        run = sample_run()
+        path = tmp_path / "trace.jsonl"
+        count = save_recorder(run.result.recorder, str(path))
+        assert count == len(run.result.recorder)
+        reloaded = load_recorder(str(path))
+        assert reloaded.events == run.result.recorder.events
+
+    def test_reloaded_trace_rechecks(self, tmp_path):
+        run = sample_run()
+        path = tmp_path / "trace.jsonl"
+        save_recorder(run.result.recorder, str(path))
+        reloaded = load_recorder(str(path))
+        assert reloaded.timed_trace() == run.result.trace
+        assert is_linearizable(reloaded.timed_trace(), run.initial_value)
+
+    def test_tuple_list_distinction_roundtrips(self):
+        seq = timed_sequence(
+            (Action("X", ((1, 2), [3, 4], "s", None, True)), 0.0)
+        )
+        text = dumps_timed_sequence(seq)
+        back = loads_timed_sequence(text)
+        params = back[0].action.params
+        assert params[0] == (1, 2) and isinstance(params[0], tuple)
+        assert params[1] == [3, 4] and isinstance(params[1], list)
+        assert params[3] is None and params[4] is True
+
+    def test_unserializable_payload_rejected(self):
+        seq = timed_sequence((Action("X", (object(),)), 0.0))
+        with pytest.raises(ReproError):
+            dumps_timed_sequence(seq)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ReproError):
+            load_events(io.StringIO(""))
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ReproError):
+            load_events(io.StringIO('{"format": "other"}\n'))
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ReproError):
+            load_events(
+                io.StringIO('{"format": "repro-trace", "version": 999}\n')
+            )
+
+    def test_blank_lines_tolerated(self):
+        buffer = io.StringIO()
+        run = sample_run()
+        dump_events(run.result.recorder.events[:2], buffer)
+        text = buffer.getvalue() + "\n\n"
+        events = load_events(io.StringIO(text))
+        assert len(events) == 2
+
+
+class TestTimeline:
+    def test_empty_trace(self):
+        assert render_timeline(timed_sequence()) == "(empty trace)"
+
+    def test_lanes_per_node(self):
+        trace = timed_sequence(
+            (Action("WRITE", (0, "v")), 0.0),
+            (Action("READ", (1,)), 1.0),
+            (Action("ACK", (0,)), 2.0),
+            (Action("RETURN", (1, "v")), 3.0),
+        )
+        text = render_timeline(trace, width=40)
+        assert "node 0" in text and "node 1" in text
+        node0_line = [l for l in text.splitlines() if l.startswith("node 0")][0]
+        assert "W" in node0_line and "A" in node0_line
+        assert "R" not in node0_line.split("|", 1)[1]
+
+    def test_glyph_override_and_legend(self):
+        trace = timed_sequence((Action("CUSTOM", (0,)), 0.0))
+        text = render_timeline(trace, width=20, glyphs={"CUSTOM": "#"})
+        assert "#" in text
+        assert "#=CUSTOM" in text
+
+    def test_unknown_action_uses_star(self):
+        trace = timed_sequence((Action("MYSTERY", (0,)), 0.0))
+        assert "*" in render_timeline(trace, width=20)
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            render_timeline(timed_sequence((Action("A", (0,)), 0.0)), width=5)
+
+    def test_events_positioned_proportionally(self):
+        trace = timed_sequence(
+            (Action("WRITE", (0, "v")), 0.0),
+            (Action("ACK", (0,)), 10.0),
+        )
+        line = [
+            l for l in render_timeline(trace, width=50).splitlines()
+            if l.startswith("node 0")
+        ][0]
+        lane = line.split("|")[1]
+        assert lane[0] == "W" and lane[-1] == "A"
+
+    def test_real_run_renders(self):
+        run = sample_run()
+        text = render_timeline(run.result.trace)
+        assert "node 0" in text and "legend:" in text

@@ -1,0 +1,135 @@
+"""Tests for the system builders and guarantee bookkeeping."""
+
+import pytest
+
+from helpers import pinger_process_factory, pinger_topology
+from repro.automata.actions import Action
+from repro.core.pipeline import (
+    SystemSpec,
+    build_clock_system,
+    build_mmt_system,
+    build_native_clock_system,
+    build_timed_system,
+    simulation1_delay_bounds,
+    simulation2_shift_bound,
+)
+from repro.clocks.sources import PerfectClockSource
+from repro.sim.clock_drivers import PerfectClockDriver
+from repro.sim.delay import MinimalDelay
+
+
+class TestBounds:
+    def test_simulation1_widening(self):
+        assert simulation1_delay_bounds(0.5, 2.0, 0.1) == (0.3, 2.2)
+
+    def test_simulation1_floor_at_zero(self):
+        assert simulation1_delay_bounds(0.1, 2.0, 0.2) == (0.0, 2.4)
+
+    def test_simulation1_zero_eps_identity(self):
+        assert simulation1_delay_bounds(0.5, 2.0, 0.0) == (0.5, 2.0)
+
+    def test_simulation2_shift(self):
+        assert simulation2_shift_bound(3, 0.1, 0.05) == pytest.approx(
+            3 * 0.1 + 0.1 + 0.3
+        )
+
+
+class TestBuilders:
+    def test_timed_entities(self):
+        spec = build_timed_system(
+            pinger_topology(), pinger_process_factory(1, 1.0), 0.1, 1.0
+        )
+        names = {e.name for e in spec.entities}
+        assert "pinger(0)" in names and "echo(1)" in names
+        assert "chan[0->1]" in names and "chan[1->0]" in names
+        assert set(spec.node_entities) == {0, 1}
+
+    def test_clock_entities(self):
+        spec = build_clock_system(
+            pinger_topology(), pinger_process_factory(1, 1.0), 0.1,
+            0.1, 1.0, lambda i: PerfectClockDriver(0.1),
+        )
+        names = {e.name for e in spec.entities}
+        assert "pinger(0)^c" in names
+        assert any(name.startswith("chan[0->1]") for name in names)
+
+    def test_native_clock_entities(self):
+        spec = build_native_clock_system(
+            pinger_topology(), pinger_process_factory(1, 1.0), 0.1,
+            0.1, 1.0, lambda i: PerfectClockDriver(0.1),
+        )
+        assert any("@clock" in e.name for e in spec.entities)
+
+    def test_mmt_entities_include_ticks(self):
+        spec = build_mmt_system(
+            pinger_topology(), pinger_process_factory(1, 1.0), 0.1,
+            0.1, 1.0, step_bound=0.05,
+            sources=lambda i: PerfectClockSource(),
+        )
+        names = {e.name for e in spec.entities}
+        assert "tick(0)" in names and "tick(1)" in names
+        assert "pinger(0)^m" in names
+
+    def test_hidden_sets(self):
+        timed = build_timed_system(
+            pinger_topology(), pinger_process_factory(1, 1.0), 0.1, 1.0
+        )
+        assert Action("SENDMSG", (0, 1, "m")) in timed.hidden
+        assert Action("PING", (0, 1)) not in timed.hidden
+
+        clock = build_clock_system(
+            pinger_topology(), pinger_process_factory(1, 1.0), 0.1,
+            0.1, 1.0, lambda i: PerfectClockDriver(0.1),
+        )
+        assert Action("ESENDMSG", (0, 1, ("m", 1.0))) in clock.hidden
+
+        mmt = build_mmt_system(
+            pinger_topology(), pinger_process_factory(1, 1.0), 0.1,
+            0.1, 1.0, step_bound=0.05,
+            sources=lambda i: PerfectClockSource(),
+        )
+        assert Action("TICK", (0, 1.0)) in mmt.hidden
+
+
+class TestSystemSpec:
+    def make(self):
+        return build_timed_system(
+            pinger_topology(), pinger_process_factory(2, 1.0), 0.1, 1.0,
+            MinimalDelay(),
+        )
+
+    def test_add_returns_new_spec(self):
+        spec = self.make()
+        from repro.components.base import Entity
+        from repro.automata.signature import Signature
+
+        class Dummy(Entity):
+            def __init__(self):
+                super().__init__("dummy", Signature())
+
+            def initial_state(self):
+                return {}
+
+            def enabled(self, state, now):
+                return []
+
+            def fire(self, state, action, now):
+                raise AssertionError
+
+            def apply_input(self, state, action, now):
+                raise AssertionError
+
+        extended = spec.add(Dummy())
+        assert len(extended.entities) == len(spec.entities) + 1
+        assert len(spec.entities) == 4  # original untouched (2 nodes, 2 channels)
+
+    def test_run_convenience(self):
+        result = self.make().run(5.0)
+        assert result.completed()
+        assert result.recorder.count("PING") == 2
+
+    def test_max_steps_threading(self):
+        from repro.errors import SimulationLimitError
+
+        with pytest.raises(SimulationLimitError):
+            self.make().run(5.0, max_steps=1)

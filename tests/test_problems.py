@@ -1,0 +1,122 @@
+"""Tests for problems and the P_eps / P^delta generalizations."""
+
+import pytest
+
+from repro.automata.actions import Action, action_set
+from repro.automata.executions import timed_sequence
+from repro.automata.signature import Signature
+from repro.errors import SpecificationError
+from repro.traces.problems import PredicateProblem, solves_trace
+
+REQ0 = Action("REQ", (0,))
+RSP0 = Action("RSP", (0,))
+REQ1 = Action("REQ", (1,))
+RSP1 = Action("RSP", (1,))
+
+
+def two_node_partition():
+    return [
+        Signature(inputs=action_set(("REQ", (0,))), outputs=action_set(("RSP", (0,)))),
+        Signature(inputs=action_set(("REQ", (1,))), outputs=action_set(("RSP", (1,)))),
+    ]
+
+
+def responsive_within(bound):
+    """Every RSP_i follows its REQ_i within `bound` time."""
+
+    def predicate(trace):
+        pending = {}
+        for ev in trace:
+            node = ev.action.params[0]
+            if ev.action.name == "REQ":
+                pending[node] = ev.time
+            elif ev.action.name == "RSP":
+                if node not in pending:
+                    return False
+                if ev.time - pending.pop(node) > bound + 1e-9:
+                    return False
+        return True
+
+    return PredicateProblem(two_node_partition(), predicate, name="responsive")
+
+
+class TestProblem:
+    def test_empty_partition_rejected(self):
+        with pytest.raises(SpecificationError):
+            PredicateProblem([], lambda t: True)
+
+    def test_membership(self):
+        problem = responsive_within(1.0)
+        good = timed_sequence((REQ0, 0.0), (RSP0, 0.8))
+        slow = timed_sequence((REQ0, 0.0), (RSP0, 1.5))
+        assert good in problem
+        assert slow not in problem
+        assert solves_trace(problem, good)
+
+    def test_kappa_built_from_partition(self):
+        problem = responsive_within(1.0)
+        kappa = problem.kappa
+        assert REQ0 in kappa[0] and RSP0 in kappa[0]
+        assert REQ0 not in kappa[1]
+
+    def test_output_kappa(self):
+        problem = responsive_within(1.0)
+        out = problem.output_kappa
+        assert RSP0 in out[0]
+        assert REQ0 not in out[0]
+
+
+class TestEpsilonRelaxation:
+    def test_identity_witness_keeps_members(self):
+        relaxed = responsive_within(1.0).relax_eps(0.5)
+        assert timed_sequence((REQ0, 0.0), (RSP0, 0.8)) in relaxed
+
+    def test_witness_strategy_admits_perturbed_trace(self):
+        base = responsive_within(1.0)
+        # Trace misses the bound by 0.3, but a witness shifted back
+        # into the bound exists within eps=0.2 per event.
+        trace = timed_sequence((REQ0, 0.0), (RSP0, 1.3))
+
+        def witnesses(alpha):
+            yield timed_sequence((REQ0, 0.2), (RSP0, 1.1))
+
+        relaxed = base.relax_eps(0.2, witnesses=witnesses)
+        assert trace in relaxed
+        assert trace not in base.relax_eps(0.2)  # identity witness fails
+
+    def test_witness_must_be_member_of_base(self):
+        base = responsive_within(1.0)
+        trace = timed_sequence((REQ0, 0.0), (RSP0, 2.0))
+
+        def bogus(alpha):
+            yield alpha  # not in base, same as identity
+
+        assert trace not in base.relax_eps(10.0, witnesses=bogus) or \
+            timed_sequence((REQ0, 0.0), (RSP0, 2.0)) in base
+
+
+class TestDeltaShift:
+    def test_shifted_outputs_accepted(self):
+        base = responsive_within(1.0)
+        # RSP shifted 0.4 into the future relative to a member.
+        trace = timed_sequence((REQ0, 0.0), (RSP0, 1.4))
+
+        def witnesses(alpha):
+            yield timed_sequence((REQ0, 0.0), (RSP0, 1.0))
+
+        assert trace in base.shift_outputs(0.5, witnesses=witnesses)
+        assert trace not in base.shift_outputs(0.3, witnesses=witnesses)
+
+    def test_inputs_may_not_move(self):
+        base = responsive_within(1.0)
+        trace = timed_sequence((REQ0, 0.5), (RSP0, 1.0))
+
+        def witnesses(alpha):
+            yield timed_sequence((REQ0, 0.0), (RSP0, 1.0))
+
+        assert trace not in base.shift_outputs(10.0, witnesses=witnesses)
+
+    def test_names(self):
+        base = responsive_within(1.0)
+        assert "eps" in base.relax_eps(0.1).name
+        assert "^" in base.shift_outputs(0.1).name

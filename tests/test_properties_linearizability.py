@@ -1,0 +1,111 @@
+"""Property-based tests for the linearizability checker (hypothesis).
+
+The generator builds histories *from a sequential oracle*: it lays down
+linearization points first (a sequential register run), then widens each
+point into an interval and interleaves them. Such histories are
+linearizable by construction, so the checker must accept them. Mutations
+that provably break linearizability must be rejected.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.linearizability import Operation, find_linearization, is_linearizable
+
+
+@st.composite
+def oracle_histories(draw, max_ops=7):
+    """Histories generated around a hidden sequential execution."""
+    count = draw(st.integers(min_value=1, max_value=max_ops))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    value = None
+    point = 0.0
+    ops = []
+    for op_id in range(count):
+        point += rng.uniform(0.1, 2.0)
+        if rng.random() < 0.5:
+            value = ("w", op_id)
+            kind = "W"
+            seen = value
+        else:
+            kind = "R"
+            seen = value
+        lead = rng.uniform(0.0, 1.5)
+        lag = rng.uniform(0.0, 1.5)
+        node = rng.randrange(3)
+        ops.append(
+            Operation(op_id, node, kind, seen, point - lead, point + lag)
+        )
+    return ops
+
+
+class TestOracleHistories:
+    @given(oracle_histories())
+    @settings(max_examples=80, deadline=None)
+    def test_oracle_histories_are_linearizable(self, ops):
+        assert is_linearizable(ops, initial_value=None)
+
+    @given(oracle_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_found_points_replay_sequentially(self, ops):
+        lin = find_linearization(ops, initial_value=None)
+        assert lin is not None
+        by_id = {op.op_id: op for op in ops}
+        value = None
+        previous = 0.0
+        for op_id, point in lin:
+            op = by_id[op_id]
+            assert op.inv_time - 1e-9 <= point <= op.res_time + 1e-9
+            assert point >= previous - 1e-9
+            previous = point
+            if op.kind == "W":
+                value = op.value
+            else:
+                assert op.value == value
+
+
+class TestMutations:
+    @given(oracle_histories(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_future_read_rejected(self, ops, seed):
+        """A read that returns a value written strictly after it ends is
+        never linearizable."""
+        rng = random.Random(seed)
+        reads = [op for op in ops if op.kind == "R"]
+        if not reads:
+            return
+        victim = rng.choice(reads)
+        end = max(op.res_time for op in ops) + 1.0
+        future_write = Operation(
+            len(ops), 9, "W", ("future",), end + 1.0, end + 2.0
+        )
+        mutated = [
+            Operation(
+                op.op_id, op.node, op.kind,
+                ("future",) if op.op_id == victim.op_id else op.value,
+                op.inv_time, op.res_time,
+            )
+            for op in ops
+        ] + [future_write]
+        assert not is_linearizable(mutated, initial_value=None)
+
+    @given(oracle_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_unwritten_value_rejected(self, ops):
+        """A read returning a value no write ever wrote fails."""
+        reads = [op for op in ops if op.kind == "R"]
+        if not reads:
+            return
+        victim = reads[0]
+        mutated = [
+            Operation(
+                op.op_id, op.node, op.kind,
+                ("never-written",) if op.op_id == victim.op_id else op.value,
+                op.inv_time, op.res_time,
+            )
+            for op in ops
+        ]
+        assert not is_linearizable(mutated, initial_value=None)

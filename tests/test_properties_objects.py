@@ -1,0 +1,115 @@
+"""Property-based tests for the spec-driven object checker."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects.history import ObjOperation, is_object_linearizable
+from repro.objects.specs import CounterSpec, GrowSetSpec, MaxRegisterSpec
+
+
+@st.composite
+def counter_histories(draw, max_ops=7):
+    """Counter histories generated from a hidden sequential execution."""
+    count = draw(st.integers(min_value=1, max_value=max_ops))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    total = 0
+    point = 0.0
+    ops = []
+    for op_id in range(count):
+        point += rng.uniform(0.1, 2.0)
+        lead, lag = rng.uniform(0.0, 1.5), rng.uniform(0.0, 1.5)
+        node = rng.randrange(3)
+        if rng.random() < 0.6:
+            amount = rng.randint(1, 4)
+            total += amount
+            ops.append(
+                ObjOperation(op_id, node, "U", ("add", amount), None,
+                             point - lead, point + lag)
+            )
+        else:
+            ops.append(
+                ObjOperation(op_id, node, "Q", ("read",), total,
+                             point - lead, point + lag)
+            )
+    return ops
+
+
+@st.composite
+def gset_histories(draw, max_ops=7):
+    count = draw(st.integers(min_value=1, max_value=max_ops))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    members = set()
+    point = 0.0
+    ops = []
+    for op_id in range(count):
+        point += rng.uniform(0.1, 2.0)
+        lead, lag = rng.uniform(0.0, 1.5), rng.uniform(0.0, 1.5)
+        node = rng.randrange(3)
+        if rng.random() < 0.5:
+            element = rng.randrange(5)
+            members.add(element)
+            ops.append(
+                ObjOperation(op_id, node, "U", ("add", element), None,
+                             point - lead, point + lag)
+            )
+        else:
+            element = rng.randrange(5)
+            ops.append(
+                ObjOperation(op_id, node, "Q", ("contains", element),
+                             element in members, point - lead, point + lag)
+            )
+    return ops
+
+
+class TestOracleObjectHistories:
+    @given(counter_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_counter_oracle_histories_linearizable(self, ops):
+        assert is_object_linearizable(ops, CounterSpec())
+
+    @given(gset_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_gset_oracle_histories_linearizable(self, ops):
+        assert is_object_linearizable(ops, GrowSetSpec())
+
+    @given(counter_histories(), st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_inflated_read_rejected(self, ops, extra):
+        """A read exceeding the total of all adds can never linearize."""
+        reads = [op for op in ops if op.kind == "Q"]
+        if not reads:
+            return
+        ceiling = sum(
+            op.payload[1] for op in ops if op.kind == "U"
+        )
+        victim = reads[0]
+        mutated = [
+            ObjOperation(
+                op.op_id, op.node, op.kind, op.payload,
+                ceiling + extra if op.op_id == victim.op_id else op.response,
+                op.inv_time, op.res_time,
+            )
+            for op in ops
+        ]
+        assert not is_object_linearizable(mutated, CounterSpec())
+
+    @given(counter_histories())
+    @settings(max_examples=40, deadline=None)
+    def test_max_register_from_counter_shape(self, ops):
+        """Reinterpreting adds as writemax with running maxima is also
+        linearizable under the max-register spec."""
+        running = 0
+        translated = []
+        for op in sorted(ops, key=lambda o: (o.inv_time + o.res_time) / 2):
+            if op.kind == "U":
+                running += op.payload[1]
+                translated.append(
+                    ObjOperation(op.op_id, op.node, "U",
+                                 ("writemax", running), None,
+                                 op.inv_time, op.res_time)
+                )
+        assert is_object_linearizable(translated, MaxRegisterSpec())

@@ -1,0 +1,134 @@
+"""Property-based tests for the trace relations (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.actions import Action, action_set
+from repro.automata.executions import TimedEvent, TimedSequence
+from repro.traces.relations import (
+    equivalent_eps,
+    find_eps_matching,
+    max_time_displacement,
+    shifted_delta,
+    verify_eps_bijection,
+)
+
+NODES = [0, 1]
+NAMES = ["A", "B"]
+KAPPA = [action_set(("A", (i,)), ("B", (i,))) for i in NODES]
+
+
+@st.composite
+def traces(draw, max_events=8):
+    count = draw(st.integers(min_value=0, max_value=max_events))
+    events = []
+    t = 0.0
+    for _ in range(count):
+        t += draw(st.floats(min_value=0.0, max_value=2.0))
+        name = draw(st.sampled_from(NAMES))
+        node = draw(st.sampled_from(NODES))
+        events.append(TimedEvent(Action(name, (node,)), t))
+    return TimedSequence(events)
+
+
+def perturb(trace, eps, seed):
+    """An eps-perturbation preserving per-node order (a known witness)."""
+    rng = random.Random(seed)
+    last = {}
+    events = []
+    for ev in trace:
+        node = ev.action.params[0]
+        lo = max(ev.time - eps, last.get(node, -1e9))
+        hi = ev.time + eps
+        t = rng.uniform(lo, hi) if lo < hi else lo
+        last[node] = t
+        events.append(TimedEvent(ev.action, t))
+    events.sort(key=lambda e: e.time)
+    return TimedSequence(events)
+
+
+class TestEpsilonEquivalenceProperties:
+    @given(traces())
+    def test_reflexive(self, trace):
+        assert equivalent_eps(trace, trace, 0.0, KAPPA)
+
+    @given(traces(), st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=60)
+    def test_perturbation_within_eps_is_equivalent(self, trace, eps, seed):
+        other = perturb(trace, eps, seed)
+        assert equivalent_eps(trace, other, eps + 1e-6, KAPPA)
+
+    @given(traces(), st.floats(min_value=0.05, max_value=1.0),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=60)
+    def test_symmetry(self, trace, eps, seed):
+        other = perturb(trace, eps, seed)
+        forward = equivalent_eps(trace, other, eps + 1e-6, KAPPA)
+        backward = equivalent_eps(other, trace, eps + 1e-6, KAPPA)
+        assert forward == backward
+
+    @given(traces(), st.floats(min_value=0.05, max_value=0.5),
+           st.integers(min_value=0, max_value=50))
+    @settings(max_examples=60)
+    def test_matching_verifies_against_definition(self, trace, eps, seed):
+        other = perturb(trace, eps, seed)
+        matching = find_eps_matching(trace, other, eps + 1e-6, KAPPA)
+        assert matching is not None
+        assert verify_eps_bijection(trace, other, eps + 1e-6, KAPPA, matching)
+
+    @given(traces(), st.floats(min_value=0.05, max_value=0.5),
+           st.integers(min_value=0, max_value=50))
+    @settings(max_examples=60)
+    def test_displacement_at_most_eps(self, trace, other_eps, seed):
+        other = perturb(trace, other_eps, seed)
+        displacement = max_time_displacement(trace, other, KAPPA)
+        assert displacement is not None
+        assert displacement <= other_eps + 1e-6
+
+    @given(traces())
+    @settings(max_examples=40)
+    def test_dropping_an_event_breaks_equivalence(self, trace):
+        if len(trace) == 0:
+            return
+        shorter = TimedSequence(list(trace)[:-1])
+        assert not equivalent_eps(trace, shorter, 1e9, KAPPA)
+
+
+class TestDeltaShiftProperties:
+    BIG_K = [action_set("B")]
+
+    @given(traces())
+    def test_reflexive(self, trace):
+        assert shifted_delta(trace, trace, 0.0, self.BIG_K)
+
+    @given(traces(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_uniform_forward_shift_of_class(self, trace, delta):
+        events = [
+            TimedEvent(ev.action, ev.time + (delta if ev.action.name == "B" else 0.0))
+            for ev in trace
+        ]
+        events.sort(key=lambda e: e.time)
+        shifted = TimedSequence(events)
+        assert shifted_delta(trace, shifted, delta + 1e-6, self.BIG_K)
+
+    @given(traces(), st.floats(min_value=0.1, max_value=1.0))
+    @settings(max_examples=60)
+    def test_transitive_composition_adds_deltas(self, trace, delta):
+        def shift_b(seq, amount):
+            events = [
+                TimedEvent(
+                    ev.action,
+                    ev.time + (amount if ev.action.name == "B" else 0.0),
+                )
+                for ev in seq
+            ]
+            events.sort(key=lambda e: e.time)
+            return TimedSequence(events)
+
+        once = shift_b(trace, delta)
+        twice = shift_b(once, delta)
+        assert shifted_delta(trace, twice, 2 * delta + 1e-6, self.BIG_K)

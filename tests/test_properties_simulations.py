@@ -1,0 +1,92 @@
+"""Property-based sweeps over the two simulations' parameter spaces.
+
+Theorem 4.7 and Theorem 5.1 claims checked under hypothesis-generated
+(eps, delays, adversary) combinations — broader than the fixed grids in
+the deterministic test files.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import pinger_process_factory, pinger_topology
+from repro.automata.actions import ActionPattern, PatternActionSet
+from repro.clocks.sources import OffsetClockSource
+from repro.core.mmt_transform import LazyStepPolicy
+from repro.core.pipeline import (
+    build_clock_system,
+    build_mmt_system,
+    simulation1_delay_bounds,
+    simulation2_shift_bound,
+)
+from repro.sim.clock_drivers import driver_factory
+from repro.sim.delay import UniformDelay
+from repro.traces.relations import equivalent_eps, max_time_displacement
+
+KAPPA = [PatternActionSet([ActionPattern("PING"), ActionPattern("GOTPONG")])]
+
+
+class TestTheorem47Property:
+    @given(
+        eps=st.floats(min_value=0.01, max_value=0.4),
+        d1=st.floats(min_value=0.0, max_value=0.5),
+        width=st.floats(min_value=0.1, max_value=1.5),
+        kind=st.sampled_from(["perfect", "fast", "slow", "mixed", "random"]),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_trace_eps_equivalent_to_gamma_and_gamma_in_p(
+        self, eps, d1, width, kind, seed
+    ):
+        d2 = d1 + width
+        spec = build_clock_system(
+            pinger_topology(), pinger_process_factory(3, 2.0), eps, d1, d2,
+            drivers=driver_factory(kind, eps, seed=seed),
+            delay_model=UniformDelay(seed=seed),
+        )
+        result = spec.run(20.0)
+        gamma = result.clock_trace()
+        assert len(gamma) == 6  # 3 pings + 3 pongs
+        # Theorem 4.6: the real trace is =_eps to gamma
+        assert equivalent_eps(result.trace, gamma, eps, KAPPA)
+        displacement = max_time_displacement(result.trace, gamma, KAPPA)
+        assert displacement is not None and displacement <= eps + 1e-9
+        # gamma satisfies the design-model round-trip bounds
+        d1p, d2p = simulation1_delay_bounds(d1, d2, eps)
+        pings = {}
+        for ev in gamma:
+            if ev.action.name == "PING":
+                pings[ev.action.params[1]] = ev.time
+            else:
+                rtt = ev.time - pings[ev.action.params[1]]
+                assert 2 * d1p - 1e-9 <= rtt <= 2 * d2p + 1e-9
+
+
+class TestTheorem51Property:
+    @given(
+        eps=st.floats(min_value=0.01, max_value=0.15),
+        ell=st.floats(min_value=0.01, max_value=0.15),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_output_shift_within_bound(self, eps, ell, seed):
+        spec = build_mmt_system(
+            pinger_topology(), pinger_process_factory(3, 2.0),
+            eps, d1=0.2, d2=1.0, step_bound=ell,
+            sources=lambda i: OffsetClockSource(eps, eps if i == 0 else -eps),
+            step_policy_factory=lambda i: LazyStepPolicy(),
+            delay_model=UniformDelay(seed=seed),
+        )
+        result = spec.run(15.0, max_steps=3_000_000)
+        k = 3  # a ping burst: PING + SENDMSG (+ reply handling)
+        bound = simulation2_shift_bound(k, ell, eps)
+        pings = [
+            record for record in result.recorder.events
+            if record.action.name == "PING"
+        ]
+        assert len(pings) == 3
+        for record in pings:
+            scheduled = 2.0 * record.action.params[1]
+            # emitted never before its clock schedule (minus skew),
+            # never later than schedule + skew + shift bound
+            assert record.now >= scheduled - eps - 1e-9
+            assert record.now <= scheduled + eps + bound + 1e-9

@@ -1,0 +1,65 @@
+"""Tests for the output-rate (k, l) restriction utilities (Lemma 4.3)."""
+
+from repro.automata.actions import Action, action_set
+from repro.automata.executions import timed_sequence
+from repro.core.rate import check_output_rate, max_outputs_in_window, smallest_k
+
+OUT = Action("OUT")
+OTHER = Action("OTHER")
+
+
+def out_at(*times):
+    return timed_sequence(*((OUT, t) for t in times))
+
+
+class TestWindowCounting:
+    def test_empty_trace(self):
+        assert max_outputs_in_window(timed_sequence(), 1.0) == 0
+
+    def test_single_event(self):
+        assert max_outputs_in_window(out_at(5.0), 1.0) == 1
+
+    def test_burst_counted(self):
+        trace = out_at(0.0, 0.1, 0.2, 5.0)
+        assert max_outputs_in_window(trace, 0.5) == 3
+
+    def test_spread_events(self):
+        trace = out_at(0.0, 1.0, 2.0, 3.0)
+        assert max_outputs_in_window(trace, 0.5) == 1
+        assert max_outputs_in_window(trace, 2.0) == 2
+
+    def test_restriction_to_output_set(self):
+        trace = timed_sequence((OUT, 0.0), (OTHER, 0.1), (OUT, 0.2))
+        assert max_outputs_in_window(trace, 1.0, action_set("OUT")) == 2
+        assert max_outputs_in_window(trace, 1.0) == 3
+
+    def test_simultaneous_events(self):
+        assert max_outputs_in_window(out_at(1.0, 1.0, 1.0), 0.5) == 3
+
+
+class TestRateCheck:
+    def test_satisfied(self):
+        trace = out_at(0.0, 1.0, 2.0)
+        assert check_output_rate(trace, k=1, step_bound=0.5)
+
+    def test_violated(self):
+        trace = out_at(0.0, 0.1, 0.2)
+        assert not check_output_rate(trace, k=2, step_bound=0.5)
+
+    def test_k_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            check_output_rate(out_at(0.0), 0, 1.0)
+
+    def test_smallest_k(self):
+        trace = out_at(0.0, 0.1, 0.2, 10.0)
+        k = smallest_k(trace, step_bound=0.5)
+        assert k is not None
+        assert check_output_rate(trace, k, 0.5)
+        if k > 1:
+            assert not check_output_rate(trace, k - 1, 0.5)
+
+    def test_smallest_k_none_when_bursty(self):
+        trace = out_at(*([1.0] * 50))
+        assert smallest_k(trace, step_bound=1.0, k_max=10) is None

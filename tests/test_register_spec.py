@@ -1,0 +1,122 @@
+"""Tests for the register problems P and Q, including Lemma 6.4."""
+
+import random
+
+import pytest
+
+from repro.automata.actions import Action
+from repro.automata.executions import TimedEvent, TimedSequence, timed_sequence
+from repro.registers.spec import (
+    linearizable_register_problem,
+    superlinearizable_register_problem,
+)
+from repro.traces.relations import equivalent_eps
+
+
+def sequential_trace(rounds=4, spacing=2.0, latency=0.9):
+    """One writer (node 0) and one reader (node 1), strictly sequential."""
+    events = []
+    t = 1.0
+    last = None
+    for k in range(rounds):
+        value = ("v", 0, k)
+        events.append((Action("WRITE", (0, value)), t))
+        events.append((Action("ACK", (0,)), t + latency))
+        last = value
+        t += spacing
+        events.append((Action("READ", (1,)), t))
+        events.append((Action("RETURN", (1, last)), t + latency))
+        t += spacing
+    return timed_sequence(*events)
+
+
+def perturb(trace, eps, seed):
+    """Move each event by at most eps, preserving per-node order."""
+    rng = random.Random(seed)
+    per_node_last = {}
+    events = []
+    for ev in trace:
+        node = ev.action.params[0]
+        lo = max(ev.time - eps, per_node_last.get(node, 0.0))
+        hi = ev.time + eps
+        t = rng.uniform(lo, hi)
+        per_node_last[node] = t
+        events.append(TimedEvent(ev.action, t))
+    events.sort(key=lambda e: e.time)
+    return TimedSequence(events)
+
+
+class TestProblems:
+    def test_sequential_trace_in_p(self):
+        problem = linearizable_register_problem(2)
+        assert sequential_trace() in problem
+
+    def test_sequential_trace_in_q_with_slack(self):
+        # operations last 0.9; eps-superlinearizability needs 2*eps <= 0.9
+        problem = superlinearizable_register_problem(2, eps=0.4)
+        assert sequential_trace() in problem
+
+    def test_fast_ops_not_in_q(self):
+        problem = superlinearizable_register_problem(2, eps=0.5)
+        assert sequential_trace() not in problem
+
+    def test_stale_read_not_in_p(self):
+        events = [
+            (Action("WRITE", (0, "new")), 0.0),
+            (Action("ACK", (0,)), 1.0),
+            (Action("READ", (1,)), 2.0),
+            (Action("RETURN", (1, "old")), 3.0),
+        ]
+        problem = linearizable_register_problem(2)
+        assert timed_sequence(*events) not in problem
+
+    def test_environment_violation_vacuously_in_p(self):
+        trace = timed_sequence(
+            (Action("READ", (0,)), 0.0), (Action("READ", (0,)), 1.0)
+        )
+        assert trace in linearizable_register_problem(2)
+
+
+class TestLemma64:
+    """Q_eps ⊆ P: any eps-perturbation of a Q-trace is linearizable."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_perturbed_superlinearizable_traces_are_linearizable(self, seed):
+        eps = 0.4
+        q_problem = superlinearizable_register_problem(2, eps)
+        p_problem = linearizable_register_problem(2)
+        base = sequential_trace()
+        assert base in q_problem
+        perturbed = perturb(base, eps, seed)
+        # the perturbed trace is =_eps to the base by construction
+        kappa = q_problem.kappa
+        assert equivalent_eps(base, perturbed, eps, kappa)
+        # Lemma 6.4: it is plainly linearizable
+        assert perturbed in p_problem
+
+    def test_linearizability_alone_does_not_survive_perturbation(self):
+        """Without the 2*eps margin, an eps-perturbation can break
+        linearizability — the motivation for superlinearizability.
+
+        Construct a trace with a razor-thin read that only linearizes at
+        one instant; a perturbation can slide the read before the write
+        completes while the read still returns the new value."""
+        events = [
+            (Action("WRITE", (0, "new")), 0.0),
+            (Action("ACK", (0,)), 0.2),
+            (Action("READ", (1,)), 0.21),
+            (Action("RETURN", (1, "new")), 0.3),
+        ]
+        base = timed_sequence(*events)
+        p_problem = linearizable_register_problem(2)
+        assert base in p_problem
+        # adversarial perturbation with eps = 0.3: the whole read slides
+        # before the write even starts, yet still returns "new"
+        moved = timed_sequence(
+            (Action("READ", (1,)), 0.01),
+            (Action("RETURN", (1, "new")), 0.05),
+            (Action("WRITE", (0, "new")), 0.3),
+            (Action("ACK", (0,)), 0.5),
+        )
+        assert equivalent_eps(base, moved, 0.3, p_problem.kappa)
+        assert moved not in p_problem

@@ -1,0 +1,134 @@
+"""Unit tests for the trace relations ``=_{eps,K}`` and ``<=_{delta,K}``."""
+
+from repro.automata.actions import Action, action_set
+from repro.automata.executions import timed_sequence
+from repro.traces.relations import (
+    equivalent_eps,
+    find_eps_matching,
+    find_shift_matching,
+    max_time_displacement,
+    shifted_delta,
+    verify_eps_bijection,
+)
+
+A0 = Action("A", (0,))
+B0 = Action("B", (0,))
+A1 = Action("A", (1,))
+B1 = Action("B", (1,))
+
+NODE0 = action_set(("A", (0,)), ("B", (0,)))
+NODE1 = action_set(("A", (1,)), ("B", (1,)))
+KAPPA = [NODE0, NODE1]
+
+
+class TestEpsilonEquivalence:
+    def test_identical_sequences(self):
+        seq = timed_sequence((A0, 0.0), (B0, 1.0))
+        assert equivalent_eps(seq, seq, 0.0, KAPPA)
+
+    def test_time_shift_within_eps(self):
+        s1 = timed_sequence((A0, 0.0), (B0, 1.0))
+        s2 = timed_sequence((A0, 0.3), (B0, 0.8))
+        assert equivalent_eps(s1, s2, 0.3, KAPPA)
+        assert not equivalent_eps(s1, s2, 0.1, KAPPA)
+
+    def test_cross_node_reordering_allowed(self):
+        s1 = timed_sequence((A0, 1.0), (A1, 1.1))
+        s2 = timed_sequence((A1, 0.9), (A0, 1.2))
+        assert equivalent_eps(s1, s2, 0.3, KAPPA)
+
+    def test_same_node_reordering_forbidden(self):
+        s1 = timed_sequence((A0, 1.0), (B0, 1.1))
+        s2 = timed_sequence((B0, 1.0), (A0, 1.1))
+        assert not equivalent_eps(s1, s2, 10.0, KAPPA)
+
+    def test_different_actions_never_related(self):
+        s1 = timed_sequence((A0, 0.0))
+        s2 = timed_sequence((B0, 0.0))
+        assert not equivalent_eps(s1, s2, 10.0, KAPPA)
+
+    def test_different_lengths_never_related(self):
+        s1 = timed_sequence((A0, 0.0))
+        s2 = timed_sequence((A0, 0.0), (A0, 1.0))
+        assert not equivalent_eps(s1, s2, 10.0, KAPPA)
+
+    def test_unclassified_identical_actions_interchange(self):
+        free = Action("FREE")
+        s1 = timed_sequence((free, 0.0), (free, 1.0))
+        s2 = timed_sequence((free, 0.2), (free, 0.9))
+        assert equivalent_eps(s1, s2, 0.25, KAPPA)
+
+    def test_empty_sequences(self):
+        empty = timed_sequence()
+        assert equivalent_eps(empty, empty, 0.0, KAPPA)
+
+    def test_matching_is_a_valid_bijection(self):
+        s1 = timed_sequence((A0, 1.0), (A1, 1.1), (B0, 2.0))
+        s2 = timed_sequence((A1, 1.0), (A0, 1.15), (B0, 1.9))
+        matching = find_eps_matching(s1, s2, 0.2, KAPPA)
+        assert matching is not None
+        assert verify_eps_bijection(s1, s2, 0.2, KAPPA, matching)
+
+    def test_verify_rejects_wrong_bijection(self):
+        s1 = timed_sequence((A0, 1.0), (B0, 2.0))
+        s2 = timed_sequence((A0, 1.0), (B0, 2.0))
+        # swap: maps A0 to B0
+        assert not verify_eps_bijection(s1, s2, 10.0, KAPPA, [(0, 1), (1, 0)])
+
+    def test_symmetry(self):
+        s1 = timed_sequence((A0, 0.0), (B0, 1.0))
+        s2 = timed_sequence((A0, 0.2), (B0, 1.2))
+        assert equivalent_eps(s1, s2, 0.2, KAPPA)
+        assert equivalent_eps(s2, s1, 0.2, KAPPA)
+
+    def test_max_time_displacement(self):
+        s1 = timed_sequence((A0, 0.0), (B0, 1.0))
+        s2 = timed_sequence((A0, 0.1), (B0, 1.3))
+        assert abs(max_time_displacement(s1, s2, KAPPA) - 0.3) < 1e-9
+
+    def test_max_time_displacement_none_when_unrelated(self):
+        s1 = timed_sequence((A0, 0.0))
+        s2 = timed_sequence((B0, 0.0))
+        assert max_time_displacement(s1, s2, KAPPA) is None
+
+
+class TestDeltaShift:
+    BIG_K = [action_set(("B", (0,)))]  # only B0 may be shifted
+
+    def test_forward_shift_within_delta(self):
+        s1 = timed_sequence((A0, 0.0), (B0, 1.0))
+        s2 = timed_sequence((A0, 0.0), (B0, 1.4))
+        assert shifted_delta(s1, s2, 0.5, self.BIG_K)
+        assert not shifted_delta(s1, s2, 0.3, self.BIG_K)
+
+    def test_backward_shift_forbidden(self):
+        s1 = timed_sequence((A0, 1.0), (B0, 2.0))
+        s2 = timed_sequence((A0, 1.0), (B0, 1.5))
+        assert not shifted_delta(s1, s2, 10.0, self.BIG_K)
+
+    def test_unclassified_must_keep_exact_times(self):
+        s1 = timed_sequence((A0, 0.0), (B0, 1.0))
+        s2 = timed_sequence((A0, 0.1), (B0, 1.0))
+        assert not shifted_delta(s1, s2, 10.0, self.BIG_K)
+
+    def test_classified_may_reorder_past_unclassified(self):
+        s1 = timed_sequence((B0, 0.5), (A0, 1.0))
+        s2 = timed_sequence((A0, 1.0), (B0, 1.2))
+        assert shifted_delta(s1, s2, 1.0, self.BIG_K)
+
+    def test_matching_returned(self):
+        s1 = timed_sequence((A0, 0.0), (B0, 1.0))
+        s2 = timed_sequence((A0, 0.0), (B0, 1.2))
+        matching = find_shift_matching(s1, s2, 0.5, self.BIG_K)
+        assert matching == [(0, 0), (1, 1)]
+
+    def test_order_within_class_preserved(self):
+        b_first = Action("B", (0, "first"))
+        b_second = Action("B", (0, "second"))
+        s1 = timed_sequence((b_first, 0.0), (b_second, 1.0))
+        s2 = timed_sequence((b_second, 1.0), (b_first, 2.0))
+        assert not shifted_delta(s1, s2, 10.0, self.BIG_K)
+
+    def test_reflexive(self):
+        seq = timed_sequence((A0, 0.0), (B0, 1.0))
+        assert shifted_delta(seq, seq, 0.0, self.BIG_K)

@@ -1,0 +1,84 @@
+"""Tests for the renaming operator (Section 2.1)."""
+
+from repro.automata.actions import Action, action_set
+from repro.automata.signature import Signature
+from repro.automata.state import State
+from repro.automata.theory_timed import SimpleTimedAutomaton, rename
+
+TICK = Action("TICKED")
+TOCK = Action("TOCKED")
+POKE = Action("POKE")
+PROD = Action("PROD")
+
+
+def ticker():
+    def discrete(state):
+        if abs(state.now - state.next) < 1e-9:
+            yield TICK, state.replace(next=state.next + 1.0)
+
+    def inputs(state, action):
+        if action == POKE:
+            return [state.replace(poked=state.poked + 1)]
+        return [state]
+
+    return SimpleTimedAutomaton(
+        signature=Signature(
+            inputs=action_set("POKE"), outputs=action_set("TICKED")
+        ),
+        starts=[State(now=0.0, next=1.0, poked=0)],
+        discrete=discrete,
+        inputs=inputs,
+        deadline=lambda s: s.next,
+        name="ticker",
+    )
+
+
+def renamed_ticker():
+    mapping = {TICK: TOCK, POKE: PROD}
+    inverse = {v: k for k, v in mapping.items()}
+    return rename(
+        ticker(),
+        forward=lambda a: mapping.get(a, a),
+        backward=lambda a: inverse.get(a, a),
+        signature=Signature(
+            inputs=action_set("PROD"), outputs=action_set("TOCKED")
+        ),
+    )
+
+
+class TestRename:
+    def test_outputs_renamed(self):
+        auto = renamed_ticker()
+        (s0,) = auto.start_states()
+        s1 = auto.time_passage(s0, 1.0)
+        ((action, target),) = list(auto.discrete_transitions(s1))
+        assert action == TOCK
+        assert target.next == 2.0
+
+    def test_inputs_translated_backward(self):
+        auto = renamed_ticker()
+        (s0,) = auto.start_states()
+        (s1,) = auto.input_transitions(s0, PROD)
+        assert s1.poked == 1
+
+    def test_signature_is_the_new_one(self):
+        auto = renamed_ticker()
+        assert auto.signature.is_output(TOCK)
+        assert auto.signature.is_input(PROD)
+        assert not auto.signature.contains(TICK)
+
+    def test_time_passage_unchanged(self):
+        auto = renamed_ticker()
+        (s0,) = auto.start_states()
+        assert auto.time_passage(s0, 0.5).now == 0.5
+        assert auto.time_passage(s0, 1.5) is None
+
+    def test_behavior_isomorphic_to_inner(self):
+        plain, named = ticker(), renamed_ticker()
+        (p0,), (n0,) = plain.start_states(), named.start_states()
+        p1 = plain.time_passage(p0, 1.0)
+        n1 = named.time_passage(n0, 1.0)
+        ((pa, pt),) = list(plain.discrete_transitions(p1))
+        ((na, nt),) = list(named.discrete_transitions(n1))
+        assert pt == nt  # states identical; only labels differ
+        assert (pa, na) == (TICK, TOCK)

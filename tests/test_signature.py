@@ -1,0 +1,117 @@
+"""Unit tests for action signatures."""
+
+import pytest
+
+from repro.automata.actions import Action, ActionPattern, PatternActionSet, action_set
+from repro.automata.signature import NU, Signature, check_compatible
+from repro.errors import SignatureError
+
+
+def make_signature():
+    return Signature(
+        inputs=action_set("IN"),
+        outputs=action_set("OUT"),
+        internals=action_set("INT"),
+    )
+
+
+class TestClassification:
+    def test_classify_each_kind(self):
+        sig = make_signature()
+        assert sig.classify(Action("IN", (1,))) == "input"
+        assert sig.classify(Action("OUT")) == "output"
+        assert sig.classify(Action("INT")) == "internal"
+
+    def test_classify_unknown_raises(self):
+        with pytest.raises(SignatureError):
+            make_signature().classify(Action("OTHER"))
+
+    def test_classify_ambiguous_raises(self):
+        sig = Signature(inputs=action_set("X"), outputs=action_set("X"))
+        with pytest.raises(SignatureError):
+            sig.classify(Action("X"))
+
+    def test_is_predicates(self):
+        sig = make_signature()
+        assert sig.is_input(Action("IN"))
+        assert sig.is_output(Action("OUT"))
+        assert sig.is_internal(Action("INT"))
+        assert not sig.is_input(Action("OUT"))
+
+
+class TestDerivedSets:
+    def test_visible_is_in_union_out(self):
+        sig = make_signature()
+        assert Action("IN") in sig.visible
+        assert Action("OUT") in sig.visible
+        assert Action("INT") not in sig.visible
+
+    def test_uacts_includes_internal(self):
+        sig = make_signature()
+        assert Action("INT") in sig.uacts
+
+    def test_locally_controlled(self):
+        sig = make_signature()
+        assert Action("OUT") in sig.locally_controlled
+        assert Action("INT") in sig.locally_controlled
+        assert Action("IN") not in sig.locally_controlled
+
+    def test_external_includes_nu(self):
+        sig = make_signature()
+        assert sig.is_external(NU)
+        assert sig.is_external(Action("IN"))
+        assert not sig.is_external(Action("INT"))
+
+    def test_contains_includes_nu(self):
+        assert make_signature().contains(NU)
+
+    def test_default_signature_is_empty(self):
+        sig = Signature()
+        assert not sig.contains(Action("ANYTHING"))
+        assert sig.contains(NU)
+
+
+class TestHiding:
+    def test_hidden_outputs_become_internal(self):
+        sig = make_signature()
+        hidden = sig.hide(action_set("OUT"))
+        assert hidden.is_internal(Action("OUT"))
+        assert not hidden.is_output(Action("OUT"))
+
+    def test_hiding_preserves_inputs(self):
+        hidden = make_signature().hide(action_set("OUT"))
+        assert hidden.is_input(Action("IN"))
+
+    def test_hiding_non_outputs_is_noop(self):
+        hidden = make_signature().hide(action_set("IN"))
+        assert hidden.is_input(Action("IN"))
+        assert not hidden.is_internal(Action("IN"))
+
+    def test_partial_hiding(self):
+        sig = Signature(
+            outputs=PatternActionSet(
+                [ActionPattern("A"), ActionPattern("B")]
+            )
+        )
+        hidden = sig.hide(action_set("A"))
+        assert hidden.is_internal(Action("A"))
+        assert hidden.is_output(Action("B"))
+
+
+class TestCompatibility:
+    def test_shared_output_rejected(self):
+        s1 = Signature(outputs=action_set("X"))
+        s2 = Signature(outputs=action_set("X"))
+        with pytest.raises(SignatureError):
+            check_compatible([s1, s2], [Action("X")])
+
+    def test_shared_internal_rejected(self):
+        s1 = Signature(internals=action_set("X"))
+        s2 = Signature(inputs=action_set("X"))
+        with pytest.raises(SignatureError):
+            check_compatible([s1, s2], [Action("X")])
+
+    def test_input_output_pairing_ok(self):
+        s1 = Signature(outputs=action_set("X"))
+        s2 = Signature(inputs=action_set("X"))
+        check_compatible([s1, s2], [Action("X")])

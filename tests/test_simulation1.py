@@ -1,0 +1,151 @@
+"""End-to-end tests of Simulation 1 (Theorem 4.7).
+
+Strategy, following the paper's proof:
+
+1. Run the transformed system ``D_C`` on a real ``[d1, d2]`` network with
+   clock accuracy ``eps`` under a battery of adversaries.
+2. Build ``gamma_alpha`` (Definition 4.2): the visible trace re-stamped
+   with the acting node's *clock* and stably re-sorted.
+3. Check (Theorem 4.6) that ``t-trace(alpha) =_{eps,K} gamma_alpha``
+   with ``K`` the per-node action classes.
+4. Check that ``gamma_alpha`` satisfies the *design-model* problem ``P``
+   (round-trip bounds computed against ``[d1', d2']``), so
+   ``t-trace(alpha)`` is in ``P_eps``.
+"""
+
+import pytest
+
+from helpers import pinger_process_factory, pinger_topology
+from repro.automata.actions import ActionPattern, PatternActionSet
+from repro.core.pipeline import (
+    build_clock_system,
+    build_timed_system,
+    simulation1_delay_bounds,
+)
+from repro.sim.clock_drivers import driver_factory
+from repro.sim.delay import (
+    AlternatingExtremesDelay,
+    MaximalDelay,
+    MinimalDelay,
+    UniformDelay,
+)
+from repro.sim.scheduler import RandomScheduler
+from repro.traces.relations import equivalent_eps, max_time_displacement
+
+EPS = 0.25
+D1, D2 = 0.3, 1.2
+D1P, D2P = simulation1_delay_bounds(D1, D2, EPS)
+KAPPA = [
+    PatternActionSet([ActionPattern("PING"), ActionPattern("GOTPONG")]),
+]
+
+
+def run_clock_system(driver_kind, delay_model, seed=0, count=5, horizon=30.0):
+    spec = build_clock_system(
+        pinger_topology(),
+        pinger_process_factory(count, 2.0),
+        EPS,
+        d1=D1,
+        d2=D2,
+        drivers=driver_factory(driver_kind, EPS, seed=seed),
+        delay_model=delay_model,
+    )
+    return spec.run(horizon, scheduler=RandomScheduler(seed=seed))
+
+
+def round_trips(trace):
+    pings = {}
+    rtts = {}
+    for ev in trace:
+        if ev.action.name == "PING":
+            pings[ev.action.params[1]] = ev.time
+        elif ev.action.name == "GOTPONG":
+            rtts[ev.action.params[1]] = ev.time - pings[ev.action.params[1]]
+    return rtts
+
+
+def in_design_problem(trace):
+    """P: every pong arrives within [2*d1', 2*d2'] of its ping."""
+    rtts = round_trips(trace)
+    return all(
+        2 * D1P - 1e-9 <= rtt <= 2 * D2P + 1e-9 for rtt in rtts.values()
+    ) and len(rtts) > 0
+
+
+DRIVERS = ["perfect", "fast", "slow", "mixed", "random", "drift", "sawtooth"]
+DELAYS = [
+    MinimalDelay(),
+    MaximalDelay(),
+    UniformDelay(seed=5),
+    AlternatingExtremesDelay(),
+]
+
+
+class TestTheorem47:
+    @pytest.mark.parametrize("driver_kind", DRIVERS)
+    def test_gamma_satisfies_design_problem(self, driver_kind):
+        result = run_clock_system(driver_kind, UniformDelay(seed=1))
+        gamma = result.clock_trace()
+        assert in_design_problem(gamma)
+
+    @pytest.mark.parametrize("driver_kind", DRIVERS)
+    def test_trace_eps_equivalent_to_gamma(self, driver_kind):
+        result = run_clock_system(driver_kind, UniformDelay(seed=1))
+        gamma = result.clock_trace()
+        assert equivalent_eps(result.trace, gamma, EPS, KAPPA)
+
+    @pytest.mark.parametrize("delay_model", DELAYS, ids=lambda d: type(d).__name__)
+    def test_across_delay_adversaries(self, delay_model):
+        result = run_clock_system("mixed", delay_model, seed=3)
+        gamma = result.clock_trace()
+        assert in_design_problem(gamma)
+        assert equivalent_eps(result.trace, gamma, EPS, KAPPA)
+
+    def test_relaxation_to_p_eps_is_necessary(self):
+        """The raw real-time trace may fall outside ``P`` even when
+        ``gamma`` is inside — which is exactly why Theorem 4.7 proves
+        membership in ``P_eps`` rather than ``P``.
+
+        Take the (legitimate) design spec "PING k occurs exactly at time
+        2k": ``gamma`` satisfies it (the pinger acts on its clock), but
+        with a skewed clock the real-time trace does not.
+        """
+        result = run_clock_system("fast", UniformDelay(seed=2))
+
+        def pings_exact(trace):
+            return all(
+                abs(ev.time - 2.0 * ev.action.params[1]) < 1e-9
+                for ev in trace
+                if ev.action.name == "PING"
+            )
+
+        assert pings_exact(result.clock_trace())
+        assert not pings_exact(result.trace)
+
+    def test_displacement_bounded_by_eps(self):
+        result = run_clock_system("mixed", UniformDelay(seed=9), seed=2)
+        gamma = result.clock_trace()
+        displacement = max_time_displacement(result.trace, gamma, KAPPA)
+        assert displacement is not None
+        assert displacement <= EPS + 1e-9
+
+    def test_perfect_clocks_reduce_to_timed_model(self):
+        """With eps-accurate clocks that are in fact perfect, D_C behaves
+        like D_T up to the widened channel interface."""
+        clock_result = run_clock_system("perfect", MinimalDelay())
+        timed_spec = build_timed_system(
+            pinger_topology(),
+            pinger_process_factory(5, 2.0),
+            D1,
+            D2,
+            MinimalDelay(),
+        )
+        timed_result = timed_spec.run(30.0)
+        assert equivalent_eps(
+            clock_result.trace, timed_result.trace, 1e-9, KAPPA
+        )
+
+    def test_all_pings_answered(self):
+        result = run_clock_system("mixed", UniformDelay(seed=4))
+        rtts = round_trips(result.trace)
+        assert len(rtts) == 5

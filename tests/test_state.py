@@ -1,0 +1,76 @@
+"""Unit tests for the immutable State container."""
+
+import pytest
+
+from repro.automata.state import State
+
+
+class TestImmutability:
+    def test_setattr_forbidden(self):
+        s = State(now=0.0, x=1)
+        with pytest.raises(AttributeError):
+            s.x = 2
+
+    def test_replace_returns_new(self):
+        s = State(now=0.0, x=1)
+        s2 = s.replace(x=2)
+        assert s.x == 1 and s2.x == 2
+        assert s2.now == 0.0
+
+    def test_mutable_containers_frozen(self):
+        s = State(now=0.0, queue=[1, 2], members={"a"}, table={"k": [3]})
+        assert s.queue == (1, 2)
+        assert s.members == frozenset({"a"})
+        assert dict(s.table) if isinstance(s.table, dict) else True
+        # nested list inside dict is frozen too
+        assert s.table == (("k", (3,)),)
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert State(now=1.0, a=2) == State(a=2, now=1.0)
+        assert State(now=1.0, a=2) != State(now=1.0, a=3)
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(State(now=1.0, a=[1])) == hash(State(now=1.0, a=(1,)))
+
+    def test_usable_in_sets(self):
+        assert len({State(now=0.0), State(now=0.0), State(now=1.0)}) == 2
+
+
+class TestAccess:
+    def test_attribute_and_item_access(self):
+        s = State(now=2.0, x="v")
+        assert s.x == "v"
+        assert s["x"] == "v"
+
+    def test_missing_attribute(self):
+        with pytest.raises(AttributeError):
+            State(now=0.0).missing
+
+    def test_mapping_protocol(self):
+        s = State(now=0.0, a=1, b=2)
+        assert set(s) == {"now", "a", "b"}
+        assert len(s) == 3
+
+
+class TestPaperViews:
+    def test_tbasic_excludes_now(self):
+        s = State(now=5.0, x=1, y=2)
+        names = [k for k, _ in s.tbasic]
+        assert "now" not in names
+        assert set(names) == {"x", "y"}
+
+    def test_cbasic_excludes_now_and_clock(self):
+        s = State(now=5.0, clock=4.9, x=1)
+        names = [k for k, _ in s.cbasic]
+        assert set(names) == {"x"}
+
+    def test_tbasic_equality_across_times(self):
+        a = State(now=1.0, x=1)
+        b = State(now=2.0, x=1)
+        assert a.tbasic == b.tbasic
+
+    def test_project(self):
+        s = State(now=1.0, x=1, y=2)
+        assert s.project("x") == State(x=1)

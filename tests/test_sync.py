@@ -1,0 +1,68 @@
+"""Tests for the Cristian/NTP-style synchronization substrate."""
+
+import pytest
+
+from repro.clocks.sync import (
+    CristianSimulation,
+    HardwareClock,
+    SynchronizedClockSource,
+    achievable_epsilon,
+)
+from repro.errors import SpecificationError
+
+
+def simulate(rho=1.002, offset=0.3, period=5.0, d1=0.01, d2=0.08, seed=0):
+    return CristianSimulation(
+        HardwareClock(rho, offset), period, d1, d2, horizon=150.0, seed=seed
+    )
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_steady_state_error_within_analytic_envelope(self, seed):
+        sim = simulate(seed=seed)
+        eps = achievable_epsilon(1.002, 5.0, 0.01, 0.08)
+        assert sim.max_error(start=sim.converged_after()) <= eps
+
+    @pytest.mark.parametrize("rho", [0.997, 1.0, 1.003])
+    def test_works_for_slow_and_fast_oscillators(self, rho):
+        sim = simulate(rho=rho, seed=2)
+        eps = achievable_epsilon(rho, 5.0, 0.01, 0.08)
+        assert sim.max_error(start=sim.converged_after()) <= eps
+
+    def test_clock_is_monotone(self):
+        assert simulate(offset=1.5, seed=1).is_monotone()
+        assert simulate(offset=-1.5, seed=1).is_monotone()
+
+    def test_initial_offset_corrected(self):
+        sim = simulate(offset=2.0, seed=3)
+        early_error = abs(sim.value(1.0) - 1.0)
+        late_error = abs(sim.value(100.0) - 100.0)
+        assert late_error < early_error / 10.0
+
+    def test_exchanges_recorded(self):
+        sim = simulate()
+        assert len(sim.samples) == pytest.approx(150.0 / 5.0, abs=2)
+
+    def test_parameter_validation(self):
+        with pytest.raises(SpecificationError):
+            CristianSimulation(HardwareClock(1.0, 0.0), 0.0, 0.0, 0.1, 10.0)
+        with pytest.raises(SpecificationError):
+            CristianSimulation(HardwareClock(1.0, 0.0), 1.0, 0.5, 0.1, 10.0)
+
+
+class TestSourceAdapter:
+    def test_adapter_is_a_clock_source(self):
+        source = SynchronizedClockSource(
+            rho=1.001, period=5.0, d1=0.01, d2=0.06, horizon=100.0, seed=4
+        )
+        for i in range(100):
+            now = i * 0.93
+            assert abs(source.value(now) - now) <= source.eps + 1e-9
+
+    def test_envelope_includes_initial_offset(self):
+        with_offset = SynchronizedClockSource(
+            1.001, 5.0, 0.01, 0.06, 100.0, initial_offset=0.5
+        )
+        without = SynchronizedClockSource(1.001, 5.0, 0.01, 0.06, 100.0)
+        assert with_offset.eps == pytest.approx(without.eps + 0.5)

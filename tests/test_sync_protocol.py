@@ -1,0 +1,127 @@
+"""Tests for the in-engine synchronization protocol (hybrid model)."""
+
+import pytest
+
+from repro.clocks.protocol import (
+    SyncClientProcess,
+    TimeServerProcess,
+    build_sync_protocol_system,
+    software_clock_errors,
+)
+from repro.clocks.sync import achievable_epsilon
+from repro.automata.actions import Action
+from repro.components.base import ProcessContext
+from repro.errors import SpecificationError
+from repro.sim.delay import ConstantFractionDelay, UniformDelay
+
+D1, D2, PERIOD = 0.01, 0.08, 5.0
+
+
+def run_protocol(rhos, seed=3, horizon=120.0, delay=None):
+    spec = build_sync_protocol_system(
+        len(rhos), D1, D2, PERIOD, rhos,
+        delay_model=delay or UniformDelay(seed=seed),
+    )
+    return spec.run(horizon)
+
+
+def steady_errors(result, start):
+    series = software_clock_errors(result)
+    return {
+        node: max(abs(e) for t, e in samples if t > start)
+        for node, samples in series.items()
+    }
+
+
+class TestUnits:
+    def test_server_echoes_true_time(self):
+        server = TimeServerProcess(0)
+        state = server.initial_state()
+        server.apply_input(
+            state, Action("RECVMSG", (0, 1, ("timereq", 1, 7))),
+            ProcessContext(3.25),
+        )
+        (reply,) = server.enabled(state, ProcessContext(3.25))
+        assert reply.params[2] == ("timeresp", 7, 3.25)
+
+    def test_client_applies_cristian_correction(self):
+        client = SyncClientProcess(1, 0, PERIOD, sample_every=1.0)
+        state = client.initial_state()
+        # issue a request at hardware time 10 (software = 10)
+        ctx = ProcessContext(10.0)
+        (request,) = [
+            a for a in client.enabled(state, ctx) if a.name == "SENDMSG"
+        ]
+        client.fire(state, request, ctx)
+        # response carrying server time 10.04 arrives at hardware 10.1
+        client.apply_input(
+            state,
+            Action("RECVMSG", (1, 0, ("timeresp", 0, 10.04))),
+            ProcessContext(10.1),
+        )
+        # estimate = 10.04 + rtt/2 = 10.04 + 0.05; software was 10.1
+        assert state.correction == pytest.approx(-0.01)
+        assert state.exchanges == 1
+
+    def test_stale_response_ignored(self):
+        client = SyncClientProcess(1, 0, PERIOD, sample_every=1.0)
+        state = client.initial_state()
+        client.apply_input(
+            state,
+            Action("RECVMSG", (1, 0, ("timeresp", 99, 5.0))),
+            ProcessContext(10.0),
+        )
+        assert state.correction == 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(SpecificationError):
+            SyncClientProcess(1, 0, 0.0, 1.0)
+        with pytest.raises(SpecificationError):
+            build_sync_protocol_system(2, D1, D2, PERIOD, [1.0])
+
+
+class TestProtocolRuns:
+    def test_errors_within_analytic_envelope(self):
+        rhos = [1.003, 0.998, 1.001]
+        result = run_protocol(rhos)
+        errors = steady_errors(result, start=2 * PERIOD + 1.0)
+        for node, worst in errors.items():
+            envelope = achievable_epsilon(rhos[node - 1], PERIOD, D1, D2)
+            assert worst <= envelope
+
+    def test_unsynchronized_drift_would_exceed_envelope(self):
+        """Counterfactual: the raw hardware error at the end of the run
+        dwarfs the synchronized software error."""
+        rho = 1.003
+        result = run_protocol([rho], horizon=100.0)
+        errors = steady_errors(result, start=50.0)
+        hardware_drift_at_end = abs(rho - 1.0) * 100.0  # 0.3
+        assert errors[1] < hardware_drift_at_end / 3.0
+
+    def test_exchange_count(self):
+        result = run_protocol([1.001], horizon=52.0)
+        clients = [
+            state for name, state in result.final_states.items()
+            if name.startswith("syncclient")
+        ]
+        (client_state,) = clients
+        assert client_state.proc_state.exchanges >= 9
+
+    def test_constant_delay_gives_tight_sync(self):
+        """With symmetric constant delays Cristian's estimate is exact:
+        steady error collapses to drift-per-period only."""
+        rho = 1.002
+        result = run_protocol(
+            [rho], delay=ConstantFractionDelay(0.5), horizon=100.0
+        )
+        errors = steady_errors(result, start=2 * PERIOD + 1.0)
+        drift_bound = abs(rho - 1.0) * (PERIOD + D2) + 1e-6
+        assert errors[1] <= drift_bound * 1.5
+
+    def test_samples_report_software_not_hardware(self):
+        rho = 1.01
+        result = run_protocol([rho], horizon=60.0)
+        series = software_clock_errors(result)[1]
+        late_errors = [abs(e) for t, e in series if t > 30.0]
+        # hardware would be off by >= 0.3 at t=30; software stays tiny
+        assert max(late_errors) < 0.1

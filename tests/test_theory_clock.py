@@ -1,0 +1,174 @@
+"""Tests for theory-layer clock automata (Definitions 2.3-2.7, C1-C4)."""
+
+import pytest
+
+from repro.automata.actions import Action, action_set
+from repro.automata.signature import Signature
+from repro.automata.state import State
+from repro.automata.theory_clock import (
+    ComposedClockAutomaton,
+    SimpleClockAutomaton,
+    c_epsilon,
+    check_clock_axioms,
+    check_epsilon_time_independence,
+    check_predicate,
+    reachable_clock_states,
+)
+from repro.errors import AxiomViolation, CompositionError
+
+BEEP = Action("BEEP")
+
+
+def beeper(period=1.0, eps=0.5):
+    """Emits BEEP at clock times period, 2*period, ... (clock-driven)."""
+
+    def discrete(state):
+        if abs(state.clock - state.next) < 1e-9:
+            yield BEEP, state.replace(next=state.next + period)
+
+    return SimpleClockAutomaton(
+        signature=Signature(outputs=action_set("BEEP")),
+        starts=[State(now=0.0, clock=0.0, next=period)],
+        discrete=discrete,
+        clock_deadline=lambda s: s.next,
+        predicate=c_epsilon(eps),
+        name="beeper",
+    )
+
+
+class TestClockPredicate:
+    def test_c_epsilon_membership(self):
+        pred = c_epsilon(0.5)
+        assert pred.holds(1.0, 1.4)
+        assert pred.holds(1.0, 0.5)
+        assert not pred.holds(1.0, 1.6)
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ValueError):
+            c_epsilon(-0.1)
+
+    def test_holds_in_state(self):
+        assert c_epsilon(0.2).holds_in(State(now=1.0, clock=1.1))
+
+
+class TestSimpleClockAutomaton:
+    def test_clock_deadline_blocks_clock(self):
+        auto = beeper(1.0)
+        (s0,) = auto.start_states()
+        assert auto.time_passage_clock(s0, 1.0, 1.0) is not None
+        assert auto.time_passage_clock(s0, 1.0, 1.2) is None
+
+    def test_predicate_blocks_divergence(self):
+        auto = beeper(10.0, eps=0.5)
+        (s0,) = auto.start_states()
+        # clock would lag now by 1.0 > eps
+        assert auto.time_passage_clock(s0, 2.0, 1.0) is None
+        assert auto.time_passage_clock(s0, 1.4, 1.0) is not None
+
+    def test_plain_time_passage_moves_clock_in_lockstep(self):
+        auto = beeper(2.0)
+        (s0,) = auto.start_states()
+        s1 = auto.time_passage(s0, 1.0)
+        assert s1.clock == 1.0 and s1.now == 1.0
+
+    def test_zero_dc_rejected(self):
+        auto = beeper()
+        (s0,) = auto.start_states()
+        assert auto.time_passage_clock(s0, 1.0, 0.0) is None
+
+
+class TestClockAxioms:
+    def test_beeper_satisfies_axioms(self):
+        auto = beeper()
+        states = reachable_clock_states(auto, max_states=40)
+        check_clock_axioms(auto, states)
+        check_predicate(auto, c_epsilon(0.5), states)
+
+    def test_c1_violation(self):
+        bad = SimpleClockAutomaton(
+            signature=Signature(),
+            starts=[State(now=0.0, clock=1.0)],
+            discrete=lambda s: [],
+        )
+        with pytest.raises(AxiomViolation) as err:
+            check_clock_axioms(bad, [])
+        assert err.value.axiom == "C1"
+
+    def test_c2_violation(self):
+        def discrete(state):
+            yield BEEP, state.replace(clock=state.clock + 1.0)
+
+        bad = SimpleClockAutomaton(
+            signature=Signature(outputs=action_set("BEEP")),
+            starts=[State(now=0.0, clock=0.0)],
+            discrete=discrete,
+        )
+        with pytest.raises(AxiomViolation) as err:
+            check_clock_axioms(bad, bad.start_states())
+        assert err.value.axiom == "C2"
+
+    def test_predicate_violation_detected(self):
+        with pytest.raises(AxiomViolation):
+            check_predicate(
+                beeper(), c_epsilon(0.1), [State(now=1.0, clock=0.0)]
+            )
+
+
+class TestEpsilonTimeIndependence:
+    def test_beeper_is_independent(self):
+        auto = beeper(1.0, eps=0.5)
+        states = reachable_clock_states(auto, max_states=30)
+        check_epsilon_time_independence(auto, 0.5, states)
+
+    def test_now_reading_automaton_caught(self):
+        def discrete(state):
+            # Decision depends on now, not clock: illegal.
+            if state.now >= 1.0:
+                yield BEEP, state
+        bad = SimpleClockAutomaton(
+            signature=Signature(outputs=action_set("BEEP")),
+            starts=[State(now=0.0, clock=0.0)],
+            discrete=discrete,
+        )
+        probe = State(now=1.2, clock=1.0)
+        with pytest.raises(AxiomViolation):
+            check_epsilon_time_independence(bad, 0.5, [probe])
+
+
+class TestClockComposition:
+    def test_rejects_non_clock_automata(self):
+        from repro.automata.theory_timed import SimpleTimedAutomaton
+
+        timed = SimpleTimedAutomaton(
+            signature=Signature(), starts=[State(now=0.0)], discrete=lambda s: []
+        )
+        with pytest.raises(CompositionError):
+            ComposedClockAutomaton([timed])
+
+    def test_shared_clock(self):
+        comp = ComposedClockAutomaton([beeper(1.0), beeper(1.5)])
+        (s0,) = comp.start_states()
+        assert s0.clock == 0.0
+        s1 = comp.time_passage_clock(s0, 1.0, 1.0)
+        assert s1.clock == 1.0
+        # every component sees the same clock
+        assert comp.project(s1, 0).clock == comp.project(s1, 1).clock == 1.0
+
+    def test_min_clock_deadline_governs(self):
+        comp = ComposedClockAutomaton([beeper(1.0), beeper(1.5)])
+        (s0,) = comp.start_states()
+        assert comp.time_passage_clock(s0, 1.2, 1.2) is None
+
+    def test_composition_axioms(self):
+        comp = ComposedClockAutomaton([beeper(1.0), beeper(1.5)])
+        states = reachable_clock_states(comp, max_states=40)
+        check_clock_axioms(comp, states)
+
+    def test_discrete_transition_in_composition(self):
+        comp = ComposedClockAutomaton([beeper(1.0), beeper(1.5)])
+        (s0,) = comp.start_states()
+        s1 = comp.time_passage_clock(s0, 1.0, 1.0)
+        transitions = list(comp.discrete_transitions(s1))
+        assert len(transitions) == 1
+        _, s2 = transitions[0]
+        assert s2.parts[0].next == 2.0

@@ -1,0 +1,131 @@
+"""Lemma 2.2-flavored tests: composed schedules vs component projections.
+
+Lemma 2.2 says a timed sequence is an (admissible) timed schedule of a
+composition iff its projection onto each component is a timed schedule
+of that component. These tests check both directions on a small
+producer/consumer pair, replaying schedules directly against the
+theory-layer automata.
+"""
+
+import pytest
+
+from repro.automata.actions import Action, action_set
+from repro.automata.executions import timed_sequence
+from repro.automata.signature import Signature
+from repro.automata.state import State
+from repro.automata.theory_timed import ComposedTimedAutomaton, SimpleTimedAutomaton
+
+EMIT = Action("EMIT")
+WORK = Action("WORKED")
+
+
+def producer(period=1.0):
+    """Emits EMIT at period, 2*period, ..."""
+
+    def discrete(state):
+        if abs(state.now - state.next) < 1e-9:
+            yield EMIT, state.replace(next=state.next + period)
+
+    return SimpleTimedAutomaton(
+        signature=Signature(outputs=action_set("EMIT")),
+        starts=[State(now=0.0, next=period)],
+        discrete=discrete,
+        deadline=lambda s: s.next,
+        name="producer",
+    )
+
+
+def consumer(latency=0.25):
+    """After each EMIT input, fires WORKED within `latency` (exactly at)."""
+
+    def discrete(state):
+        if state.due is not None and abs(state.now - state.due) < 1e-9:
+            yield WORK, state.replace(due=None, done=state.done + 1)
+
+    def inputs(state, action):
+        if action == EMIT and state.due is None:
+            return [state.replace(due=state.now + latency)]
+        return [state]
+
+    return SimpleTimedAutomaton(
+        signature=Signature(
+            inputs=action_set("EMIT"), outputs=action_set("WORKED")
+        ),
+        starts=[State(now=0.0, due=None, done=0)],
+        discrete=discrete,
+        inputs=inputs,
+        deadline=lambda s: s.due if s.due is not None else float("inf"),
+        name="consumer",
+    )
+
+
+def replay_on(automaton, schedule):
+    """Whether the timed sequence replays as a schedule of `automaton`.
+
+    Advances time to each event and takes the action (locally controlled
+    or input); returns False on any impossible step.
+    """
+    state = next(iter(automaton.start_states()))
+    for ev in schedule:
+        if ev.time > state.now + 1e-12:
+            advanced = automaton.time_passage(state, ev.time - state.now)
+            if advanced is None:
+                return False
+            state = advanced
+        if automaton.signature.is_input(ev.action):
+            successors = list(automaton.input_transitions(state, ev.action))
+            if not successors:
+                return False
+            state = successors[0]
+        else:
+            targets = [
+                target
+                for action, target in automaton.discrete_transitions(state)
+                if action == ev.action
+            ]
+            if not targets:
+                return False
+            state = targets[0]
+    return True
+
+
+class TestLemma22:
+    def composed(self):
+        return ComposedTimedAutomaton([producer(), consumer()])
+
+    def joint_schedule(self):
+        return timed_sequence(
+            (EMIT, 1.0), (WORK, 1.25),
+            (EMIT, 2.0), (WORK, 2.25),
+        )
+
+    def test_joint_schedule_replays_on_composition(self):
+        assert replay_on(self.composed(), self.joint_schedule())
+
+    def test_projections_replay_on_components(self):
+        schedule = self.joint_schedule()
+        assert replay_on(producer(), schedule | action_set("EMIT"))
+        assert replay_on(consumer(), schedule | action_set("EMIT", "WORKED"))
+
+    def test_bad_projection_fails_on_component_and_composition(self):
+        # WORKED too late: violates the consumer's deadline
+        bad = timed_sequence((EMIT, 1.0), (WORK, 1.7))
+        assert not replay_on(consumer(), bad)
+        assert not replay_on(self.composed(), bad)
+
+    def test_component_ok_but_composition_requires_sync(self):
+        # WORKED with no prior EMIT: fine for the producer's projection
+        # (empty), impossible for the consumer and hence the composition
+        rogue = timed_sequence((WORK, 0.5))
+        assert replay_on(producer(), rogue | action_set("EMIT"))
+        assert not replay_on(self.composed(), rogue)
+
+    def test_shared_action_advances_both(self):
+        comp = self.composed()
+        state = next(iter(comp.start_states()))
+        state = comp.time_passage(state, 1.0)
+        ((action, state),) = list(comp.discrete_transitions(state))
+        assert action == EMIT
+        # producer advanced its schedule; consumer armed its deadline
+        assert state.parts[0].next == 2.0
+        assert state.parts[1].due == pytest.approx(1.25)

@@ -1,0 +1,221 @@
+"""Tests for theory-layer timed automata (Definition 2.1, axioms S1-S5)."""
+
+import pytest
+
+from repro.automata.actions import Action, action_set
+from repro.automata.signature import Signature
+from repro.automata.state import State
+from repro.automata.theory_timed import (
+    ComposedTimedAutomaton,
+    SimpleTimedAutomaton,
+    check_timed_axioms,
+    hide,
+    reachable_states,
+)
+from repro.errors import AxiomViolation, TransitionError
+
+TICK = Action("TICKED")
+
+
+def ticker(period=1.0):
+    """Emits TICKED at period, 2*period, ... (a one-action timed automaton)."""
+
+    def discrete(state):
+        if abs(state.now - state.next) < 1e-9:
+            yield TICK, state.replace(next=state.next + period)
+
+    return SimpleTimedAutomaton(
+        signature=Signature(outputs=action_set("TICKED")),
+        starts=[State(now=0.0, next=period)],
+        discrete=discrete,
+        deadline=lambda s: s.next,
+        name="ticker",
+    )
+
+
+class TestSimpleTimedAutomaton:
+    def test_start_state_now_zero(self):
+        (s0,) = ticker().start_states()
+        assert s0.now == 0.0
+
+    def test_time_passage_capped_by_deadline(self):
+        auto = ticker(1.0)
+        (s0,) = auto.start_states()
+        assert auto.time_passage(s0, 0.5) is not None
+        assert auto.time_passage(s0, 1.0) is not None
+        assert auto.time_passage(s0, 1.5) is None
+
+    def test_zero_or_negative_dt_rejected(self):
+        auto = ticker()
+        (s0,) = auto.start_states()
+        assert auto.time_passage(s0, 0.0) is None
+        assert auto.time_passage(s0, -1.0) is None
+
+    def test_discrete_enabled_at_deadline(self):
+        auto = ticker(1.0)
+        (s0,) = auto.start_states()
+        s1 = auto.time_passage(s0, 1.0)
+        transitions = list(auto.discrete_transitions(s1))
+        assert [a for a, _ in transitions] == [TICK]
+
+    def test_apply_unique_transition(self):
+        auto = ticker(1.0)
+        (s0,) = auto.start_states()
+        s1 = auto.time_passage(s0, 1.0)
+        s2 = auto.apply(s1, TICK)
+        assert s2.next == 2.0
+        assert s2.now == 1.0  # S2
+
+    def test_apply_not_enabled_raises(self):
+        auto = ticker(1.0)
+        (s0,) = auto.start_states()
+        with pytest.raises(TransitionError):
+            auto.apply(s0, TICK)
+
+    def test_inputs_default_to_stutter(self):
+        auto = ticker()
+        (s0,) = auto.start_states()
+        assert list(auto.input_transitions(s0, Action("ANY"))) == [s0]
+
+
+class TestAxioms:
+    def test_ticker_satisfies_axioms(self):
+        auto = ticker()
+        states = reachable_states(auto, durations=(0.5, 1.0), max_states=50)
+        check_timed_axioms(auto, states)
+
+    def test_s1_violation_detected(self):
+        bad = SimpleTimedAutomaton(
+            signature=Signature(),
+            starts=[State(now=3.0)],
+            discrete=lambda s: [],
+        )
+        with pytest.raises(AxiomViolation) as err:
+            check_timed_axioms(bad, [])
+        assert err.value.axiom == "S1"
+
+    def test_s2_violation_detected(self):
+        def discrete(state):
+            yield TICK, state.replace(now=state.now + 1.0)
+
+        bad = SimpleTimedAutomaton(
+            signature=Signature(outputs=action_set("TICKED")),
+            starts=[State(now=0.0)],
+            discrete=discrete,
+        )
+        with pytest.raises(AxiomViolation) as err:
+            check_timed_axioms(bad, bad.start_states())
+        assert err.value.axiom == "S2"
+
+    def test_s5_violation_detected(self):
+        class NoMidpoint(SimpleTimedAutomaton):
+            def time_passage(self, state, dt):
+                # Only whole-unit advances: violates trajectory axiom S5.
+                if dt in (1.0, 2.0):
+                    return state.replace(now=state.now + dt)
+                return None
+
+        bad = NoMidpoint(
+            signature=Signature(),
+            starts=[State(now=0.0)],
+            discrete=lambda s: [],
+        )
+        with pytest.raises(AxiomViolation) as err:
+            check_timed_axioms(bad, bad.start_states(), durations=(1.0,))
+        assert err.value.axiom == "S5"
+
+    def test_evolve_must_track_now(self):
+        auto = SimpleTimedAutomaton(
+            signature=Signature(),
+            starts=[State(now=0.0)],
+            discrete=lambda s: [],
+            evolve=lambda s, t: s,  # forgets to update now
+        )
+        (s0,) = auto.start_states()
+        with pytest.raises(TransitionError):
+            auto.time_passage(s0, 1.0)
+
+
+class TestReachability:
+    def test_reachable_states_explores_time_and_actions(self):
+        states = reachable_states(ticker(1.0), durations=(1.0,), max_states=10)
+        nows = {s.now for s in states}
+        assert 0.0 in nows and 1.0 in nows
+
+    def test_max_states_respected(self):
+        states = reachable_states(ticker(0.5), durations=(0.5,), max_states=7)
+        assert len(states) <= 7
+
+
+class TestComposition:
+    def make_pair(self):
+        return ComposedTimedAutomaton([ticker(1.0), ticker(1.5)])
+
+    def test_start_states(self):
+        (s0,) = self.make_pair().start_states()
+        assert s0.now == 0.0
+        assert len(s0.parts) == 2
+
+    def test_time_passage_lockstep_min_deadline(self):
+        comp = self.make_pair()
+        (s0,) = comp.start_states()
+        assert comp.time_passage(s0, 1.0) is not None
+        assert comp.time_passage(s0, 1.2) is None  # first ticker blocks
+
+    def test_discrete_transition_advances_one_component(self):
+        comp = self.make_pair()
+        (s0,) = comp.start_states()
+        s1 = comp.time_passage(s0, 1.0)
+        transitions = list(comp.discrete_transitions(s1))
+        assert len(transitions) == 1  # only the period-1 ticker fires
+        _, s2 = transitions[0]
+        assert s2.parts[0].next == 2.0
+        assert s2.parts[1].next == 1.5
+
+    def test_projection(self):
+        comp = self.make_pair()
+        (s0,) = comp.start_states()
+        part = comp.project(s0, 1)
+        assert part.next == 1.5
+        assert part.now == 0.0
+
+    def test_axioms_preserved_by_composition(self):
+        comp = self.make_pair()
+        states = reachable_states(comp, durations=(0.5, 1.0), max_states=40)
+        check_timed_axioms(comp, states)
+
+    def test_output_action_shared_with_input(self):
+        # A listener whose input is the ticker's output: composition
+        # must apply the input transition simultaneously.
+        def no_discrete(state):
+            return []
+
+        def count_input(state, action):
+            return [state.replace(count=state.count + 1)]
+
+        listener = SimpleTimedAutomaton(
+            signature=Signature(inputs=action_set("TICKED")),
+            starts=[State(now=0.0, count=0)],
+            discrete=no_discrete,
+            inputs=count_input,
+            name="listener",
+        )
+        comp = ComposedTimedAutomaton([ticker(1.0), listener])
+        (s0,) = comp.start_states()
+        s1 = comp.time_passage(s0, 1.0)
+        ((action, s2),) = list(comp.discrete_transitions(s1))
+        assert action == TICK
+        assert s2.parts[1].count == 1
+
+
+class TestHiding:
+    def test_hidden_output_is_internal(self):
+        hidden = hide(ticker(), action_set("TICKED"))
+        assert hidden.signature.is_internal(TICK)
+        assert not hidden.signature.is_output(TICK)
+
+    def test_hidden_behaviour_unchanged(self):
+        plain, hidden = ticker(), hide(ticker(), action_set("TICKED"))
+        (s0,) = hidden.start_states()
+        s1 = hidden.time_passage(s0, 1.0)
+        assert [a for a, _ in hidden.discrete_transitions(s1)] == [TICK]

@@ -1,0 +1,153 @@
+"""Theory-level Definition 4.1: construction plus Lemmas 4.1 and 4.2."""
+
+import pytest
+
+from repro.automata.actions import Action, action_set
+from repro.automata.executions import Execution, TimedSequence
+from repro.automata.signature import Signature
+from repro.automata.state import State
+from repro.automata.theory_clock import (
+    c_epsilon,
+    check_clock_axioms,
+    check_epsilon_time_independence,
+    check_predicate,
+    reachable_clock_states,
+)
+from repro.automata.theory_timed import SimpleTimedAutomaton
+from repro.core.theory_transform import TheoryClockTransform
+
+TICK = Action("TICKED")
+EPS = 0.5
+
+
+def ticker(period=1.0):
+    def discrete(state):
+        if abs(state.now - state.next) < 1e-9:
+            yield TICK, state.replace(next=state.next + period)
+
+    return SimpleTimedAutomaton(
+        signature=Signature(outputs=action_set("TICKED")),
+        starts=[State(now=0.0, next=period)],
+        discrete=discrete,
+        deadline=lambda s: s.next,
+        name="ticker",
+    )
+
+
+class TestConstruction:
+    def test_start_states(self):
+        transform = TheoryClockTransform(ticker(), EPS)
+        (s0,) = transform.start_states()
+        assert s0.now == 0.0 and s0.clock == 0.0
+        assert s0.next == 1.0
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ValueError):
+            TheoryClockTransform(ticker(), -0.1)
+
+    def test_inner_view_reads_clock_as_now(self):
+        transform = TheoryClockTransform(ticker(), EPS)
+        state = State(now=1.4, clock=1.0, next=1.0)
+        inner = transform.inner_view(state)
+        assert inner.now == 1.0
+        assert inner.next == 1.0
+
+    def test_discrete_transitions_driven_by_clock(self):
+        transform = TheoryClockTransform(ticker(1.0), EPS)
+        # clock has reached the tick time even though now has not
+        ready = State(now=0.6, clock=1.0, next=1.0)
+        ((action, target),) = list(transform.discrete_transitions(ready))
+        assert action == TICK
+        assert target.next == 2.0
+        assert target.now == 0.6 and target.clock == 1.0  # S2/C2
+
+        # now has reached it but the clock has not: nothing fires
+        not_ready = State(now=1.0, clock=0.6, next=1.0)
+        assert list(transform.discrete_transitions(not_ready)) == []
+
+    def test_time_passage_guards(self):
+        transform = TheoryClockTransform(ticker(1.0), EPS)
+        (s0,) = transform.start_states()
+        # inner deadline caps the *clock* component
+        assert transform.time_passage_clock(s0, 1.0, 1.0) is not None
+        assert transform.time_passage_clock(s0, 1.0, 1.2) is None
+        # C_eps caps the divergence
+        assert transform.time_passage_clock(s0, 1.0, 0.4) is None
+        assert transform.time_passage_clock(s0, 1.0, 0.6) is not None
+
+
+class TestLemma41:
+    """C(A, eps) satisfies C_eps and is eps-time independent."""
+
+    def sample_states(self):
+        transform = TheoryClockTransform(ticker(), EPS)
+        return transform, reachable_clock_states(
+            transform, steps=((0.5, 0.5), (0.6, 0.4), (0.4, 0.6)),
+            max_states=60,
+        )
+
+    def test_clock_axioms(self):
+        transform, states = self.sample_states()
+        check_clock_axioms(transform, states)
+
+    def test_satisfies_c_epsilon(self):
+        transform, states = self.sample_states()
+        check_predicate(transform, c_epsilon(EPS), states)
+
+    def test_eps_time_independent(self):
+        transform, states = self.sample_states()
+        check_epsilon_time_independence(transform, EPS, states)
+
+
+class TestLemma42:
+    """Clock-stamped schedules of C(A, eps) are timed schedules of A."""
+
+    def test_clock_stamped_schedule_replays_on_inner(self):
+        inner = ticker(1.0)
+        transform = TheoryClockTransform(inner, EPS)
+        (s0,) = transform.start_states()
+
+        # build an execution with a skewed clock: clock runs slow
+        execution = Execution(s0)
+        state = s0
+        for _ in range(3):
+            # advance: dt=1.15 real, dc=1.0 clock (the skew accumulates
+            # to 0.45 over three rounds, within C_eps)
+            from repro.automata.actions import NU
+
+            nxt = transform.time_passage_clock(state, 1.15, 1.0)
+            assert nxt is not None
+            execution.append(NU, nxt)
+            state = nxt
+            ((action, target),) = list(transform.discrete_transitions(state))
+            execution.append(action, target)
+            state = target
+
+        stamped = execution.clock_stamped_schedule()
+        # Lemma 4.2: this is a timed schedule of the inner automaton —
+        # replay it: inner fires TICK at now = 1, 2, 3
+        assert [round(ev.time, 9) for ev in stamped] == [1.0, 2.0, 3.0]
+        inner_state = next(iter(inner.start_states()))
+        for ev in stamped:
+            advanced = inner.time_passage(inner_state, ev.time - inner_state.now) \
+                if ev.time > inner_state.now else inner_state
+            assert advanced is not None
+            inner_state = inner.apply(advanced, ev.action)
+
+    def test_real_times_diverge_from_stamps_by_at_most_eps(self):
+        transform = TheoryClockTransform(ticker(1.0), EPS)
+        (state,) = transform.start_states()
+        execution = Execution(state)
+        from repro.automata.actions import NU
+
+        for _ in range(3):
+            nxt = transform.time_passage_clock(state, 1.15, 1.0)
+            execution.append(NU, nxt)
+            state = nxt
+            ((action, target),) = list(transform.discrete_transitions(state))
+            execution.append(action, target)
+            state = target
+        real = execution.timed_schedule()
+        stamped = execution.clock_stamped_schedule()
+        for r, s in zip(real, stamped):
+            assert abs(r.time - s.time) <= EPS + 1e-9

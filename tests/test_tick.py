@@ -1,0 +1,57 @@
+"""Tests for the TICK clock subsystem (Section 5.2)."""
+
+import pytest
+
+from repro.automata.actions import Action
+from repro.clocks.sources import OffsetClockSource, PerfectClockSource
+from repro.components.tick import TickEntity
+from repro.errors import ClockEnvelopeError
+from repro.sim.engine import Simulator
+
+
+class TestTickEntity:
+    def test_ticks_at_interval(self):
+        tick = TickEntity(0, PerfectClockSource(), tick_interval=0.5, eps=0.0)
+        result = Simulator([tick]).run(2.2)
+        ticks = [e for e in result.recorder.events if e.action.name == "TICK"]
+        assert [round(e.now, 3) for e in ticks] == [0.0, 0.5, 1.0, 1.5, 2.0]
+
+    def test_tick_carries_source_reading(self):
+        tick = TickEntity(0, OffsetClockSource(0.2, 0.1), tick_interval=1.0, eps=0.2)
+        result = Simulator([tick]).run(2.5)
+        for e in result.recorder.events:
+            c = e.action.params[1]
+            assert c == pytest.approx(e.now + 0.1) or e.now == 0.0
+
+    def test_readings_monotone_even_if_source_dips(self):
+        class Dipping(PerfectClockSource):
+            def __init__(self):
+                super().__init__()
+                self.eps = 0.5
+
+            def raw(self, now):
+                # dips backward at t=1.0
+                return now - 0.4 if now >= 1.0 else now
+
+        tick = TickEntity(0, Dipping(), tick_interval=0.5, eps=0.5)
+        result = Simulator([tick]).run(3.0)
+        values = [e.action.params[1] for e in result.recorder.events]
+        assert values == sorted(values)
+
+    def test_envelope_violation_detected(self):
+        class Broken(PerfectClockSource):
+            def value(self, now):
+                return now + 1.0
+
+        tick = TickEntity(0, Broken(), tick_interval=0.5, eps=0.1)
+        with pytest.raises(ClockEnvelopeError):
+            Simulator([tick]).run(1.0)
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            TickEntity(0, PerfectClockSource(), tick_interval=0.0, eps=0.1)
+
+    def test_signature_is_output_only(self):
+        tick = TickEntity(3, PerfectClockSource(), 1.0, 0.0)
+        assert tick.signature.is_output(Action("TICK", (3, 1.0)))
+        assert not tick.accepts(Action("TICK", (3, 1.0)))

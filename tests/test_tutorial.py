@@ -1,0 +1,145 @@
+"""Executable companion to docs/tutorial.md.
+
+Every claim the tutorial makes about the event timestamper is asserted
+here, with the same code the document shows.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    Action,
+    Process,
+    Signature,
+    Topology,
+    action_set,
+    build_clock_system,
+    build_timed_system,
+    driver_factory,
+)
+from repro.sim.clock_drivers import FastClockDriver, SlowClockDriver
+
+EPS = 0.1
+
+
+class TimestamperProcess(Process):
+    """Stamps each observed event with the current time (tutorial §2)."""
+
+    def __init__(self, node):
+        super().__init__(node, Signature(
+            inputs=action_set(("EVENT", (node,))),
+            outputs=action_set(("STAMPED", (node,))),
+        ))
+
+    def initial_state(self):
+        return {"pending": []}
+
+    def apply_input(self, state, action, ctx):
+        event = action.params[1]
+        state["pending"].append((event, ctx.time))
+
+    def enabled(self, state, ctx):
+        if not state["pending"]:
+            return []
+        event, stamp = state["pending"][0]
+        return [Action("STAMPED", (self.node, event, stamp))]
+
+    def fire(self, state, action, ctx):
+        state["pending"].pop(0)
+
+    def deadline(self, state, ctx):
+        return ctx.time if state["pending"] else float("inf")
+
+
+def random_schedule(seed, n_nodes=3, count=10, span=20.0):
+    rng = random.Random(seed)
+    events = []
+    for k in range(count):
+        events.append(
+            (Action("EVENT", (rng.randrange(n_nodes), ("e", k))),
+             round(rng.uniform(0.5, span), 3))
+        )
+    return sorted(events, key=lambda pair: pair[1])
+
+
+def stamps_of(result):
+    """(event -> (stamp, real injection time)) from a run's trace."""
+    injected = {}
+    stamped = {}
+    for record in result.recorder.events:
+        if record.action.name == "EVENT":
+            injected[record.action.params[1]] = record.now
+        elif record.action.name == "STAMPED":
+            _, event, stamp = record.action.params
+            stamped[event] = (stamp, injected[event])
+    return stamped
+
+
+def ordering_holds(stamped, delta_sep):
+    """The tutorial's property P at separation ``delta_sep``."""
+    items = list(stamped.values())
+    for stamp_a, real_a in items:
+        for stamp_b, real_b in items:
+            if real_b - real_a >= delta_sep - 1e-12 and not stamp_a < stamp_b:
+                return False
+    return True
+
+
+class TestTimedModel:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_any_separation_orders_correctly(self, seed):
+        spec = build_timed_system(Topology(3, []), TimestamperProcess, 0.0, 1.0)
+        schedule = random_schedule(seed)
+        result = spec.simulator().run(25.0, initial_inputs=schedule)
+        stamped = stamps_of(result)
+        assert len(stamped) == 10
+        # stamps equal real times exactly
+        for stamp, real in stamped.values():
+            assert stamp == pytest.approx(real)
+        assert ordering_holds(stamped, delta_sep=1e-6)
+
+
+class TestClockModel:
+    def run_clock(self, seed, drivers):
+        spec = build_clock_system(
+            Topology(3, []), TimestamperProcess, EPS, 0.0, 1.0,
+            drivers=drivers,
+        )
+        schedule = random_schedule(seed)
+        return spec.simulator().run(25.0, initial_inputs=schedule)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("kind", ["mixed", "random", "fast", "slow"])
+    def test_two_eps_separation_always_ordered(self, seed, kind):
+        result = self.run_clock(seed, driver_factory(kind, EPS, seed=seed))
+        stamped = stamps_of(result)
+        assert ordering_holds(stamped, delta_sep=2 * EPS + 1e-6)
+
+    def test_stamps_within_eps_of_real_time(self):
+        result = self.run_clock(1, driver_factory("mixed", EPS, seed=1))
+        for stamp, real in stamps_of(result).values():
+            assert abs(stamp - real) <= EPS + 1e-9
+
+    def test_bound_is_tight_below_two_eps(self):
+        """A fast stamper and a slow stamper invert events separated by
+        slightly less than 2*eps."""
+
+        def adversarial(i):
+            return FastClockDriver(EPS) if i == 0 else SlowClockDriver(EPS)
+
+        spec = build_clock_system(
+            Topology(2, []), TimestamperProcess, EPS, 0.0, 1.0,
+            drivers=adversarial,
+        )
+        separation = 2 * EPS - 0.02
+        result = spec.simulator().run(
+            5.0,
+            initial_inputs=[
+                (Action("EVENT", (0, "early")), 1.0),          # fast clock
+                (Action("EVENT", (1, "late")), 1.0 + separation),  # slow
+            ],
+        )
+        stamped = stamps_of(result)
+        assert stamped["late"][0] < stamped["early"][0]  # inverted!
+        assert not ordering_holds(stamped, delta_sep=separation)
