@@ -566,11 +566,13 @@ def exp_engine_throughput() -> Tuple[Table, Dict]:
     """Substrate sizing: events/second for n-node register systems."""
     import time
 
+    from repro.obs import MetricsRegistry
+
     table = Table(
         "ENG: simulation engine throughput",
-        ["nodes", "events", "wall (s)", "events/s"],
+        ["nodes", "events", "wall (s)", "events/s", "engine steps/s"],
     )
-    shapes = {"rates": []}
+    shapes = {"rates": [], "metrics": []}
     for n in (2, 3, 5, 8):
         workload = RegisterWorkload(operations=10, read_fraction=0.5, seed=13,
                                     think_min=0.1, think_max=0.5)
@@ -578,13 +580,19 @@ def exp_engine_throughput() -> Tuple[Table, Dict]:
             n=n, d1_prime=0.2, d2_prime=1.0, c=0.3, workload=workload,
             delay_model=UniformDelay(seed=13),
         )
+        metrics = MetricsRegistry()
         start = time.perf_counter()
-        run = run_register_experiment(spec, 60.0)
+        run = run_register_experiment(spec, 60.0, metrics=metrics)
         wall = time.perf_counter() - start
         events = len(run.result.recorder)
         rate = events / wall if wall > 0 else 0.0
+        snapshot = metrics.snapshot(include_volatile=True)
         shapes["rates"].append(rate)
-        table.add_row(n, events, wall, rate)
+        shapes["metrics"].append({"nodes": n, "snapshot": snapshot})
+        table.add_row(
+            n, events, wall, rate,
+            snapshot["gauges"].get("repro.engine.steps_per_sec", 0.0),
+        )
     return table, shapes
 
 

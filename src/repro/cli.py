@@ -31,7 +31,10 @@ from typing import List, Optional
 from repro.clocks.sources import OffsetClockSource
 from repro.clocks.sync import CristianSimulation, HardwareClock, achievable_epsilon
 from repro.core.mmt_transform import UniformStepPolicy
+from repro.obs import JsonlTracer, MetricsRegistry, SKEW_BUCKETS
+from repro.obs.dashboard import render_dashboard, summarize_trace
 from repro.detector import build_detector_system, detector_timeout
+from repro.errors import ReproError
 from repro.faults import CrashSchedule, CrashableEntity
 from repro.objects import (
     CounterSpec,
@@ -71,6 +74,32 @@ OBJECT_SPECS = {
 }
 
 
+def _obs(args):
+    """The (metrics, tracer) pair requested by ``--metrics-out``/``--trace-out``.
+
+    A registry is created whenever an export was requested; the tracer is
+    a real :class:`JsonlTracer` only when tracing was requested, so the
+    engine keeps its null-tracer fast path otherwise.
+    """
+    metrics = None
+    if args.metrics_out:
+        with open(args.metrics_out, "w"):  # fail fast, before the run
+            pass
+        metrics = MetricsRegistry()
+    tracer = JsonlTracer(args.trace_out) if args.trace_out else None
+    return metrics, tracer
+
+
+def _finish_obs(args, metrics, tracer) -> None:
+    """Flush the requested observability exports to disk."""
+    if tracer is not None:
+        tracer.close()
+        print(f"trace   -> {args.trace_out}")
+    if metrics is not None:
+        metrics.dump(args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
+
+
 def _register(args) -> int:
     workload = RegisterWorkload(
         operations=args.ops, read_fraction=args.read_fraction, seed=args.seed
@@ -104,7 +133,11 @@ def _register(args) -> int:
             step_policy_factory=lambda i: UniformStepPolicy(seed=i),
             delay_model=delay,
         )
-    run = run_register_experiment(spec, args.horizon, max_steps=3_000_000)
+    metrics, tracer = _obs(args)
+    run = run_register_experiment(
+        spec, args.horizon, max_steps=3_000_000, metrics=metrics, tracer=tracer
+    )
+    _finish_obs(args, metrics, tracer)
     linearizable = run.linearizable()
     print(f"model={args.model} n={args.n} eps={args.eps:g} c={args.c:g}")
     print(f"operations: {len(run.operations)} "
@@ -134,7 +167,11 @@ def _object(args) -> int:
             drivers=driver_factory(args.driver, args.eps, seed=args.seed),
             delay_model=delay,
         )
-    run = run_object_experiment(system, spec, args.horizon)
+    metrics, tracer = _obs(args)
+    run = run_object_experiment(
+        system, spec, args.horizon, metrics=metrics, tracer=tracer
+    )
+    _finish_obs(args, metrics, tracer)
     linearizable = run.linearizable()
     print(f"object={spec.name} model={args.model} n={args.n}")
     print(f"operations: {len(run.operations)} "
@@ -172,7 +209,9 @@ def _detector(args) -> int:
             for e in spec.entities
         ]
         spec = SystemSpec(entities=entities, hidden=spec.hidden)
-    result = spec.run(args.horizon)
+    metrics, tracer = _obs(args)
+    result = spec.run(args.horizon, metrics=metrics, tracer=tracer)
+    _finish_obs(args, metrics, tracer)
     beats = [e for e in result.trace if e.action.name == "BEAT"]
     suspicions = [e for e in result.trace if e.action.name == "SUSPECT"]
     print(f"timeout={timeout:g} ({'naive' if args.naive else 'per Theorem 4.7'})"
@@ -194,7 +233,10 @@ def _tdma(args) -> int:
         drivers=driver_factory(args.driver, args.eps, seed=args.seed),
     )
     horizon = args.sections * args.n * args.slot + args.slot
-    intervals = critical_intervals(spec.run(horizon).trace)
+    metrics, tracer = _obs(args)
+    result = spec.run(horizon, metrics=metrics, tracer=tracer)
+    _finish_obs(args, metrics, tracer)
+    intervals = critical_intervals(result.trace)
     overlap = max_overlap(intervals)
     exclusive = overlap <= 1e-9
     print(f"n={args.n} slot={args.slot:g} guard={args.guard:g} eps={args.eps:g}")
@@ -214,6 +256,19 @@ def _sync(args) -> int:
     )
     envelope = achievable_epsilon(args.rho, args.period, args.d1, args.d2)
     steady = simulation.max_error(start=simulation.converged_after())
+    metrics, tracer = _obs(args)
+    if metrics is not None:
+        # no engine here: publish the sync service's own instruments
+        metrics.counter("repro.sync.exchanges").inc(len(simulation.samples))
+        metrics.gauge("repro.sync.max_error").set(steady)
+        metrics.gauge("repro.sync.envelope").set(envelope)
+        corrections = metrics.histogram("repro.sync.correction", SKEW_BUCKETS)
+        for sample in simulation.samples:
+            corrections.observe(abs(sample.correction))
+    if tracer is not None:
+        tracer.run_start(args.horizon)
+        tracer.run_end(args.horizon, len(simulation.samples))
+    _finish_obs(args, metrics, tracer)
     print(f"oscillator rate {args.rho:g} "
           f"({abs(args.rho - 1) * 1e6:.0f} ppm), sync every {args.period:g}")
     print(f"exchanges        : {len(simulation.samples)}")
@@ -240,7 +295,10 @@ def _leader(args) -> int:
         delay_model=UniformDelay(seed=args.seed),
     )
     horizon = diameter(topology) * (args.d2 + 2 * args.eps) + 2.0
-    outcomes = election_outcomes(spec.run(horizon).trace)
+    metrics, tracer = _obs(args)
+    result = spec.run(horizon, metrics=metrics, tracer=tracer)
+    _finish_obs(args, metrics, tracer)
+    outcomes = election_outcomes(result.trace)
     leaders = {leader for leader, _ in outcomes.values()}
     times = [t for _, t in outcomes.values()]
     spread = max(times) - min(times) if times else float("inf")
@@ -253,6 +311,30 @@ def _leader(args) -> int:
 
 
 
+def _report(args) -> int:
+    import json
+
+    from repro.obs import read_trace
+    from repro.obs.schema import validate_metrics
+
+    try:
+        with open(args.metrics_file, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read metrics file: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_metrics(payload)
+    if problems:
+        for problem in problems:
+            print(f"invalid metrics file: {problem}", file=sys.stderr)
+        return 2
+    trace_summary = None
+    if args.trace:
+        trace_summary = summarize_trace(read_trace(args.trace))
+    print(render_dashboard(payload, trace_summary=trace_summary))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -260,6 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Partially synchronized clocks (PODC 1993) — experiments",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def obs(p):
+        p.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write a metrics JSON snapshot to FILE")
+        p.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write a structured JSONL event trace to FILE")
 
     def common(p, d1=0.2, d2=1.0):
         p.add_argument("--n", type=int, default=3)
@@ -271,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["perfect", "fast", "slow", "mixed", "random",
                                 "drift", "sawtooth"])
         p.add_argument("--horizon", type=float, default=120.0)
+        obs(p)
 
     p = sub.add_parser("register", help="run a register experiment")
     common(p)
@@ -312,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--driver", default="mixed",
                    choices=["perfect", "fast", "slow", "mixed", "random"])
+    obs(p)
     p.set_defaults(func=_tdma)
 
     p = sub.add_parser("leader", help="run leader election on a topology")
@@ -328,7 +418,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--d2", type=float, default=0.08)
     p.add_argument("--horizon", type=float, default=150.0)
     p.add_argument("--seed", type=int, default=0)
+    obs(p)
     p.set_defaults(func=_sync)
+
+    p = sub.add_parser("report", help="render an ASCII dashboard from exports")
+    p.add_argument("metrics_file", help="metrics JSON written by --metrics-out")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="JSONL trace written by --trace-out")
+    p.set_defaults(func=_report)
 
     return parser
 
@@ -337,7 +434,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

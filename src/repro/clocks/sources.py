@@ -19,15 +19,26 @@ import math
 import random
 
 from repro.errors import ClockEnvelopeError
+from repro.obs.metrics import NULL_HISTOGRAM, SKEW_BUCKETS
 
 
 class ClockSource:
     """Maps real time to a clock reading within a stated envelope."""
 
+    # null until instrument() binds a registry; class-level so subclass
+    # __init__ methods stay free of observability setup
+    _skew_hist = NULL_HISTOGRAM
+
     def __init__(self, eps: float):
         if eps < 0:
             raise ValueError("eps must be non-negative")
         self.eps = eps
+
+    def instrument(self, metrics) -> None:
+        """Publish per-read skew samples of this hardware clock."""
+        self._skew_hist = metrics.histogram(
+            "repro.clock.source_skew", SKEW_BUCKETS
+        )
 
     def raw(self, now: float) -> float:
         """The unclamped reading (subclass hook)."""
@@ -38,7 +49,9 @@ class ClockSource:
         reading = self.raw(now)
         lo = max(now - self.eps, 0.0)
         hi = now + self.eps
-        return min(max(reading, lo), hi)
+        clamped = min(max(reading, lo), hi)
+        self._skew_hist.observe(abs(clamped - now))
+        return clamped
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} eps={self.eps:g}>"

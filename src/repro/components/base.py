@@ -149,6 +149,15 @@ class Entity:
         """
         return None
 
+    def instrument(self, metrics: Any) -> None:
+        """Bind observability instruments from a metrics registry.
+
+        The engine calls this once per run, before :meth:`initial_state`.
+        Entities that publish metrics (channels, clock nodes, tick
+        sources) override it to bind counters/gauges/histograms; the
+        default is a no-op, so uninstrumented entities cost nothing.
+        """
+
     def __repr__(self) -> str:
         return f"<Entity {self.name}>"
 

@@ -19,6 +19,12 @@ from repro.automata.actions import Action, ActionPattern, PatternActionSet
 from repro.automata.signature import Signature
 from repro.components.base import Entity
 from repro.errors import ClockEnvelopeError
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    SKEW_BUCKETS,
+)
 
 _TOLERANCE = 1e-9
 
@@ -52,6 +58,18 @@ class TickEntity(Entity):
         self.tick_interval = tick_interval
         self.eps = eps
         self.check_envelope = check_envelope
+        self._ticks = NULL_COUNTER
+        self._skew_hist = NULL_HISTOGRAM
+        self._skew_max = NULL_GAUGE
+
+    def instrument(self, metrics) -> None:
+        """Publish tick counts and observed tick-reading skew."""
+        self._ticks = metrics.counter("repro.clock.ticks")
+        self._skew_hist = metrics.histogram("repro.clock.skew", SKEW_BUCKETS)
+        self._skew_max = metrics.gauge("repro.clock.skew_max")
+        metrics.gauge("repro.clock.eps").set_max(float(self.eps))
+        if hasattr(self.source, "instrument"):
+            self.source.instrument(metrics)
 
     def initial_state(self) -> TickState:
         return TickState()
@@ -76,6 +94,12 @@ class TickEntity(Entity):
         state.last_value = action.params[1]
         state.ticks += 1
         state.next_tick_time = now + self.tick_interval
+        self._ticks.inc()
+        skew = abs(state.last_value - now)
+        if self.eps < skew <= self.eps + _TOLERANCE:
+            skew = self.eps
+        self._skew_hist.observe(skew)
+        self._skew_max.set_max(skew)
 
     def deadline(self, state: TickState, now: float) -> float:
         return state.next_tick_time

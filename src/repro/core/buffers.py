@@ -31,6 +31,12 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import TransitionError
+from repro.obs.metrics import (
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    OCCUPANCY_BUCKETS,
+    SKEW_BUCKETS,
+)
 
 INFINITY = float("inf")
 _TOLERANCE = 1e-9
@@ -45,10 +51,24 @@ class SendBuffer:
     src: int
     dst: int
     queue: List[Stamped] = field(default_factory=list)
+    occupancy_hist: object = field(default=NULL_HISTOGRAM, repr=False, compare=False)
+    occupancy_gauge: object = field(default=NULL_GAUGE, repr=False, compare=False)
+
+    def bind_instruments(self, metrics) -> None:
+        """Publish occupancy samples and a per-buffer depth gauge."""
+        self.occupancy_hist = metrics.histogram(
+            "repro.buffer.occupancy", OCCUPANCY_BUCKETS
+        )
+        self.occupancy_gauge = metrics.gauge(
+            f"repro.buffer.occupancy[S:{self.src}->{self.dst}]"
+        )
 
     def enqueue(self, message: object, clock: float) -> None:
         """``SENDMSG_i(j, m)`` effect: remember ``(m, clock)``."""
         self.queue.append((message, clock))
+        depth = float(len(self.queue))
+        self.occupancy_hist.observe(depth)
+        self.occupancy_gauge.set(depth)
 
     def front(self) -> Optional[Stamped]:
         """The next ``(message, stamp)`` to leave, if any."""
@@ -72,7 +92,9 @@ class SendBuffer:
                 f"send buffer {self.src}->{self.dst}: nothing emittable at "
                 f"clock {clock:g}"
             )
-        return self.queue.pop(0)
+        entry = self.queue.pop(0)
+        self.occupancy_gauge.set(float(len(self.queue)))
+        return entry
 
     def clock_deadline(self) -> float:
         """``nu`` guard: the clock may not pass any queued stamp."""
@@ -90,6 +112,21 @@ class ReceiveBuffer:
     queue: List[Stamped] = field(default_factory=list)
     held_count: int = 0
     total_hold_clock: float = 0.0
+    occupancy_hist: object = field(default=NULL_HISTOGRAM, repr=False, compare=False)
+    occupancy_gauge: object = field(default=NULL_GAUGE, repr=False, compare=False)
+    hold_hist: object = field(default=NULL_HISTOGRAM, repr=False, compare=False)
+
+    def bind_instruments(self, metrics) -> None:
+        """Publish occupancy samples, a depth gauge, and hold times."""
+        self.occupancy_hist = metrics.histogram(
+            "repro.buffer.occupancy", OCCUPANCY_BUCKETS
+        )
+        self.occupancy_gauge = metrics.gauge(
+            f"repro.buffer.occupancy[R:{self.src}->{self.dst}]"
+        )
+        self.hold_hist = metrics.histogram(
+            "repro.buffer.hold_time", SKEW_BUCKETS
+        )
 
     def enqueue(self, message: object, stamp: float, clock: float) -> None:
         """``ERECVMSG_i(j, (m, c))`` effect: buffer, ordered by stamp.
@@ -100,11 +137,15 @@ class ReceiveBuffer:
         if stamp > clock + _TOLERANCE:
             self.held_count += 1
             self.total_hold_clock += stamp - clock
+            self.hold_hist.observe(stamp - clock)
         entry = (message, stamp)
         index = len(self.queue)
         while index > 0 and self.queue[index - 1][1] > stamp:
             index -= 1
         self.queue.insert(index, entry)
+        depth = float(len(self.queue))
+        self.occupancy_hist.observe(depth)
+        self.occupancy_gauge.set(depth)
 
     def front(self) -> Optional[Stamped]:
         """The minimal-stamp ``(message, stamp)`` held, if any."""
@@ -123,7 +164,9 @@ class ReceiveBuffer:
                 f"receive buffer {self.src}->{self.dst}: nothing deliverable "
                 f"at clock {clock:g}"
             )
-        return self.queue.pop(0)
+        entry = self.queue.pop(0)
+        self.occupancy_gauge.set(float(len(self.queue)))
+        return entry
 
     def clock_deadline(self) -> float:
         """``nu`` guard: the clock may not pass any buffered stamp.

@@ -28,10 +28,19 @@ from repro.automata.signature import Signature
 from repro.components.base import Entity, Process, ProcessContext
 from repro.core.buffers import ReceiveBuffer, SendBuffer
 from repro.errors import TransitionError
+from repro.obs.metrics import NULL_GAUGE, NULL_HISTOGRAM, SKEW_BUCKETS
 from repro.sim.clock_drivers import ClockDriver
 
 INFINITY = float("inf")
 _TOLERANCE = 1e-9
+
+
+def _observed_skew(now: float, clock: float, eps: float) -> float:
+    """``|now - clock|``, squashing envelope-clamp float noise to ``eps``."""
+    skew = abs(now - clock)
+    if eps < skew <= eps + _TOLERANCE:
+        return eps
+    return skew
 
 
 @dataclass
@@ -63,17 +72,30 @@ class ClockMachine:
         self.node = process.node
         self.out_edges = list(out_edges)
         self.in_edges = list(in_edges)
+        self._metrics = None
+
+    # -- observability -------------------------------------------------------
+
+    def instrument(self, metrics) -> None:
+        """Remember the registry so fresh states bind buffer instruments."""
+        self._metrics = metrics
 
     # -- state ---------------------------------------------------------------
 
     def initial_state(self) -> MachineState:
         """A fresh machine state: clock 0, empty buffers."""
-        return MachineState(
+        state = MachineState(
             clock=0.0,
             proc_state=self.process.initial_state(),
             send_buffers={j: SendBuffer(self.node, j) for j in self.out_edges},
             recv_buffers={j: ReceiveBuffer(j, self.node) for j in self.in_edges},
         )
+        if self._metrics is not None:
+            for sbuf in state.send_buffers.values():
+                sbuf.bind_instruments(self._metrics)
+            for rbuf in state.recv_buffers.values():
+                rbuf.bind_instruments(self._metrics)
+        return state
 
     # -- transitions -----------------------------------------------------------
 
@@ -203,6 +225,17 @@ class ClockNodeEntity(Entity):
         self.machine = ClockMachine(process, out_edges, in_edges)
         self.driver = driver
         self.node = process.node
+        self._skew_hist = NULL_HISTOGRAM
+        self._skew_max = NULL_GAUGE
+
+    def instrument(self, metrics) -> None:
+        """Publish clock-skew samples against the ``C_eps`` envelope."""
+        self.machine.instrument(metrics)
+        self._skew_hist = metrics.histogram("repro.clock.skew", SKEW_BUCKETS)
+        self._skew_max = metrics.gauge("repro.clock.skew_max")
+        eps = getattr(self.driver, "eps", None)
+        if eps is not None:
+            metrics.gauge("repro.clock.eps").set_max(float(eps))
 
     def initial_state(self) -> MachineState:
         return self.machine.initial_state()
@@ -223,6 +256,9 @@ class ClockNodeEntity(Entity):
     def advance(self, state: MachineState, old_now: float, new_now: float) -> None:
         cap = self.machine.clock_deadline(state)
         state.clock = self.driver.step(old_now, state.clock, new_now, cap)
+        skew = _observed_skew(new_now, state.clock, self.driver.eps)
+        self._skew_hist.observe(skew)
+        self._skew_max.set_max(skew)
 
     def clock_value(self, state: MachineState, now: float) -> Optional[float]:
         return state.clock
@@ -254,6 +290,16 @@ class NativeClockNodeEntity(Entity):
         self.process = process
         self.driver = driver
         self.node = process.node
+        self._skew_hist = NULL_HISTOGRAM
+        self._skew_max = NULL_GAUGE
+
+    def instrument(self, metrics) -> None:
+        """Publish clock-skew samples against the ``C_eps`` envelope."""
+        self._skew_hist = metrics.histogram("repro.clock.skew", SKEW_BUCKETS)
+        self._skew_max = metrics.gauge("repro.clock.skew_max")
+        eps = getattr(self.driver, "eps", None)
+        if eps is not None:
+            metrics.gauge("repro.clock.eps").set_max(float(eps))
 
     def initial_state(self) -> NativeState:
         return NativeState(clock=0.0, proc_state=self.process.initial_state())
@@ -276,6 +322,9 @@ class NativeClockNodeEntity(Entity):
     def advance(self, state: NativeState, old_now: float, new_now: float) -> None:
         cap = self.process.deadline(state.proc_state, ProcessContext(state.clock))
         state.clock = self.driver.step(old_now, state.clock, new_now, cap)
+        skew = _observed_skew(new_now, state.clock, self.driver.eps)
+        self._skew_hist.observe(skew)
+        self._skew_max.set_max(skew)
 
     def clock_value(self, state: NativeState, now: float) -> Optional[float]:
         return state.clock

@@ -133,6 +133,10 @@ class MMTNodeEntity(Entity):
         self.idle_skip = idle_skip
         self.max_catch_up = max_catch_up
 
+    def instrument(self, metrics) -> None:
+        """Bind the wrapped machine's buffer instruments."""
+        self.machine.instrument(metrics)
+
     # -- the delayed simulation ------------------------------------------------
 
     def _catch_up(self, state: MMTState) -> None:

@@ -72,9 +72,14 @@ class SystemSpec:
         horizon: float,
         scheduler: Optional[Scheduler] = None,
         max_steps: int = 1_000_000,
+        recorder=None,
+        metrics=None,
+        tracer=None,
     ) -> SimulationResult:
         """Build a simulator and run it to the horizon."""
-        return self.simulator(scheduler, max_steps).run(horizon)
+        return self.simulator(scheduler, max_steps).run(
+            horizon, recorder=recorder, metrics=metrics, tracer=tracer
+        )
 
 
 def simulation1_delay_bounds(

@@ -16,6 +16,7 @@ from typing import Optional
 from repro.automata.actions import Action
 from repro.network.channel import ChannelEntity, ChannelState, InTransit
 from repro.faults.models import FaultModel, NoFaults
+from repro.obs.metrics import NULL_COUNTER
 from repro.sim.delay import DelayModel
 
 
@@ -41,6 +42,13 @@ class LossyChannelEntity(ChannelEntity):
         super().__init__(src, dst, d1, d2, delay_model=delay_model, prefix=prefix)
         self.fault_model = fault_model or NoFaults()
         self.name = f"lossychan[{src}->{dst}]{prefix and '^c' or ''}"
+        self._dropped = NULL_COUNTER
+        self._duplicated = NULL_COUNTER
+
+    def instrument(self, metrics) -> None:
+        super().instrument(metrics)
+        self._dropped = metrics.counter("repro.channel.dropped")
+        self._duplicated = metrics.counter("repro.channel.duplicated")
 
     def initial_state(self) -> LossyChannelState:
         return LossyChannelState()
@@ -49,16 +57,22 @@ class LossyChannelEntity(ChannelEntity):
         message = action.params[2]
         copies = self.fault_model.copies((self.src, self.dst), message, now)
         state.sent += 1
+        self._sent.inc()
         if copies == 0:
             state.dropped += 1
+            self._dropped.inc()
             return
         if copies > 1:
             state.duplicated += copies - 1
+            self._duplicated.inc(copies - 1)
         for _ in range(copies):
             delay = self.delay_model.sample(
                 (self.src, self.dst), message, now, self.d1, self.d2
             )
             state.buffer.append(InTransit(message, now, now + delay))
+        depth = float(len(state.buffer))
+        self._occupancy.observe(depth)
+        self._depth.set(depth)
 
     def __repr__(self) -> str:
         return (

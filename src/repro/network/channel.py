@@ -31,6 +31,13 @@ from repro.automata.actions import Action, ActionPattern, PatternActionSet
 from repro.automata.signature import Signature
 from repro.components.base import Entity
 from repro.errors import TransitionError
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    OCCUPANCY_BUCKETS,
+)
 from repro.sim.delay import ConstantFractionDelay, DelayModel
 
 INFINITY = float("inf")
@@ -80,6 +87,27 @@ class ChannelEntity(Entity):
             outputs=PatternActionSet([ActionPattern(self.recv_name, (dst, src))]),
         )
         super().__init__(f"chan[{src}->{dst}]{prefix and '^c' or ''}", signature)
+        self._sent = NULL_COUNTER
+        self._delivered = NULL_COUNTER
+        self._latency = NULL_HISTOGRAM
+        self._occupancy = NULL_HISTOGRAM
+        self._depth = NULL_GAUGE
+
+    # -- observability -------------------------------------------------------
+
+    def instrument(self, metrics) -> None:
+        """Publish per-delivery latencies and in-transit queue depths."""
+        self._sent = metrics.counter("repro.channel.sent")
+        self._delivered = metrics.counter("repro.channel.delivered")
+        self._latency = metrics.histogram(
+            "repro.channel.delivery_latency", LATENCY_BUCKETS
+        )
+        self._occupancy = metrics.histogram(
+            "repro.channel.occupancy", OCCUPANCY_BUCKETS
+        )
+        self._depth = metrics.gauge(
+            f"repro.channel.queue_depth[{self.src}->{self.dst}]"
+        )
 
     # -- entity interface ----------------------------------------------------
 
@@ -99,6 +127,10 @@ class ChannelEntity(Entity):
             )
         state.buffer.append(InTransit(message, now, now + delay))
         state.sent += 1
+        self._sent.inc()
+        depth = float(len(state.buffer))
+        self._occupancy.observe(depth)
+        self._depth.set(depth)
 
     def enabled(self, state: ChannelState, now: float) -> List[Action]:
         ready = [
@@ -117,6 +149,9 @@ class ChannelEntity(Entity):
             if item.message == message and item.deliver_at <= now + 1e-12:
                 del state.buffer[idx]
                 state.delivered += 1
+                self._delivered.inc()
+                self._latency.observe(now - item.send_time)
+                self._depth.set(float(len(state.buffer)))
                 return
         raise TransitionError(f"{self.name}: no deliverable message {message!r}")
 

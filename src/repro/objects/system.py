@@ -299,9 +299,15 @@ def run_object_experiment(
     horizon: float,
     scheduler: Optional[Scheduler] = None,
     max_steps: int = 1_000_000,
+    recorder=None,
+    metrics=None,
+    tracer=None,
 ) -> ObjectRun:
     """Run a built object system and collect per-operation results."""
-    result = spec_obj.run(horizon, scheduler=scheduler, max_steps=max_steps)
+    result = spec_obj.run(
+        horizon, scheduler=scheduler, max_steps=max_steps,
+        recorder=recorder, metrics=metrics, tracer=tracer,
+    )
     operations: List[CompletedObjOp] = []
     for name, state in result.final_states.items():
         if name.startswith("objclient(") and hasattr(state, "completed"):

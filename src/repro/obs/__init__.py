@@ -1,0 +1,55 @@
+"""Observability: metrics registry, structured trace export, dashboards.
+
+- :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms,
+  deterministic JSON snapshots, null instruments for the disabled path;
+- :mod:`repro.obs.trace` — JSONL span/event tracer for the engine hot
+  loop (null-object pattern when disabled);
+- :mod:`repro.obs.schema` — JSON-schema validation of both export
+  formats (the CI contract);
+- :mod:`repro.obs.dashboard` — ASCII rendering for
+  ``python -m repro report``.
+
+See ``docs/observability.md`` for the metric name schema and worked
+examples.
+"""
+
+from repro.obs.metrics import (
+    CANONICAL_STAT_KEYS,
+    CONTENTION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_METRICS,
+    NullMetrics,
+    OCCUPANCY_BUCKETS,
+    SKEW_BUCKETS,
+    stats_from_metrics,
+)
+from repro.obs.trace import JsonlTracer, NULL_TRACER, Tracer, read_trace
+
+__all__ = [
+    "CANONICAL_STAT_KEYS",
+    "CONTENTION_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlTracer",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "OCCUPANCY_BUCKETS",
+    "SKEW_BUCKETS",
+    "Tracer",
+    "read_trace",
+    "stats_from_metrics",
+]

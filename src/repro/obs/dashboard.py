@@ -1,0 +1,93 @@
+"""ASCII dashboard for metrics snapshots (``python -m repro report``).
+
+Renders a metrics snapshot — live from a
+:class:`~repro.obs.metrics.MetricsRegistry` or loaded from a
+``--metrics-out`` JSON file — as fixed-column tables with proportional
+bars, in the spirit of :mod:`repro.analysis.timeline`'s lanes and
+reusing :class:`repro.analysis.report.Table` for layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.report import Table
+
+BAR_WIDTH = 24
+
+
+def _bar(fraction: float, width: int = BAR_WIDTH) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _render_histogram(name: str, hist: Dict[str, object]) -> List[str]:
+    bounds = list(hist.get("bounds", []))
+    counts = list(hist.get("counts", []))
+    total = hist.get("count", 0) or 0
+    lines = [
+        f"-- {name}  (n={total}, sum={hist.get('sum', 0.0):.4g}, "
+        f"min={hist.get('min', 0.0):.4g}, max={hist.get('max', 0.0):.4g})"
+    ]
+    if not total:
+        lines.append("   (no samples)")
+        return lines
+    peak = max(counts) or 1
+    labels = [f"<= {b:g}" for b in bounds] + [f"> {bounds[-1]:g}" if bounds else "all"]
+    label_width = max(len(label) for label in labels)
+    for label, count in zip(labels, counts):
+        if not count:
+            continue
+        lines.append(
+            f"   {label.rjust(label_width)} |{_bar(count / peak)}| {count}"
+        )
+    return lines
+
+
+def render_dashboard(
+    snapshot: Dict[str, object],
+    trace_summary: Optional[Dict[str, int]] = None,
+) -> str:
+    """The snapshot as an ASCII dashboard (one string, ready to print)."""
+    sections: List[str] = []
+
+    counters = snapshot.get("counters") or {}
+    if counters:
+        table = Table("counters", ["name", "value"])
+        for name in sorted(counters):
+            table.add_row(name, counters[name])
+        sections.append(table.render())
+
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        table = Table("gauges", ["name", "value"])
+        for name in sorted(gauges):
+            table.add_row(name, gauges[name])
+        sections.append(table.render())
+
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        lines = ["== histograms =="]
+        for name in sorted(histograms):
+            lines.extend(_render_histogram(name, histograms[name]))
+        sections.append("\n".join(lines))
+
+    if trace_summary:
+        table = Table("trace events", ["kind", "records"])
+        for kind in sorted(trace_summary):
+            table.add_row(kind, trace_summary[kind])
+        sections.append(table.render())
+
+    if not sections:
+        return "(empty snapshot: no counters, gauges, or histograms)"
+    return "\n\n".join(sections)
+
+
+def summarize_trace(records: List[Dict[str, object]]) -> Dict[str, int]:
+    """Per-kind record counts of a loaded trace (for the dashboard)."""
+    summary: Dict[str, int] = {}
+    for record in records:
+        kind = str(record.get("k"))
+        summary[kind] = summary.get(kind, 0) + 1
+    return summary

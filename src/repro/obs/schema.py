@@ -1,0 +1,212 @@
+"""JSON-schema checks for the metrics and trace export formats.
+
+The exports are a contract: CI runs a seeded experiment with
+``--metrics-out``/``--trace-out`` and validates both files here, so the
+format cannot silently break. The schemas are expressed as plain JSON
+Schema dicts (documentation and interop) and enforced by a small
+hand-rolled validator — the library has no dependencies, and the subset
+of JSON Schema we need (types, required keys, enum, items) is tiny.
+
+Run directly::
+
+    python -m repro.obs.schema metrics.json trace.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List
+
+from repro.obs.metrics import FORMAT, FORMAT_VERSION
+from repro.obs.trace import TRACE_FORMAT, TRACE_KINDS, TRACE_VERSION
+
+METRICS_SCHEMA: Dict[str, object] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro metrics snapshot",
+    "type": "object",
+    "required": ["format", "version", "counters", "gauges", "histograms"],
+    "properties": {
+        "format": {"const": FORMAT},
+        "version": {"const": FORMAT_VERSION},
+        "counters": {"type": "object", "additionalProperties": {"type": "integer"}},
+        "gauges": {"type": "object", "additionalProperties": {"type": "number"}},
+        "histograms": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["bounds", "counts", "count", "sum", "min", "max"],
+                "properties": {
+                    "bounds": {"type": "array", "items": {"type": "number"}},
+                    "counts": {"type": "array", "items": {"type": "integer"}},
+                    "count": {"type": "integer"},
+                    "sum": {"type": "number"},
+                    "min": {"type": "number"},
+                    "max": {"type": "number"},
+                },
+            },
+        },
+    },
+}
+
+TRACE_HEADER_SCHEMA: Dict[str, object] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro obs trace header",
+    "type": "object",
+    "required": ["format", "version"],
+    "properties": {
+        "format": {"const": TRACE_FORMAT},
+        "version": {"const": TRACE_VERSION},
+    },
+}
+
+TRACE_RECORD_SCHEMA: Dict[str, object] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro obs trace record",
+    "type": "object",
+    "required": ["k"],
+    "properties": {"k": {"enum": list(TRACE_KINDS)}},
+}
+
+_REQUIRED_RECORD_KEYS = {
+    "run_start": ("horizon",),
+    "action": ("now", "owner", "a", "vis"),
+    "inject": ("now", "a"),
+    "advance": ("from", "to"),
+    "timelock": ("now",),
+    "run_end": ("now", "steps"),
+}
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_integer(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def validate_metrics(payload: object) -> List[str]:
+    """Problems with a metrics snapshot dict; empty list means valid."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"metrics: expected an object, got {type(payload).__name__}"]
+    if payload.get("format") != FORMAT:
+        problems.append(f"metrics: format is {payload.get('format')!r}, "
+                        f"expected {FORMAT!r}")
+    if payload.get("version") != FORMAT_VERSION:
+        problems.append(f"metrics: version is {payload.get('version')!r}, "
+                        f"expected {FORMAT_VERSION}")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(payload.get(section), dict):
+            problems.append(f"metrics: missing or non-object section {section!r}")
+    for name, value in (payload.get("counters") or {}).items():
+        if not _is_integer(value):
+            problems.append(f"metrics: counter {name!r} is not an integer")
+    for name, value in (payload.get("gauges") or {}).items():
+        if not _is_number(value):
+            problems.append(f"metrics: gauge {name!r} is not a number")
+    for name, hist in (payload.get("histograms") or {}).items():
+        if not isinstance(hist, dict):
+            problems.append(f"metrics: histogram {name!r} is not an object")
+            continue
+        for key in ("bounds", "counts", "count", "sum", "min", "max"):
+            if key not in hist:
+                problems.append(f"metrics: histogram {name!r} lacks {key!r}")
+        bounds = hist.get("bounds", [])
+        counts = hist.get("counts", [])
+        if not all(_is_number(b) for b in bounds):
+            problems.append(f"metrics: histogram {name!r} bounds not numeric")
+        if list(bounds) != sorted(bounds):
+            problems.append(f"metrics: histogram {name!r} bounds not ascending")
+        if not all(_is_integer(c) and c >= 0 for c in counts):
+            problems.append(f"metrics: histogram {name!r} counts invalid")
+        if len(counts) != len(bounds) + 1:
+            problems.append(
+                f"metrics: histogram {name!r} has {len(counts)} counts "
+                f"for {len(bounds)} bounds (want bounds+1)"
+            )
+        if _is_integer(hist.get("count")) and sum(
+            c for c in counts if _is_integer(c)
+        ) != hist.get("count"):
+            problems.append(
+                f"metrics: histogram {name!r} bucket counts do not sum to count"
+            )
+    return problems
+
+
+def validate_trace_lines(lines: List[str]) -> List[str]:
+    """Problems with the lines of a trace JSONL file; empty means valid."""
+    problems: List[str] = []
+    if not lines:
+        return ["trace: empty file"]
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        return [f"trace: header is not JSON ({exc})"]
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        problems.append(f"trace: bad header {lines[0].strip()!r}")
+    elif header.get("version") != TRACE_VERSION:
+        problems.append(f"trace: unsupported version {header.get('version')!r}")
+    for lineno, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"trace line {lineno}: not JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"trace line {lineno}: not an object")
+            continue
+        kind = record.get("k")
+        if kind not in TRACE_KINDS:
+            problems.append(f"trace line {lineno}: unknown kind {kind!r}")
+            continue
+        for key in _REQUIRED_RECORD_KEYS[kind]:
+            if key not in record:
+                problems.append(
+                    f"trace line {lineno}: {kind!r} record lacks {key!r}"
+                )
+    return problems
+
+
+def validate_metrics_file(path: str) -> List[str]:
+    """Validate a ``--metrics-out`` file; returns the problem list."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"metrics: cannot read {path}: {exc}"]
+    return validate_metrics(payload)
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """Validate a ``--trace-out`` file; returns the problem list."""
+    try:
+        with open(path) as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        return [f"trace: cannot read {path}: {exc}"]
+    return validate_trace_lines(lines)
+
+
+def main(argv=None) -> int:
+    """``python -m repro.obs.schema METRICS.json [TRACE.jsonl]``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or len(argv) > 2:
+        print("usage: python -m repro.obs.schema METRICS.json [TRACE.jsonl]")
+        return 2
+    problems = validate_metrics_file(argv[0])
+    if len(argv) == 2:
+        problems += validate_trace_file(argv[1])
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"ok: {' '.join(argv)} conform to the export schemas")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""Structured trace export: JSONL span/event records from the hot loop.
+
+The engine emits one record per significant event — action fired, time
+advanced (the deadline wait of the ``nu`` semantics), environment
+injection, timelock diagnostic, run start/end — through a
+:class:`Tracer`. The disabled path is the null-object pattern: the base
+:class:`Tracer` *is* the null tracer (every hook is a no-op), so the
+engine calls hooks unconditionally and pays one no-op method call per
+event instead of scattered ``if`` checks.
+
+Action payloads reuse the tagged encoding of
+:mod:`repro.sim.persistence`, so a trace file round-trips through the
+same decoder as archived recorder traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Optional
+
+from repro.automata.actions import Action
+from repro.errors import ReproError
+
+TRACE_FORMAT = "repro-obs-trace"
+TRACE_VERSION = 1
+
+
+class Tracer:
+    """The null tracer: every hook is a no-op.
+
+    Subclasses override the hooks they care about. ``enabled`` lets
+    non-hot-path callers (e.g. the CLI) skip expensive setup work; hot
+    paths never check it.
+    """
+
+    enabled = False
+
+    def run_start(self, horizon: float) -> None:
+        """Called once before the engine loop begins."""
+        pass
+
+    def action(
+        self,
+        now: float,
+        owner: str,
+        action: Action,
+        clock: Optional[float],
+        visible: bool,
+    ) -> None:
+        """Called for every fired locally controlled action."""
+        pass
+
+    def injection(self, now: float, action: Action) -> None:
+        """Called when an environment action is injected."""
+        pass
+
+    def advance(self, old_now: float, new_now: float, blocker: Optional[str]) -> None:
+        """Called when time advances; ``blocker`` set the deadline."""
+        pass
+
+    def timelock(self, now: float, blocker: Optional[str]) -> None:
+        """Called just before a :class:`TimelockError` is raised."""
+        pass
+
+    def run_end(self, now: float, steps: int) -> None:
+        """Called once after the engine loop finishes."""
+        pass
+
+    def close(self) -> None:
+        """Flush and release any output resources."""
+        pass
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+NULL_TRACER = Tracer()
+
+
+class JsonlTracer(Tracer):
+    """Writes one JSON object per event to a stream or file path.
+
+    The first line is a format header; every following line carries a
+    ``k`` discriminator (``run_start``, ``action``, ``inject``,
+    ``advance``, ``timelock``, ``run_end``). Deterministic for seeded
+    runs: no wall-clock fields.
+    """
+
+    enabled = True
+
+    def __init__(self, target):
+        # avoid a circular import at module load: persistence imports
+        # nothing from obs, but obs.trace is imported by sim.engine.
+        from repro.sim.persistence import encode_action
+
+        self._encode_action = encode_action
+        if isinstance(target, str):
+            self._stream: IO[str] = open(target, "w")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._write({"format": TRACE_FORMAT, "version": TRACE_VERSION})
+
+    def _write(self, payload: Dict[str, object]) -> None:
+        self._stream.write(json.dumps(payload, sort_keys=True))
+        self._stream.write("\n")
+
+    # -- hooks -------------------------------------------------------------
+
+    def run_start(self, horizon: float) -> None:
+        self._write({"k": "run_start", "horizon": horizon})
+
+    def action(self, now, owner, action, clock, visible) -> None:
+        self._write(
+            {
+                "k": "action",
+                "now": now,
+                "owner": owner,
+                "a": self._encode_action(action),
+                "clock": clock,
+                "vis": visible,
+            }
+        )
+
+    def injection(self, now, action) -> None:
+        self._write(
+            {"k": "inject", "now": now, "a": self._encode_action(action)}
+        )
+
+    def advance(self, old_now, new_now, blocker) -> None:
+        self._write(
+            {"k": "advance", "from": old_now, "to": new_now, "blocker": blocker}
+        )
+
+    def timelock(self, now, blocker) -> None:
+        self._write({"k": "timelock", "now": now, "blocker": blocker})
+
+    def run_end(self, now, steps) -> None:
+        self._write({"k": "run_end", "now": now, "steps": steps})
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __repr__(self) -> str:
+        return f"<JsonlTracer stream={self._stream!r}>"
+
+
+TRACE_KINDS = ("run_start", "action", "inject", "advance", "timelock", "run_end")
+
+
+def read_trace(path: str) -> List[Dict[str, object]]:
+    """Load a trace file written by :class:`JsonlTracer`.
+
+    Validates the header, decodes embedded actions back into
+    :class:`~repro.automata.actions.Action` objects (under the ``action``
+    key, alongside the raw payload), and returns the record dicts in
+    file order.
+    """
+    from repro.sim.persistence import decode_action
+
+    records: List[Dict[str, object]] = []
+    with open(path) as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ReproError("empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != TRACE_FORMAT:
+            raise ReproError(f"not a repro obs trace file: {header!r}")
+        if header.get("version") != TRACE_VERSION:
+            raise ReproError(
+                f"unsupported trace version {header.get('version')!r}"
+            )
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("k") not in TRACE_KINDS:
+                raise ReproError(f"unknown trace record kind: {record!r}")
+            if "a" in record:
+                record["action"] = decode_action(record["a"])
+            records.append(record)
+    return records

@@ -252,9 +252,15 @@ def run_register_experiment(
     scheduler: Optional[Scheduler] = None,
     initial_value: object = INITIAL_VALUE,
     max_steps: int = 1_000_000,
+    recorder=None,
+    metrics=None,
+    tracer=None,
 ) -> RegisterRun:
     """Run a built register system and collect per-operation results."""
-    result = spec.run(horizon, scheduler=scheduler, max_steps=max_steps)
+    result = spec.run(
+        horizon, scheduler=scheduler, max_steps=max_steps,
+        recorder=recorder, metrics=metrics, tracer=tracer,
+    )
     operations: List[CompletedOp] = []
     for name, state in result.final_states.items():
         if name.startswith("client(") and hasattr(state, "completed"):

@@ -23,6 +23,7 @@ clock, so the run yields both ``t-trace`` (real-time stamps) and the
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
@@ -30,6 +31,8 @@ from repro.automata.actions import Action, ActionSet
 from repro.automata.executions import TimedSequence
 from repro.components.base import Entity
 from repro.errors import ScheduleError, SimulationLimitError, TimelockError
+from repro.obs.metrics import MetricsRegistry, stats_from_metrics
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.recorder import Recorder
 from repro.sim.scheduler import DeterministicScheduler, Scheduler
 
@@ -47,6 +50,8 @@ class SimulationResult:
     recorder: Recorder
     final_states: Dict[str, Any]
     stats: Dict[str, int] = field(default_factory=dict)
+    metrics: Optional[Dict[str, Any]] = None
+    """Deterministic metrics snapshot of the run (see :mod:`repro.obs`)."""
 
     @property
     def trace(self) -> TimedSequence:
@@ -143,6 +148,8 @@ class Simulator:
         recorder: Optional[Recorder] = None,
         initial_inputs: Sequence[Tuple[Action, float]] = (),
         stop_when: Optional[Callable[[Recorder, float], bool]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> SimulationResult:
         """Run the composed system until ``now`` reaches ``horizon``.
 
@@ -154,14 +161,39 @@ class Simulator:
         ends the run early when it returns true — e.g. "stop once every
         node announced a leader". An early-stopped run reports
         ``completed() == False``.
+
+        ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry`
+        (one is created when omitted; pass
+        :data:`~repro.obs.metrics.NULL_METRICS` to disable collection
+        entirely). ``tracer`` emits structured span/event records; the
+        default null tracer makes every hook a no-op.
         """
-        recorder = recorder or Recorder()
+        if recorder is None:  # `or` would discard an empty (falsy) Recorder
+            recorder = Recorder()
+        if metrics is None:
+            metrics = MetricsRegistry()
+        tracer = tracer or NULL_TRACER
+        for entity in self.entities:
+            entity.instrument(metrics)
+        self.scheduler.instrument(metrics)
         states: Dict[str, Any] = {e.name: e.initial_state() for e in self.entities}
         now = 0.0
         steps = 0
         injections = sorted(initial_inputs, key=lambda pair: pair[1])
         inject_idx = 0
-        stats = {"actions": 0, "time_advances": 0, "injections": 0}
+
+        # Hot-loop bindings: one attribute lookup per run, not per event.
+        c_steps = metrics.counter("repro.engine.steps")
+        c_actions = metrics.counter("repro.engine.actions")
+        c_advances = metrics.counter("repro.engine.time_advances")
+        c_injections = metrics.counter("repro.engine.injections")
+        c_visible = metrics.counter("repro.engine.visible_events")
+        c_hidden = metrics.counter("repro.engine.hidden_events")
+        trace_action = tracer.action
+        trace_advance = tracer.advance
+
+        wall_start = time.perf_counter()
+        tracer.run_start(horizon)
 
         while True:
             # Deliver any injections scheduled at (or before) this time.
@@ -171,11 +203,13 @@ class Simulator:
             ):
                 action, _ = injections[inject_idx]
                 inject_idx += 1
-                stats["injections"] += 1
+                c_injections.inc()
                 for entity in self.entities:
                     if entity.accepts(action):
                         entity.apply_input(states[entity.name], action, now)
                 recorder.record(action, now, "environment", None, True)
+                c_visible.inc()
+                tracer.injection(now, action)
 
             # Gather enabled locally controlled actions.
             candidates = []
@@ -200,12 +234,14 @@ class Simulator:
                 state = states[entity.name]
                 clock = entity.clock_value(state, now)
                 entity.fire(state, action, now)
-                recorder.record(
-                    action, now, entity.name, clock, self._is_visible(action, entity)
-                )
+                visible = self._is_visible(action, entity)
+                recorder.record(action, now, entity.name, clock, visible)
+                (c_visible if visible else c_hidden).inc()
+                trace_action(now, entity.name, action, clock, visible)
                 self._route(action, entity, states, now)
                 steps += 1
-                stats["actions"] += 1
+                c_steps.inc()
+                c_actions.inc()
                 if stop_when is not None and stop_when(recorder, now):
                     break
                 continue
@@ -227,6 +263,7 @@ class Simulator:
             if target <= now + _TOLERANCE:
                 if now >= horizon - _TOLERANCE:
                     break
+                tracer.timelock(now, blocker.name if blocker else None)
                 raise TimelockError(
                     f"timelock at now={now:g}: entity "
                     f"{blocker.name if blocker else '?'} blocks time passage "
@@ -234,8 +271,9 @@ class Simulator:
                 )
             for entity in self.entities:
                 entity.advance(states[entity.name], now, target)
+            trace_advance(now, target, blocker.name if blocker else None)
             now = target
-            stats["time_advances"] += 1
+            c_advances.inc()
             if now >= horizon - _TOLERANCE and inject_idx >= len(injections):
                 # One final drain: fire anything that became enabled
                 # exactly at the horizon before stopping.
@@ -246,11 +284,31 @@ class Simulator:
                 if not final_candidates:
                     break
 
+        wall = time.perf_counter() - wall_start
+        tracer.run_end(now, steps)
+
+        # Run-level publishing. Wall-clock figures are volatile (kept out
+        # of the deterministic export); everything else is a pure
+        # function of the seeded run.
+        metrics.gauge("repro.engine.now").set(now)
+        metrics.gauge("repro.engine.horizon").set(horizon)
+        metrics.gauge("repro.recorder.events").set(float(len(recorder)))
+        metrics.gauge("repro.recorder.dropped").set(float(recorder.dropped))
+        metrics.gauge("repro.engine.wall_seconds", volatile=True).set(wall)
+        if wall > 0:
+            metrics.gauge("repro.engine.steps_per_sec", volatile=True).set(
+                steps / wall
+            )
+            metrics.gauge("repro.engine.sim_time_ratio", volatile=True).set(
+                now / wall
+            )
+
         return SimulationResult(
             horizon=horizon,
             now=now,
             steps=steps,
             recorder=recorder,
             final_states=states,
-            stats=stats,
+            stats=stats_from_metrics(metrics),
+            metrics=metrics.snapshot(),
         )

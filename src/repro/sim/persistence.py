@@ -41,12 +41,19 @@ def _decode_value(value):
     return value
 
 
-def _encode_action(action: Action) -> dict:
+def encode_action(action: Action) -> dict:
+    """The tagged JSON encoding of one action (shared with the obs tracer)."""
     return {"name": action.name, "params": _encode_value(action.params)}
 
 
-def _decode_action(payload: dict) -> Action:
+def decode_action(payload: dict) -> Action:
+    """Inverse of :func:`encode_action`."""
     return Action(payload["name"], _decode_value(payload["params"]))
+
+
+# historical private names, kept for callers of the original API
+_encode_action = encode_action
+_decode_action = decode_action
 
 
 def dump_events(events: Iterable[EventRecord], stream: IO[str]) -> int:

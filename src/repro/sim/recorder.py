@@ -23,6 +23,7 @@ from typing import Callable, List, Optional
 
 from repro.automata.actions import Action, ActionSet
 from repro.automata.executions import TimedEvent, TimedSequence
+from repro.errors import SimulationLimitError
 
 
 @dataclass(frozen=True)
@@ -43,10 +44,50 @@ class EventRecord:
 
 
 class Recorder:
-    """Accumulates :class:`EventRecord` values during a run."""
+    """Accumulates :class:`EventRecord` values during a run.
 
-    def __init__(self):
-        self.events: List[EventRecord] = []
+    By default the event list grows without bound. Long-horizon runs can
+    cap it with ``max_events``:
+
+    - ``on_overflow="raise"`` (default) raises
+      :class:`~repro.errors.SimulationLimitError` when the cap is hit —
+      the explicit failure mode for runs that must keep everything;
+    - ``on_overflow="ring"`` keeps only the *last* ``max_events``
+      records (a ring buffer; O(1) per record), counting the overwritten
+      ones in :attr:`dropped`. Indices stay globally monotone, so the
+      surviving window still orders and diffs correctly.
+    """
+
+    def __init__(
+        self,
+        max_events: Optional[int] = None,
+        on_overflow: str = "raise",
+    ):
+        if max_events is not None and max_events <= 0:
+            raise ValueError("max_events must be positive")
+        if on_overflow not in ("raise", "ring"):
+            raise ValueError(f"unknown overflow policy {on_overflow!r}")
+        self.max_events = max_events
+        self.on_overflow = on_overflow
+        self.dropped = 0
+        self._events: List[EventRecord] = []
+        self._ring_start = 0
+        self._next_index = 0
+
+    @property
+    def events(self) -> List[EventRecord]:
+        """All retained records in chronological order."""
+        if self._ring_start == 0:
+            return self._events
+        return self._events[self._ring_start:] + self._events[: self._ring_start]
+
+    @events.setter
+    def events(self, records: List[EventRecord]) -> None:
+        # persistence.load_recorder (and tests) assign the list wholesale
+        self._events = list(records)
+        self._ring_start = 0
+        self._next_index = len(self._events)
+        self.dropped = 0
 
     def record(
         self,
@@ -57,9 +98,19 @@ class Recorder:
         visible: bool,
     ) -> None:
         """Append one action occurrence."""
-        self.events.append(
-            EventRecord(len(self.events), action, now, owner, clock, visible)
-        )
+        entry = EventRecord(self._next_index, action, now, owner, clock, visible)
+        self._next_index += 1
+        if self.max_events is not None and len(self._events) >= self.max_events:
+            if self.on_overflow == "raise":
+                raise SimulationLimitError(
+                    f"recorder exceeded max_events={self.max_events} "
+                    f"at now={now:g} (use on_overflow='ring' to keep the tail)"
+                )
+            self._events[self._ring_start] = entry
+            self._ring_start = (self._ring_start + 1) % self.max_events
+            self.dropped += 1
+            return
+        self._events.append(entry)
 
     # -- derived traces -----------------------------------------------------
 
@@ -116,7 +167,8 @@ class Recorder:
         return sum(1 for e in self.events if e.action.name == name)
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._events)
 
     def __repr__(self) -> str:
-        return f"<Recorder: {len(self.events)} events>"
+        extra = f" (+{self.dropped} dropped)" if self.dropped else ""
+        return f"<Recorder: {len(self._events)} events{extra}>"

@@ -13,6 +13,7 @@ from typing import List, Sequence, Tuple
 
 from repro.automata.actions import Action
 from repro.errors import ScheduleError
+from repro.obs.metrics import CONTENTION_BUCKETS, NULL_COUNTER, NULL_HISTOGRAM
 
 
 Candidate = Tuple[object, Action]  # (entity, action)
@@ -25,6 +26,23 @@ def _sort_key(candidate: Candidate) -> Tuple[str, str]:
 
 class Scheduler:
     """Chooses the next action among simultaneously enabled candidates."""
+
+    # null instruments until the engine attaches a registry; class-level
+    # defaults keep subclass __init__ methods free of observability setup
+    _picks = NULL_COUNTER
+    _contention = NULL_HISTOGRAM
+
+    def instrument(self, metrics) -> None:
+        """Bind pick-count and contention instruments (engine hook)."""
+        self._picks = metrics.counter("repro.scheduler.picks")
+        self._contention = metrics.histogram(
+            "repro.scheduler.contention", CONTENTION_BUCKETS
+        )
+
+    def observe(self, candidates: Sequence[Candidate]) -> None:
+        """Publish one pick over the given candidate set."""
+        self._picks.inc()
+        self._contention.observe(float(len(candidates)))
 
     def pick(self, candidates: Sequence[Candidate], now: float) -> Candidate:
         """Choose which enabled ``(entity, action)`` fires next."""
@@ -44,6 +62,7 @@ class DeterministicScheduler(Scheduler):
     def pick(self, candidates: Sequence[Candidate], now: float) -> Candidate:
         if not candidates:
             raise ScheduleError("no candidates to pick from")
+        self.observe(candidates)
         return min(candidates, key=_sort_key)
 
 
@@ -60,6 +79,7 @@ class RandomScheduler(Scheduler):
     def pick(self, candidates: Sequence[Candidate], now: float) -> Candidate:
         if not candidates:
             raise ScheduleError("no candidates to pick from")
+        self.observe(candidates)
         ordered: List[Candidate] = sorted(candidates, key=_sort_key)
         return ordered[self._rng.randrange(len(ordered))]
 
@@ -73,6 +93,7 @@ class RoundRobinScheduler(Scheduler):
     def pick(self, candidates: Sequence[Candidate], now: float) -> Candidate:
         if not candidates:
             raise ScheduleError("no candidates to pick from")
+        self.observe(candidates)
         ordered = sorted(candidates, key=_sort_key)
         if self._last_entity_name is not None:
             for cand in ordered:
