@@ -1,7 +1,11 @@
-"""Benchmark configuration: make the harness and test helpers importable."""
+"""Benchmark configuration: make the bench-local modules importable.
+
+Only the benchmarks directory itself goes on ``sys.path`` (for
+``bench_util`` and the ``harness`` shim); the experiments themselves are
+imported from the installed ``repro`` package.
+"""
 
 import os
 import sys
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
 sys.path.insert(0, os.path.dirname(__file__))

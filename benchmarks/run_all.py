@@ -2,45 +2,101 @@
 
 Usage::
 
-    python benchmarks/run_all.py [EXP_ID ...]
+    python benchmarks/run_all.py [--workers N] [EXP_ID ...]
 
-With no arguments, runs all experiments in DESIGN.md order, prints each
-table, and writes them to ``benchmarks/results/<EXP_ID>.txt``.
+With no experiment ids, runs all experiments in DESIGN.md order, prints
+each table, and writes two artifacts per experiment under
+``benchmarks/results/``: the rendered table as ``<EXP_ID>.txt`` and a
+machine-readable ``<EXP_ID>.json`` (config, wall time, table rows, shape
+assertions — metrics snapshots included where the experiment collects
+them).
+
+``--workers N`` shards the experiments across N worker processes via
+:class:`repro.campaign.CampaignRunner`, which also gives crash
+containment and bounded retries; the default runs them serially
+in-process.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import sys
-import time
 
-sys.path.insert(0, os.path.dirname(__file__))
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without an installed package
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(__file__), "..", "src")
+    )
 
-from harness import ALL_EXPERIMENTS  # noqa: E402
+from repro.campaign import CampaignRunner  # noqa: E402
+from repro.experiments import ALL_EXPERIMENTS  # noqa: E402
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def main(argv):
-    wanted = argv[1:] or list(ALL_EXPERIMENTS)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    failures = []
+def write_results(exp_id, result):
+    """Write ``<EXP_ID>.txt`` and ``<EXP_ID>.json`` under results/."""
+    from repro.analysis.report import Table
+
+    table = Table(result["table"]["title"], result["table"]["columns"])
+    for row in result["table"]["rows"]:
+        table.add_row(*row)
+    for note in result["table"]["notes"]:
+        table.add_note(note)
+    text = table.render()
+    with open(os.path.join(RESULTS_DIR, f"{exp_id}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    with open(os.path.join(RESULTS_DIR, f"{exp_id}.json"), "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return text
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("experiments", nargs="*", metavar="EXP_ID",
+                        help="experiment ids to run (default: all)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (default: 1, serial)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="extra attempts for crashed experiments")
+    args = parser.parse_args(argv)
+
+    wanted = args.experiments or list(ALL_EXPERIMENTS)
     for exp_id in wanted:
         if exp_id not in ALL_EXPERIMENTS:
             print(f"unknown experiment {exp_id!r}; known: {list(ALL_EXPERIMENTS)}")
             return 2
-        start = time.perf_counter()
-        table, shapes = ALL_EXPERIMENTS[exp_id]()
-        elapsed = time.perf_counter() - start
-        text = table.render()
-        print(text)
-        print(f"({exp_id} finished in {elapsed:.1f}s)\n")
-        with open(os.path.join(RESULTS_DIR, f"{exp_id}.txt"), "w") as handle:
-            handle.write(text + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    points = [
+        {"index": index, "key": exp_id, "exp": exp_id}
+        for index, exp_id in enumerate(wanted)
+    ]
+    runner = CampaignRunner(
+        task="repro.experiments:run_experiment_task",
+        workers=args.workers,
+        retries=args.retries,
+        log=print,
+    )
+    outcomes = runner.run(points)
+
+    failures = []
+    for outcome in outcomes:
+        exp_id = outcome.key
+        if not outcome.ok:
+            failures.append((exp_id, {"error": outcome.error}))
+            print(f"{exp_id} FAILED: {outcome.error}\n")
+            continue
+        result = outcome.result
+        print(write_results(exp_id, result))
+        print(f"({exp_id} finished in {result['wall_seconds']:.1f}s)\n")
         bad = {
             key: value
-            for key, value in shapes.items()
+            for key, value in result["shapes"].items()
             if isinstance(value, bool) and not value
         }
         if bad:
@@ -55,4 +111,4 @@ def main(argv):
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main())

@@ -1,0 +1,256 @@
+"""Campaign-level aggregation of per-point results.
+
+The :class:`Aggregator` folds the per-point outcomes of a campaign run
+into one payload with four derived views:
+
+- **points** — every deterministic per-point result, in grid order;
+- **groups** — per-config summaries across the seed batch (percentile
+  read/write latencies, violation counts), keyed by the config minus
+  its ``seed`` axis;
+- **curves** — the skew-vs-eps and latency-vs-eps curves the paper's
+  theorems are about, one row per distinct ``eps`` value;
+- **metrics** — all per-run PR-1 metrics snapshots merged through
+  :func:`repro.obs.merge_snapshots` (counters add, histogram buckets
+  add, gauges max).
+
+Exports are JSONL (one record per line, compact, sorted keys) and CSV
+(flat per-point rows). Every derived value is a pure function of the
+set of point results — worker count, completion order, retry history,
+and wall-clock times never appear — so a campaign aggregates
+**byte-identically** whether it ran serially, on N workers, or across
+an interruption and resume.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.stats import percentile
+from repro.campaign.runner import Outcome
+from repro.obs import merge_snapshots
+
+AGGREGATE_FORMAT = "repro-campaign-aggregate"
+AGGREGATE_VERSION = 1
+
+CSV_COLUMNS = (
+    "index", "model", "n", "eps", "d1", "d2", "c", "driver", "ops",
+    "read_fraction", "fault", "p_drop", "seed", "operations", "reads",
+    "writes", "max_read_latency", "mean_read_latency", "max_write_latency",
+    "mean_write_latency", "linearizable", "violations", "steps", "events",
+)
+"""Flat per-point CSV header (config axes then measurements)."""
+
+
+def _percentiles(latencies: Sequence[float]) -> Dict[str, float]:
+    data = sorted(latencies)
+    if not data:
+        return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "p50": percentile(data, 0.50),
+        "p90": percentile(data, 0.90),
+        "p99": percentile(data, 0.99),
+        "max": data[-1],
+    }
+
+
+class Aggregator:
+    """Merge per-point worker results into campaign summaries.
+
+    Expects outcomes whose results follow the
+    :func:`repro.campaign.worker.run_point` shape (config echo, sorted
+    latency lists, violation flag, engine summary with its metrics
+    snapshot).
+    """
+
+    def __init__(self, campaign_id: str):
+        self.campaign_id = campaign_id
+
+    def build(self, outcomes: Sequence[Outcome]) -> Dict[str, object]:
+        """The aggregate payload for one campaign run (see module doc)."""
+        done = [o for o in outcomes if o.ok]
+        failed = [o for o in outcomes if not o.ok]
+        points = [
+            {"index": o.index, "result": o.result}
+            for o in sorted(done, key=lambda o: o.index)
+        ]
+        groups = self._groups(points)
+        curves = self._curves(groups, points)
+        snapshots = [
+            p["result"]["engine"]["metrics"]
+            for p in points
+            if isinstance(p["result"].get("engine"), dict)
+            and p["result"]["engine"].get("metrics")
+        ]
+        merged_metrics = merge_snapshots(snapshots) if snapshots else None
+        return {
+            "campaign": self.campaign_id,
+            "points": points,
+            "groups": groups,
+            "curves": curves,
+            "metrics": merged_metrics,
+            "failures": [
+                {"index": o.index, "key": o.key, "error": o.error}
+                for o in sorted(failed, key=lambda o: o.index)
+            ],
+            "summary": {
+                "points": len(outcomes),
+                "completed": len(done),
+                "failed": len(failed),
+                "violations": sum(
+                    p["result"].get("violations", 0) for p in points
+                ),
+                "operations": sum(
+                    p["result"].get("operations", 0) for p in points
+                ),
+            },
+        }
+
+    def _groups(self, points: List[Dict]) -> List[Dict]:
+        grouped: Dict[str, Dict] = {}
+        order: List[str] = []
+        for point in points:
+            result = point["result"]
+            config = dict(result["config"])
+            config.pop("seed", None)
+            group_key = json.dumps(config, sort_keys=True, separators=(",", ":"))
+            if group_key not in grouped:
+                grouped[group_key] = {
+                    "config": config,
+                    "seeds": 0,
+                    "reads": 0,
+                    "writes": 0,
+                    "violations": 0,
+                    "_read_latencies": [],
+                    "_write_latencies": [],
+                }
+                order.append(group_key)
+            group = grouped[group_key]
+            group["seeds"] += 1
+            group["reads"] += result.get("reads", 0)
+            group["writes"] += result.get("writes", 0)
+            group["violations"] += result.get("violations", 0)
+            group["_read_latencies"].extend(result.get("read_latencies", ()))
+            group["_write_latencies"].extend(result.get("write_latencies", ()))
+        rows = []
+        for group_key in order:
+            group = grouped[group_key]
+            rows.append(
+                {
+                    "config": group["config"],
+                    "seeds": group["seeds"],
+                    "reads": group["reads"],
+                    "writes": group["writes"],
+                    "violations": group["violations"],
+                    "read_latency": _percentiles(group["_read_latencies"]),
+                    "write_latency": _percentiles(group["_write_latencies"]),
+                }
+            )
+        return rows
+
+    def _curves(self, groups: List[Dict], points: List[Dict]) -> List[Dict]:
+        """Latency/violation/skew curves over the ``eps`` axis."""
+        by_eps: Dict[float, Dict] = {}
+        for group in groups:
+            eps = group["config"].get("eps")
+            if eps is None:
+                continue
+            bucket = by_eps.setdefault(
+                eps,
+                {"eps": eps, "reads": 0, "writes": 0, "violations": 0,
+                 "_read": [], "_write": [], "skew_max": 0.0},
+            )
+            bucket["reads"] += group["reads"]
+            bucket["writes"] += group["writes"]
+            bucket["violations"] += group["violations"]
+        for point in points:
+            result = point["result"]
+            eps = result["config"].get("eps")
+            bucket = by_eps.get(eps)
+            if bucket is None:
+                continue
+            bucket["_read"].extend(result.get("read_latencies", ()))
+            bucket["_write"].extend(result.get("write_latencies", ()))
+            engine = result.get("engine") or {}
+            gauges = (engine.get("metrics") or {}).get("gauges") or {}
+            bucket["skew_max"] = max(
+                bucket["skew_max"], float(gauges.get("repro.clock.skew_max", 0.0))
+            )
+        rows = []
+        for eps in sorted(by_eps):
+            bucket = by_eps[eps]
+            rows.append(
+                {
+                    "eps": eps,
+                    "reads": bucket["reads"],
+                    "writes": bucket["writes"],
+                    "violations": bucket["violations"],
+                    "skew_max": bucket["skew_max"],
+                    "read_latency": _percentiles(bucket["_read"]),
+                    "write_latency": _percentiles(bucket["_write"]),
+                }
+            )
+        return rows
+
+    # -- exports -------------------------------------------------------------
+
+    def write_jsonl(self, path: str, payload: Dict[str, object]) -> None:
+        """Write the aggregate as deterministic JSONL.
+
+        Line 1 is a header record; then one ``point`` record per grid
+        point in index order, the ``group`` and ``curve`` records, an
+        optional ``metrics`` record (the merged snapshot), any
+        ``failure`` records, and a final ``summary`` record.
+        """
+        def dump(record: Dict) -> str:
+            return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+        with open(path, "w", encoding="utf-8", newline="\n") as handle:
+            handle.write(dump({
+                "k": "header",
+                "format": AGGREGATE_FORMAT,
+                "version": AGGREGATE_VERSION,
+                "campaign": payload["campaign"],
+                "points": payload["summary"]["points"],
+            }) + "\n")
+            for point in payload["points"]:
+                handle.write(dump({"k": "point", **point}) + "\n")
+            for group in payload["groups"]:
+                handle.write(dump({"k": "group", **group}) + "\n")
+            for curve in payload["curves"]:
+                handle.write(dump({"k": "curve", **curve}) + "\n")
+            if payload.get("metrics") is not None:
+                handle.write(
+                    dump({"k": "metrics", "merged": payload["metrics"]}) + "\n"
+                )
+            for failure in payload["failures"]:
+                handle.write(dump({"k": "failure", **failure}) + "\n")
+            handle.write(dump({"k": "summary", **payload["summary"]}) + "\n")
+
+    def write_csv(self, path: str, payload: Dict[str, object]) -> None:
+        """Write flat per-point rows as CSV (:data:`CSV_COLUMNS`)."""
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle, lineterminator="\n")
+            writer.writerow(CSV_COLUMNS)
+            for point in payload["points"]:
+                result = point["result"]
+                config = result["config"]
+                engine = result.get("engine") or {}
+                writer.writerow([
+                    point["index"],
+                    config.get("model"), config.get("n"), config.get("eps"),
+                    config.get("d1"), config.get("d2"), config.get("c"),
+                    config.get("driver"), config.get("ops"),
+                    config.get("read_fraction"), config.get("fault"),
+                    config.get("p_drop"), config.get("seed"),
+                    result.get("operations"), result.get("reads"),
+                    result.get("writes"),
+                    result.get("max_read_latency"),
+                    result.get("mean_read_latency"),
+                    result.get("max_write_latency"),
+                    result.get("mean_write_latency"),
+                    result.get("linearizable"),
+                    result.get("violations"),
+                    engine.get("steps"), engine.get("events"),
+                ])

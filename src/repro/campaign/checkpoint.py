@@ -1,0 +1,140 @@
+"""Resumable JSONL checkpoints for campaigns.
+
+A checkpoint file is the campaign's durable manifest: a header line
+binding the file to one grid (by
+:meth:`~repro.campaign.grid.Grid.grid_id`), then one JSON line per
+finished grid point with its deterministic result. Re-running a
+partially completed campaign with the same grid skips every recorded
+point and replays its stored result — so the final aggregate is
+byte-identical to an uninterrupted run.
+
+Robustness
+----------
+- Rows are flushed after every append; a campaign killed mid-write
+  leaves at most one truncated final line, which loading tolerates (the
+  half-written point simply reruns on resume).
+- Loading a checkpoint written for a *different* grid raises
+  :class:`~repro.errors.CampaignError` instead of silently mixing
+  results from two campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from repro.errors import CampaignError
+
+CHECKPOINT_FORMAT = "repro-campaign-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+class Checkpoint:
+    """Append-only JSONL manifest of finished grid points.
+
+    Parameters
+    ----------
+    path:
+        the checkpoint file; created (with its header) if missing.
+    campaign_id:
+        the owning grid's id; must match an existing file's header.
+    total:
+        grid size, recorded in the header for progress reporting.
+    """
+
+    def __init__(self, path: str, campaign_id: str, total: int):
+        self.path = path
+        self.campaign_id = campaign_id
+        self.total = total
+        self.completed: Dict[str, Dict] = {}
+        self._handle = None
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            self._load()
+        else:
+            self._create()
+
+    def _create(self) -> None:
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        header = {
+            "k": "header",
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "campaign": self.campaign_id,
+            "points": self.total,
+        }
+        self._handle.write(json.dumps(header, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        try:
+            header = json.loads(lines[0])
+        except (json.JSONDecodeError, IndexError) as exc:
+            raise CampaignError(
+                f"checkpoint {self.path}: unreadable header ({exc})"
+            ) from exc
+        if header.get("format") != CHECKPOINT_FORMAT:
+            raise CampaignError(
+                f"checkpoint {self.path}: not a campaign checkpoint "
+                f"(format {header.get('format')!r})"
+            )
+        if header.get("campaign") != self.campaign_id:
+            raise CampaignError(
+                f"checkpoint {self.path} belongs to campaign "
+                f"{header.get('campaign')!r}, not {self.campaign_id!r}; "
+                "refusing to resume a different grid"
+            )
+        for lineno, line in enumerate(lines[1:], start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines):
+                    break  # torn final write from a killed run: rerun the point
+                raise CampaignError(
+                    f"checkpoint {self.path}: corrupt line {lineno}"
+                )
+            if row.get("k") == "point" and "key" in row and "result" in row:
+                self.completed[row["key"]] = row
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append(
+        self, key: str, result: Dict, wall: float, attempts: int
+    ) -> None:
+        """Record one finished point (flushed immediately)."""
+        row = {
+            "k": "point",
+            "key": key,
+            "result": result,
+            "wall": wall,
+            "attempts": attempts,
+        }
+        self.completed[key] = row
+        self._handle.write(json.dumps(row, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Checkpoint":
+        """Context-manager entry: the checkpoint itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the file handle."""
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Checkpoint {self.path}: {len(self.completed)}/{self.total} "
+            f"points, campaign {self.campaign_id}>"
+        )

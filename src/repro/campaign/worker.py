@@ -1,0 +1,212 @@
+"""The campaign worker: run one grid point, return plain data.
+
+:func:`run_point` is the default task of a
+:class:`~repro.campaign.runner.CampaignRunner`. It is a module-level
+function (importable by name in any child process, under both the
+``fork`` and ``spawn`` start methods), takes one picklable grid-point
+dict produced by :meth:`repro.campaign.grid.Grid.points`, and returns a
+picklable payload::
+
+    {"result": {...deterministic...}, "wall": <float seconds>}
+
+Everything under ``"result"`` is a pure function of the point config —
+two runs of the same point, in any process, on any worker count, yield
+byte-identical JSON. Wall-clock time is reported *next to* the result,
+never inside it, so aggregates stay deterministic.
+
+Chaos hooks
+-----------
+For fault-injection tests the runner may attach a ``"chaos"`` dict to a
+point (never part of the point ``key``):
+
+- ``{"crash_attempts": k}`` — attempts ``0..k-1`` die abruptly
+  (``os._exit`` in a worker process; a simulated-crash exception when
+  running serially), exercising the runner's bounded retry;
+- ``{"sleep": s}`` — sleep ``s`` seconds before running, exercising the
+  per-task timeout kill path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict
+
+from repro.errors import CampaignError
+from repro.campaign.grid import point_key
+from repro.clocks.sources import OffsetClockSource
+from repro.obs import MetricsRegistry
+from repro.registers.system import (
+    baseline_register_system,
+    clock_register_system,
+    mmt_register_system,
+    run_register_experiment,
+    timed_register_system,
+)
+from repro.registers.workload import RegisterWorkload
+from repro.sim.clock_drivers import driver_factory
+from repro.sim.delay import UniformDelay
+
+MAX_STEPS = 3_000_000
+"""Per-point engine step budget (matches the CLI's register command)."""
+
+
+class SimulatedWorkerCrash(CampaignError):
+    """Injected crash while running serially (stands in for process death)."""
+
+
+def _apply_chaos(point: Dict) -> None:
+    chaos = point.get("chaos") or {}
+    attempt = int(point.get("_attempt", 0))
+    if int(chaos.get("crash_attempts", 0)) > attempt:
+        if point.get("_serial"):
+            raise SimulatedWorkerCrash(
+                f"injected crash on attempt {attempt} of point {point['index']}"
+            )
+        os._exit(23)  # abrupt death: no exception, no result message
+    sleep = float(chaos.get("sleep", 0.0))
+    if sleep > 0.0:
+        time.sleep(sleep)
+
+
+def _build_system(config: Dict, run: Dict):
+    """The register system spec for one grid point's config."""
+    n = int(config["n"])
+    eps = float(config["eps"])
+    d1, d2 = float(config["d1"]), float(config["d2"])
+    c = 2.0 * eps if config["c"] == "u" else float(config["c"])
+    seed = int(config["seed"])
+    delta = float(run["delta"])
+    workload = RegisterWorkload(
+        operations=int(config["ops"]),
+        read_fraction=float(config["read_fraction"]),
+        seed=seed,
+    )
+    delay = UniformDelay(seed=seed)
+    drivers = driver_factory(config["driver"], eps, seed=seed)
+    model = config["model"]
+    fault = config["fault"]
+    if fault != "none" and model != "clock":
+        raise CampaignError(
+            f"fault model {fault!r} is only wired for model='clock', "
+            f"got {model!r}"
+        )
+    if fault == "lossy":
+        return _lossy_clock_system(
+            n, d1, d2, c, eps, float(config["p_drop"]), delta, workload,
+            drivers, delay,
+        )
+    if model == "clock":
+        return clock_register_system(
+            n=n, d1=d1, d2=d2, c=c, eps=eps, workload=workload,
+            drivers=drivers, delta=delta, delay_model=delay,
+        )
+    if model == "timed":
+        return timed_register_system(
+            n=n, d1_prime=d1, d2_prime=d2, c=c, workload=workload,
+            algorithm="L", delta=delta, delay_model=delay,
+        )
+    if model == "baseline":
+        return baseline_register_system(
+            n=n, d1=d1, d2=d2, eps=eps, workload=workload, drivers=drivers,
+            delay_model=delay,
+        )
+    if model == "mmt":
+
+        def sources(i):
+            if i % 2 == 0:
+                return OffsetClockSource(eps, eps)
+            return OffsetClockSource(eps, -eps)
+
+        from repro.core.mmt_transform import UniformStepPolicy
+
+        return mmt_register_system(
+            n=n, d1=d1, d2=d2, c=c, eps=eps,
+            step_bound=float(run["step_bound"]), sources=sources,
+            workload=workload, delta=delta,
+            step_policy_factory=lambda i: UniformStepPolicy(seed=i),
+            delay_model=delay,
+        )
+    raise CampaignError(f"unknown model {model!r}")
+
+
+def _lossy_clock_system(
+    n, d1, d2, c, eps, p_drop, delta, workload, drivers, delay
+):
+    """The clock-model register over lossy channels via the ARQ adapter.
+
+    Mirrors the EXT2 experiment: processes are parameterized for the
+    *effective* delay bounds ``d2 + B*R`` (Section 7.3), the physical
+    channels drop/duplicate per a seeded Bernoulli fault model.
+    """
+    from repro.core.pipeline import build_clock_system, simulation1_delay_bounds
+    from repro.faults import (
+        BernoulliFaults,
+        ReliableAdapter,
+        effective_delay_bounds,
+    )
+    from repro.network.topology import Topology
+    from repro.registers.algorithm_s import AlgorithmSProcess
+    from repro.registers.system import INITIAL_VALUE
+    from repro.registers.workload import ClientEntity
+
+    retx, max_drops = 0.5, 3
+    d1e, d2e = effective_delay_bounds(d1, d2, retx, max_drops)
+    _, d2p = simulation1_delay_bounds(d1e, d2e, eps)
+
+    def processes(i):
+        inner = AlgorithmSProcess(
+            i, list(range(n)), d2p, c, eps, delta=delta,
+            initial_value=INITIAL_VALUE,
+        )
+        return ReliableAdapter(inner, retransmit_interval=retx)
+
+    faults = BernoulliFaults(
+        seed=workload.seed, p_drop=p_drop, p_duplicate=0.1,
+        max_consecutive_drops=max_drops,
+    )
+    spec = build_clock_system(
+        Topology.complete(n, True), processes, eps, d1, d2, drivers, delay,
+        fault_model=faults,
+    )
+    return spec.add(*[ClientEntity(i, workload) for i in range(n)])
+
+
+def run_point(point: Dict) -> Dict:
+    """Run one grid point; return ``{"result": ..., "wall": ...}``.
+
+    The ``result`` dict is deterministic (see module docstring): config
+    echo, operation counts, sorted per-operation latencies, latency
+    extremes/means, the linearizability verdict, and the engine's
+    deterministic summary (steps, events, metrics snapshot).
+    """
+    _apply_chaos(point)
+    config = point["config"]
+    run_params = point["run"]
+    start = time.perf_counter()
+    spec = _build_system(config, run_params)
+    metrics = MetricsRegistry()
+    run = run_register_experiment(
+        spec, float(run_params["horizon"]), max_steps=MAX_STEPS,
+        metrics=metrics,
+    )
+    wall = time.perf_counter() - start
+    linearizable = run.linearizable()
+    result = {
+        "key": point_key(config),
+        "config": dict(config),
+        "run": dict(run_params),
+        "operations": len(run.operations),
+        "reads": len(run.reads),
+        "writes": len(run.writes),
+        "read_latencies": sorted(op.latency for op in run.reads),
+        "write_latencies": sorted(op.latency for op in run.writes),
+        "max_read_latency": run.max_read_latency(),
+        "max_write_latency": run.max_write_latency(),
+        "mean_read_latency": run.mean_read_latency(),
+        "mean_write_latency": run.mean_write_latency(),
+        "linearizable": linearizable,
+        "violations": 0 if linearizable else 1,
+        "engine": run.result.summary(),
+    }
+    return {"result": result, "wall": wall}

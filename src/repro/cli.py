@@ -17,6 +17,10 @@ Commands:
 ``sync``
     Simulate the Cristian/NTP-style synchronization service and report
     the achieved clock error against the analytic envelope.
+``sweep``
+    Run a parameter-sweep campaign over the register experiments —
+    grid from flags or a spec file, sharded across worker processes,
+    checkpointed and resumable, aggregated to JSONL + CSV.
 
 Every command is seeded and deterministic; exit status is non-zero when
 a correctness check fails, so the CLI doubles as a smoke harness.
@@ -311,6 +315,92 @@ def _leader(args) -> int:
 
 
 
+_AXIS_FLAGS = (
+    # (flag dest, axis name, element parser)
+    ("model", "model", str),
+    ("n", "n", int),
+    ("eps", "eps", float),
+    ("d1", "d1", float),
+    ("d2", "d2", float),
+    ("c", "c", lambda text: text if text == "u" else float(text)),
+    ("driver", "driver", str),
+    ("ops", "ops", int),
+    ("read_fraction", "read_fraction", float),
+    ("fault", "fault", str),
+    ("p_drop", "p_drop", float),
+)
+
+
+def _sweep_grid(args):
+    """The :class:`~repro.campaign.Grid` requested by the sweep flags."""
+    from repro.campaign import Grid
+    from repro.errors import CampaignError
+
+    flag_axes = {}
+    for dest, axis, parse in _AXIS_FLAGS:
+        raw = getattr(args, dest)
+        if raw is None:
+            continue
+        try:
+            flag_axes[axis] = [parse(part) for part in str(raw).split(",") if part]
+        except ValueError as exc:
+            raise CampaignError(f"bad --{dest.replace('_', '-')} value: {exc}")
+    if args.spec:
+        if flag_axes:
+            raise CampaignError(
+                "give either --spec or axis flags (--eps, --d2, ...), not both"
+            )
+        return Grid.from_file(args.spec)
+    run = {"horizon": args.horizon} if args.horizon is not None else None
+    return Grid(flag_axes, run=run, seeds=args.seeds)
+
+
+def _sweep(args) -> int:
+    import os
+
+    from repro.campaign import Aggregator, CampaignRunner, Checkpoint
+
+    grid = _sweep_grid(args)
+    points = grid.points()
+    if args.chaos_crash:
+        # testing hook: the first K points crash their first attempt
+        for point in points[: args.chaos_crash]:
+            point["chaos"] = {"crash_attempts": 1}
+    os.makedirs(args.out, exist_ok=True)
+    checkpoint_path = os.path.join(args.out, "checkpoint.jsonl")
+    if not args.resume and os.path.exists(checkpoint_path):
+        os.remove(checkpoint_path)
+    print(f"campaign {grid.grid_id()}: {grid.size} points, "
+          f"{args.workers} worker(s)")
+    with Checkpoint(checkpoint_path, grid.grid_id(), grid.size) as checkpoint:
+        if args.resume and checkpoint.completed:
+            print(f"resuming: {len(checkpoint.completed)} points already done")
+        runner = CampaignRunner(
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            checkpoint=checkpoint,
+            log=print,
+        )
+        outcomes = runner.run(points)
+    aggregator = Aggregator(grid.grid_id())
+    payload = aggregator.build(outcomes)
+    jsonl_path = os.path.join(args.out, "aggregate.jsonl")
+    csv_path = os.path.join(args.out, "aggregate.csv")
+    aggregator.write_jsonl(jsonl_path, payload)
+    aggregator.write_csv(csv_path, payload)
+    summary = payload["summary"]
+    print(f"aggregate -> {jsonl_path}")
+    print(f"csv       -> {csv_path}")
+    print(f"points    : {summary['points']} "
+          f"({summary['completed']} completed, {summary['failed']} failed)")
+    print(f"operations: {summary['operations']}")
+    print(f"violations: {summary['violations']}")
+    for failure in payload["failures"]:
+        print(f"FAILED point {failure['index']}: {failure['error']}")
+    return 0 if summary["failed"] == 0 else 1
+
+
 def _report(args) -> int:
     import json
 
@@ -420,6 +510,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     obs(p)
     p.set_defaults(func=_sync)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a parameter-sweep campaign over the register experiments",
+    )
+    p.add_argument("--spec", metavar="FILE", default=None,
+                   help="grid spec file (.json, or .toml on Python 3.11+)")
+    for dest, _axis, _parse in _AXIS_FLAGS:
+        flag = "--" + dest.replace("_", "-")
+        p.add_argument(flag, default=None, metavar="V[,V...]",
+                       help=f"values for the {dest!r} axis (comma list)")
+    p.add_argument("--seeds", type=int, default=None,
+                   help="sweep seeds 0..N-1 (default: just seed 0)")
+    p.add_argument("--horizon", type=float, default=None,
+                   help="simulated horizon per point")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (default: 1, serial)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-point wall-clock budget in seconds")
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra attempts for crashed/hung points")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse OUT/checkpoint.jsonl, skipping finished points")
+    p.add_argument("--out", default="campaign-out", metavar="DIR",
+                   help="output directory (checkpoint + aggregates)")
+    p.add_argument("--chaos-crash", type=int, default=0, metavar="K",
+                   help="testing: crash the first K points' first attempts")
+    p.set_defaults(func=_sweep)
 
     p = sub.add_parser("report", help="render an ASCII dashboard from exports")
     p.add_argument("metrics_file", help="metrics JSON written by --metrics-out")

@@ -16,6 +16,9 @@ discrete-event simulator runs:
 - :mod:`repro.components.mmt` — MMT boundmap machinery and step policies.
 - :mod:`repro.components.tick` — the clock subsystem ``C^m`` that feeds
   ``TICK(c)`` actions to MMT nodes.
+- :mod:`repro.components.pinger` — the minimal pinger/echo workload used
+  by the simulation tests, the experiment harness, and campaign smoke
+  grids.
 """
 
 from repro.components.base import (

@@ -69,3 +69,13 @@ class SimulationLimitError(ReproError):
 
 class SpecificationError(ReproError):
     """Raised when a problem specification is internally inconsistent."""
+
+
+class CampaignError(ReproError):
+    """Raised when a parameter-sweep campaign is misconfigured.
+
+    Covers malformed grid specs (unknown axes, empty or duplicate axis
+    values), checkpoint/manifest mismatches (resuming against a
+    different grid), and worker tasks that cannot be resolved to an
+    importable callable.
+    """

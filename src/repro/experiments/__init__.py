@@ -1,0 +1,142 @@
+"""The paper's experiment suite as an importable package.
+
+:mod:`repro.experiments.paper` holds one ``exp_*`` function per paper
+artifact (figures, theorems, lemmas, tables, ablations, extensions) and
+the :data:`ALL_EXPERIMENTS` registry mapping experiment ids to them.
+This package re-exports all of that, and adds
+:func:`run_experiment_task` — a campaign-runner task so
+``benchmarks/run_all.py`` can shard whole experiments across worker
+processes with ``--workers`` (crash containment and retries included).
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from typing import Dict
+
+from repro.errors import CampaignError
+from repro.experiments.paper import (
+    ALL_EXPERIMENTS,
+    DELTA,
+    PINGER_KAPPA,
+    exp_abl1,
+    exp_abl2,
+    exp_abl3_tdma,
+    exp_abl4_internal_specs,
+    exp_engine_throughput,
+    exp_ext1_objects,
+    exp_ext2_faults,
+    exp_ext3_multihop,
+    exp_ext4_sync_protocol,
+    exp_fig1_channel,
+    exp_fig2_buffers,
+    exp_fig3_algorithm_s,
+    exp_lem61,
+    exp_lem62,
+    exp_tab63,
+    exp_thm47,
+    exp_thm51,
+    exp_thm65,
+)
+
+RESULT_FORMAT = "repro-bench-result"
+"""Format tag of the per-experiment JSON result files."""
+
+RESULT_VERSION = 1
+
+
+def _json_safe(value):
+    """A best-effort JSON-representable copy of an arbitrary value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(item) for item in value]
+    return repr(value)
+
+
+def experiment_config(exp_id: str) -> Dict[str, object]:
+    """The experiment function's keyword defaults (its configuration)."""
+    function = ALL_EXPERIMENTS[exp_id]
+    return {
+        name: _json_safe(parameter.default)
+        for name, parameter in inspect.signature(function).parameters.items()
+        if parameter.default is not inspect.Parameter.empty
+    }
+
+
+def run_experiment(exp_id: str) -> Dict[str, object]:
+    """Run one experiment; return its JSON-ready result record.
+
+    The record carries the experiment's configuration (the harness
+    function's keyword defaults), the rendered comparison table, the
+    shape assertions (metrics snapshots included, for experiments that
+    collect them), and the wall time.
+    """
+    if exp_id not in ALL_EXPERIMENTS:
+        raise CampaignError(
+            f"unknown experiment {exp_id!r}; known: {sorted(ALL_EXPERIMENTS)}"
+        )
+    start = time.perf_counter()
+    table, shapes = ALL_EXPERIMENTS[exp_id]()
+    wall = time.perf_counter() - start
+    return {
+        "format": RESULT_FORMAT,
+        "version": RESULT_VERSION,
+        "exp_id": exp_id,
+        "config": experiment_config(exp_id),
+        "wall_seconds": wall,
+        "table": {
+            "title": table.title,
+            "columns": list(table.columns),
+            "rows": [_json_safe(row) for row in table.rows],
+            "notes": list(table.notes),
+        },
+        "shapes": _json_safe(shapes),
+        "ok": all(
+            value for value in shapes.values() if isinstance(value, bool)
+        ),
+    }
+
+
+def run_experiment_task(point: Dict) -> Dict[str, object]:
+    """Campaign-runner task: run the experiment named by ``point["exp"]``.
+
+    Matches the :class:`repro.campaign.CampaignRunner` task contract —
+    returns ``{"result": ..., "wall": ...}`` so ``run_all.py --workers N``
+    can shard experiments across processes.
+    """
+    result = run_experiment(point["exp"])
+    return {"result": result, "wall": result["wall_seconds"]}
+
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "DELTA",
+    "PINGER_KAPPA",
+    "RESULT_FORMAT",
+    "RESULT_VERSION",
+    "experiment_config",
+    "run_experiment",
+    "run_experiment_task",
+    "exp_abl1",
+    "exp_abl2",
+    "exp_abl3_tdma",
+    "exp_abl4_internal_specs",
+    "exp_engine_throughput",
+    "exp_ext1_objects",
+    "exp_ext2_faults",
+    "exp_ext3_multihop",
+    "exp_ext4_sync_protocol",
+    "exp_fig1_channel",
+    "exp_fig2_buffers",
+    "exp_fig3_algorithm_s",
+    "exp_lem61",
+    "exp_lem62",
+    "exp_tab63",
+    "exp_thm47",
+    "exp_thm51",
+    "exp_thm65",
+]

@@ -28,6 +28,8 @@ from repro.obs.metrics import (
     NullMetrics,
     OCCUPANCY_BUCKETS,
     SKEW_BUCKETS,
+    merge_snapshots,
+    registry_from_snapshot,
     stats_from_metrics,
 )
 from repro.obs.trace import JsonlTracer, NULL_TRACER, Tracer, read_trace
@@ -50,6 +52,8 @@ __all__ = [
     "OCCUPANCY_BUCKETS",
     "SKEW_BUCKETS",
     "Tracer",
+    "merge_snapshots",
     "read_trace",
+    "registry_from_snapshot",
     "stats_from_metrics",
 ]

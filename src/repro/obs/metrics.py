@@ -325,6 +325,48 @@ class MetricsRegistry:
         )
 
 
+def registry_from_snapshot(payload: Dict[str, object]) -> MetricsRegistry:
+    """Rebuild a :class:`MetricsRegistry` from a :meth:`~MetricsRegistry.snapshot` dict.
+
+    The inverse of the JSON export, used to merge snapshots that crossed
+    a process boundary (campaign workers return snapshots, not live
+    registries). Volatility markers are not part of the export, so a
+    rebuilt registry treats every instrument as deterministic — which is
+    exactly right for default (volatile-excluded) snapshots.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"snapshot must be a dict, got {type(payload).__name__}")
+    registry = MetricsRegistry()
+    for name, value in (payload.get("counters") or {}).items():
+        registry.counter(name).inc(int(value))
+    for name, value in (payload.get("gauges") or {}).items():
+        registry.gauge(name).set(float(value))
+    for name, hist in (payload.get("histograms") or {}).items():
+        instrument = registry.histogram(name, hist["bounds"])
+        instrument.counts = [int(c) for c in hist["counts"]]
+        instrument._count = int(hist["count"])
+        instrument._sum = float(hist["sum"])
+        if instrument._count:
+            instrument._min = float(hist["min"])
+            instrument._max = float(hist["max"])
+    return registry
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Fold many snapshot dicts into one merged snapshot.
+
+    Counters and histogram buckets add; gauges combine by maximum (see
+    :meth:`MetricsRegistry.merge`). The result is deterministic in the
+    *multiset* of inputs — the order snapshots arrive in (e.g. worker
+    completion order) does not affect the merged output, so sharded
+    campaigns aggregate byte-identically regardless of worker count.
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge(registry_from_snapshot(snapshot))
+    return merged.snapshot()
+
+
 class NullMetrics:
     """A registry that hands out shared no-op instruments.
 

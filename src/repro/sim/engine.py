@@ -71,6 +71,26 @@ class SimulationResult:
         """Whether the run covered the whole horizon (admissibility)."""
         return self.now >= self.horizon - _TOLERANCE
 
+    def summary(self) -> Dict[str, Any]:
+        """A picklable, JSON-ready digest of the run.
+
+        The worker-safe entrypoint for sharded campaigns: recorder
+        events and final entity states hold arbitrary (possibly
+        unpicklable) objects, so worker processes ship this plain-dict
+        digest — horizon/now/steps, event count, the canonical stats,
+        and the deterministic metrics snapshot — back to the parent
+        instead of the full :class:`SimulationResult`.
+        """
+        return {
+            "horizon": self.horizon,
+            "now": self.now,
+            "steps": self.steps,
+            "events": len(self.recorder),
+            "completed": self.completed(),
+            "stats": dict(self.stats),
+            "metrics": self.metrics,
+        }
+
     def __repr__(self) -> str:
         return (
             f"<SimulationResult: {self.steps} steps, "

@@ -20,6 +20,7 @@ EXAMPLES = [
     "tdma_scheduler.py",
     "verify_design.py",
     "trace_tooling.py",
+    "eps_sweep.py",
     "realistic_stack.py",  # the slowest: full MMT tower
 ]
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Validate campaign aggregate/checkpoint files against their schemas.
+
+Thin script wrapper around :mod:`repro.campaign.schema` for CI and
+shell use (works from a checkout without installing the package)::
+
+    python tools/validate_campaign.py aggregate.jsonl [checkpoint.jsonl]
+
+Exits 0 when every given file conforms, 1 on schema problems (printed
+one per line), 2 on usage errors.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.campaign.schema import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
