@@ -60,7 +60,19 @@ class Process:
     The action signature must conform to the network interface of
     Section 3.1: outputs include ``SENDMSG_i(j, m)`` for each outgoing
     edge, inputs include ``RECVMSG_i(j, m)`` for each incoming edge.
+
+    The two class-level scheduling hints mirror the :class:`Entity`
+    contract (see there for the precise promises); a process wrapped by
+    :class:`TimedNodeEntity` hands them to the engine's incremental
+    scheduler. Both default to the conservative ``False``.
     """
+
+    #: Promise: ``deadline(state, ctx)`` depends only on state mutated by
+    #: ``fire``/``apply_input`` — never on the current time itself.
+    static_deadline: bool = False
+    #: Promise: absent ``fire``/``apply_input``, the ``enabled`` set can
+    #: only change when time crosses the process's current deadline.
+    wakes_at_deadline: bool = False
 
     def __init__(self, node: int, signature: Signature, name: str = ""):
         self.node = node
@@ -108,6 +120,34 @@ class Entity:
 
     name: str
     signature: Signature
+
+    # -- incremental-scheduling contract (see docs/performance.md) --------
+    #
+    # The engine's event-driven core caches enabled sets and deadlines
+    # between events and re-derives them only for entities whose state
+    # may have changed. The three hints below let entities widen what the
+    # engine may cache; every default is the conservative choice, under
+    # which the incremental engine behaves exactly like the full-scan
+    # one. Violating a declared promise silently desynchronizes the
+    # incremental path from the reference path — the conformance suite
+    # (tests/test_engine_incremental.py) exists to catch that.
+
+    #: Promise: ``enabled(state, now)`` is a pure function of
+    #: ``(state, now)`` — no randomness, no observable mutation. Entities
+    #: that draw from an RNG inside ``enabled`` must set this ``False``
+    #: so the engine re-evaluates them every scheduling round (keeping
+    #: their draw sequence identical to the full-scan engine's).
+    pure_enabled: bool = True
+    #: Promise: ``deadline(state, now)`` depends only on state mutated by
+    #: ``fire``/``apply_input`` — not on ``now``, and not on ``advance``.
+    #: Lets the engine keep the entity's deadline in a min-heap across
+    #: time advances instead of recomputing it per advance.
+    static_deadline: bool = False
+    #: Promise: absent ``fire``/``apply_input``, the ``enabled`` set only
+    #: changes when time crosses the entity's current deadline. Only
+    #: honored together with ``static_deadline``; lets the engine skip
+    #: re-scanning the entity after unrelated time advances.
+    wakes_at_deadline: bool = False
 
     def __init__(self, name: str, signature: Signature):
         self.name = name
@@ -172,6 +212,9 @@ class TimedNodeEntity(Entity):
     def __init__(self, process: Process):
         super().__init__(process.name, process.signature)
         self.process = process
+        # The node's scheduling contract is exactly its process's.
+        self.static_deadline = getattr(process, "static_deadline", False)
+        self.wakes_at_deadline = getattr(process, "wakes_at_deadline", False)
 
     def initial_state(self) -> Any:
         return self.process.initial_state()

@@ -129,6 +129,12 @@ class TimedFromMMT(Entity):
     an MMT execution with the same timed trace, and vice versa.
     """
 
+    # deadline == min class-timer target (timers are state, set by
+    # fire/apply_input), and a class only becomes enabled when time
+    # reaches its timer's target.
+    static_deadline = True
+    wakes_at_deadline = True
+
     def __init__(
         self,
         automaton: MMTAutomaton,

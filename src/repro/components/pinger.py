@@ -49,6 +49,12 @@ class PingerState:
 class PingerProcess(Process):
     """Sends ``count`` pings at ``interval, 2*interval, ...``."""
 
+    # Whenever nothing is enabled (no pending send/pongs), the deadline
+    # is the absolute next ping time — state-only — and nothing becomes
+    # enabled before time reaches it.
+    static_deadline = True
+    wakes_at_deadline = True
+
     def __init__(self, node: int, peer: int, count: int, interval: float):
         signature = Signature(
             inputs=PatternActionSet([ActionPattern("RECVMSG", (node,))]),
@@ -127,6 +133,11 @@ class EchoState:
 
 class EchoProcess(Process):
     """Replies ``("pong", k)`` to every ``("ping", k)``."""
+
+    # Enabled set is a pure function of state (never of time); with
+    # nothing pending the deadline is INFINITY.
+    static_deadline = True
+    wakes_at_deadline = True
 
     def __init__(self, node: int, peer: int):
         signature = Signature(

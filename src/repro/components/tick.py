@@ -39,6 +39,12 @@ class TickState:
 class TickEntity(Entity):
     """Emits ``TICK_i(c)`` every at-most-``l_tick`` time units."""
 
+    # deadline == state.next_tick_time (set by fire), and the TICK only
+    # becomes enabled when time reaches it; source readings are pure
+    # functions of ``now``.
+    static_deadline = True
+    wakes_at_deadline = True
+
     def __init__(
         self,
         node: int,

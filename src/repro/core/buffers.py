@@ -27,8 +27,9 @@ them and supplies the shared node clock (Definition 2.7).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from repro.errors import TransitionError
 from repro.obs.metrics import (
@@ -53,6 +54,13 @@ class SendBuffer:
     queue: List[Stamped] = field(default_factory=list)
     occupancy_hist: object = field(default=NULL_HISTOGRAM, repr=False, compare=False)
     occupancy_gauge: object = field(default=NULL_GAUGE, repr=False, compare=False)
+    # Monotonic min-deque over queued stamps: front always holds the
+    # minimum, making clock_deadline O(1) instead of an O(n) scan on
+    # the engine's time-advance hot path. Maintained by enqueue/emit;
+    # valid for FIFO removal (emit only ever pops the queue front).
+    _min_stamps: Deque[float] = field(
+        default_factory=deque, repr=False, compare=False
+    )
 
     def bind_instruments(self, metrics) -> None:
         """Publish occupancy samples and a per-buffer depth gauge."""
@@ -66,6 +74,10 @@ class SendBuffer:
     def enqueue(self, message: object, clock: float) -> None:
         """``SENDMSG_i(j, m)`` effect: remember ``(m, clock)``."""
         self.queue.append((message, clock))
+        mins = self._min_stamps
+        while mins and mins[-1] > clock:
+            mins.pop()
+        mins.append(clock)
         depth = float(len(self.queue))
         self.occupancy_hist.observe(depth)
         self.occupancy_gauge.set(depth)
@@ -93,6 +105,8 @@ class SendBuffer:
                 f"clock {clock:g}"
             )
         entry = self.queue.pop(0)
+        if self._min_stamps and self._min_stamps[0] == entry[1]:
+            self._min_stamps.popleft()
         self.occupancy_gauge.set(float(len(self.queue)))
         return entry
 
@@ -100,7 +114,7 @@ class SendBuffer:
         """``nu`` guard: the clock may not pass any queued stamp."""
         if not self.queue:
             return INFINITY
-        return min(c for _, c in self.queue)
+        return self._min_stamps[0]
 
 
 @dataclass

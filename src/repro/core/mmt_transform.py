@@ -103,6 +103,13 @@ class MMTNodeEntity(Entity):
 
     TAU = "TAU"
 
+    # deadline is next_step_time (or INFINITY when idle) — set by
+    # fire/apply_input, never read off ``now`` — and steps only become
+    # enabled when time reaches it. Step policies draw their RNG inside
+    # fire/apply_input, so queries stay pure.
+    static_deadline = True
+    wakes_at_deadline = True
+
     def __init__(
         self,
         machine: ClockMachine,

@@ -46,6 +46,10 @@ class CrashableEntity(Entity):
         super().__init__(inner.name, inner.signature)
         self.inner = inner
         self.schedule = schedule
+        # Queries delegate to the inner entity, so its purity promise
+        # carries over; the crash check makes the deadline depend on
+        # ``now``, so the static-deadline promises do not.
+        self.pure_enabled = getattr(inner, "pure_enabled", True)
 
     def initial_state(self) -> CrashableState:
         return CrashableState(inner=self.inner.initial_state())

@@ -64,6 +64,12 @@ class ChannelState:
 class ChannelEntity(Entity):
     """Executable ``E_{ij,[d1,d2]}`` (or ``E^c`` with ``prefix="E"``)."""
 
+    # deadline == min deliver_at over the buffer (state-only; delays are
+    # sampled on apply_input, not in queries), and deliveries only become
+    # enabled when time reaches that minimum.
+    static_deadline = True
+    wakes_at_deadline = True
+
     def __init__(
         self,
         src: int,

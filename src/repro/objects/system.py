@@ -127,6 +127,11 @@ class ObjectClientState:
 class ObjectClientEntity(Entity):
     """Closed-loop client issuing DO/ASK invocations for node ``i``."""
 
+    # enabled() draws from the workload RNG (operation and payload
+    # choice), so the engine must re-evaluate it every round to keep the
+    # draw sequence identical across execution strategies.
+    pure_enabled = False
+
     def __init__(self, node: int, workload: ObjectWorkload,
                  payloads: PayloadGenerator):
         signature = Signature(

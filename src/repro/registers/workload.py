@@ -69,6 +69,11 @@ class ClientState:
 class ClientEntity(Entity):
     """Closed-loop client for node ``i``."""
 
+    # enabled() draws from the workload RNG (read-vs-write choice), so
+    # the engine must re-evaluate it every round to keep the draw
+    # sequence identical across execution strategies.
+    pure_enabled = False
+
     def __init__(self, node: int, workload: RegisterWorkload):
         signature = Signature(
             inputs=PatternActionSet(

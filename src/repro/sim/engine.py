@@ -19,16 +19,43 @@ models:
 Every fired action is recorded with its real time and the owner's local
 clock, so the run yields both ``t-trace`` (real-time stamps) and the
 ``gamma`` sequences of Definition 4.2 (clock stamps).
+
+Two execution strategies share one loop (see docs/performance.md):
+
+- the **incremental** core (default) tracks a *dirty set* of entities
+  whose enabled set may have changed — seeded by fire, routing,
+  injection, and time-advance targets — consults a precomputed
+  action-routing table instead of probing every entity per output, and
+  keeps per-entity deadlines in a lazily-invalidated min-heap;
+- the **full-scan** reference path (``Simulator(..., incremental=False)``)
+  re-derives every entity's enabled set and deadline on every event,
+  exactly as the models' operational semantics are written down.
+
+Both produce identical traces for entities honoring the scheduling
+contract declared on :class:`~repro.components.base.Entity`
+(``pure_enabled`` / ``static_deadline`` / ``wakes_at_deadline``);
+``benchmarks/bench_engine_core.py`` and the conformance tests check
+this across the seeded corpus.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.automata.actions import Action, ActionSet
+from repro.automata.actions import (
+    ANY,
+    Action,
+    ActionSet,
+    EmptyActionSet,
+    FiniteActionSet,
+    PatternActionSet,
+    UnionActionSet,
+)
 from repro.automata.executions import TimedSequence
+from repro.automata.signature import _DifferenceActionSet, _IntersectionActionSet
 from repro.components.base import Entity
 from repro.errors import ScheduleError, SimulationLimitError, TimelockError
 from repro.obs.metrics import MetricsRegistry, stats_from_metrics
@@ -77,15 +104,21 @@ class SimulationResult:
         The worker-safe entrypoint for sharded campaigns: recorder
         events and final entity states hold arbitrary (possibly
         unpicklable) objects, so worker processes ship this plain-dict
-        digest — horizon/now/steps, event count, the canonical stats,
+        digest — horizon/now/steps, event counts, the canonical stats,
         and the deterministic metrics snapshot — back to the parent
         instead of the full :class:`SimulationResult`.
+
+        ``events`` counts every recorded action including any a
+        ring-mode recorder has since overwritten; ``events_retained``
+        and ``events_dropped`` break the total down.
         """
         return {
             "horizon": self.horizon,
             "now": self.now,
             "steps": self.steps,
-            "events": len(self.recorder),
+            "events": len(self.recorder) + self.recorder.dropped,
+            "events_retained": len(self.recorder),
+            "events_dropped": self.recorder.dropped,
             "completed": self.completed(),
             "stats": dict(self.stats),
             "metrics": self.metrics,
@@ -96,6 +129,106 @@ class SimulationResult:
             f"<SimulationResult: {self.steps} steps, "
             f"{len(self.recorder)} events, now={self.now:g}/{self.horizon:g}>"
         )
+
+
+class _Wildcard:
+    """Routing-key marker: matches any first parameter."""
+
+    def __repr__(self) -> str:
+        return "_ANY_FIRST"
+
+
+_ANY_FIRST = _Wildcard()
+_NO_PARAMS = _Wildcard()  # distinct marker for zero-parameter actions
+
+
+def _first_param_key(name: str, params: Tuple) -> Tuple[str, Any]:
+    return (name, params[0] if params else _NO_PARAMS)
+
+
+def _input_action_keys(action_set: ActionSet) -> Optional[Set[Tuple[str, Any]]]:
+    """Over-approximate an input set as ``(name, first param)`` keys.
+
+    The first parameter of the network-interface actions is the owning
+    node (``RECVMSG_i``) or edge source, so keying on it sends each
+    routed action straight to its few true recipients instead of every
+    entity sharing the action name. ``_ANY_FIRST`` marks patterns that
+    accept any first parameter. Returns ``None`` when the set cannot be
+    decomposed (predicate sets, unknown subclasses) — the owning entity
+    is then probed for every routed action, exactly like the full scan.
+    The keys may over-approximate the truly accepted actions (e.g. for
+    difference sets); routing always re-checks ``accepts`` on the
+    prefiltered entities, so over-approximation is safe and
+    under-approximation is the only thing that would be a bug.
+    """
+    if isinstance(action_set, EmptyActionSet):
+        return set()
+    if isinstance(action_set, FiniteActionSet):
+        return {_first_param_key(a.name, a.params) for a in action_set.actions}
+    if isinstance(action_set, PatternActionSet):
+        keys: Set[Tuple[str, Any]] = set()
+        for p in action_set.patterns:
+            if p.prefix and p.prefix[0] is not ANY:
+                keys.add((p.name, p.prefix[0]))
+            else:
+                keys.add((p.name, _ANY_FIRST))
+        return keys
+    if isinstance(action_set, UnionActionSet):
+        keys = set()
+        for member in action_set.members:
+            sub = _input_action_keys(member)
+            if sub is None:
+                return None
+            keys |= sub
+        return keys
+    if isinstance(action_set, _DifferenceActionSet):
+        return _input_action_keys(action_set._left)
+    if isinstance(action_set, _IntersectionActionSet):
+        left = _input_action_keys(action_set._left)
+        if left is not None:
+            return left
+        return _input_action_keys(action_set._right)
+    return None
+
+
+class _EntityInfo:
+    """Per-entity data precomputed once per :class:`Simulator`."""
+
+    __slots__ = (
+        "entity",
+        "index",
+        "name",
+        "pure_enabled",
+        "static_deadline",
+        "wakes_at_deadline",
+        "probe_always",
+        "input_keys",
+        "advances",
+    )
+
+    def __init__(self, entity: Entity, index: int):
+        self.entity = entity
+        self.index = index
+        self.name = entity.name
+        self.pure_enabled = bool(getattr(entity, "pure_enabled", True))
+        self.static_deadline = bool(getattr(entity, "static_deadline", False))
+        self.wakes_at_deadline = self.static_deadline and bool(
+            getattr(entity, "wakes_at_deadline", False)
+        )
+        # Entities overriding accepts() may take inputs beyond their
+        # declared signature; keep probing them for every action.
+        self.probe_always = type(entity).accepts is not Entity.accepts
+        self.input_keys = (
+            None if self.probe_always
+            else _input_action_keys(entity.signature.inputs)
+        )
+        self.advances = type(entity).advance is not Entity.advance
+
+    def may_accept(self, key: Tuple[str, Any]) -> bool:
+        keys = self.input_keys
+        if keys is None:
+            return True
+        return key in keys or (key[0], _ANY_FIRST) in keys
 
 
 class Simulator:
@@ -115,6 +248,11 @@ class Simulator:
         hide the node/channel interface actions per Sections 3.3 and 4.1.
     max_steps:
         safety valve against runaway action loops.
+    incremental:
+        run the event-driven core (dirty-set scheduling, routing table,
+        deadline heap). ``False`` selects the full-scan reference path,
+        which re-derives everything per event; both yield identical
+        traces for entities honoring the declared scheduling contract.
     """
 
     def __init__(
@@ -124,6 +262,7 @@ class Simulator:
         hidden: Optional[ActionSet] = None,
         max_steps: int = 1_000_000,
         strict: bool = False,
+        incremental: bool = True,
     ):
         names = [e.name for e in entities]
         if len(set(names)) != len(names):
@@ -134,6 +273,12 @@ class Simulator:
         self.hidden = hidden
         self.max_steps = max_steps
         self.strict = strict
+        self.incremental = incremental
+        self._infos = [_EntityInfo(e, i) for i, e in enumerate(self.entities)]
+        # (action name, first param) -> tuple of _EntityInfo that may
+        # accept it, in composition order (routing and injection
+        # delivery order).
+        self._route_table: Dict[Tuple[str, Any], Tuple[_EntityInfo, ...]] = {}
 
     # -- internals ---------------------------------------------------------
 
@@ -144,6 +289,28 @@ class Simulator:
             return False
         return True
 
+    def _route_targets(self, action: Action) -> Tuple[_EntityInfo, ...]:
+        """Entities that may accept the action (lazily filled table)."""
+        try:
+            key = _first_param_key(action.name, action.params)
+            targets = self._route_table.get(key)
+            if targets is None:
+                targets = tuple(
+                    info for info in self._infos if info.may_accept(key)
+                )
+                self._route_table[key] = targets
+            return targets
+        except TypeError:
+            # Unhashable first parameter: fall back to probing every
+            # entity whose keys mention the name at all.
+            name = action.name
+            return tuple(
+                info
+                for info in self._infos
+                if info.input_keys is None
+                or any(k[0] == name for k in info.input_keys)
+            )
+
     def _route(
         self,
         action: Action,
@@ -151,7 +318,12 @@ class Simulator:
         states: Dict[str, Any],
         now: float,
     ) -> None:
-        """Deliver an output action to every entity accepting it."""
+        """Deliver an output action to every entity accepting it.
+
+        The full-scan delivery used by the reference path and kept as
+        the public routing primitive; the incremental loop inlines the
+        routing-table equivalent so it can dirty the recipients.
+        """
         if not owner.signature.is_output(action):
             return
         for entity in self.entities:
@@ -177,10 +349,10 @@ class Simulator:
         given times — a convenience for driving open systems without
         writing a client entity. (Most workloads use client entities.)
 
-        ``stop_when(recorder, now)``, checked after every fired action,
-        ends the run early when it returns true — e.g. "stop once every
-        node announced a leader". An early-stopped run reports
-        ``completed() == False``.
+        ``stop_when(recorder, now)``, checked after every fired action
+        and after every injection round, ends the run early when it
+        returns true — e.g. "stop once every node announced a leader".
+        An early-stopped run reports ``completed() == False``.
 
         ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry`
         (one is created when omitted; pass
@@ -201,6 +373,7 @@ class Simulator:
         steps = 0
         injections = sorted(initial_inputs, key=lambda pair: pair[1])
         inject_idx = 0
+        n_injections = len(injections)
 
         # Hot-loop bindings: one attribute lookup per run, not per event.
         c_steps = metrics.counter("repro.engine.steps")
@@ -211,39 +384,125 @@ class Simulator:
         c_hidden = metrics.counter("repro.engine.hidden_events")
         trace_action = tracer.action
         trace_advance = tracer.advance
+        record = recorder.record
+        pick = self.scheduler.pick
+        strict = self.strict
+        max_steps = self.max_steps
+        incremental = self.incremental
+
+        infos = self._infos
+        info_by_name = {info.name: info for info in infos}
+        n_entities = len(infos)
+        all_idx = range(n_entities)
+        state_by_idx = [states[info.name] for info in infos]
+        entity_by_idx = [info.entity for info in infos]
+
+        # Enabled-set cache: per-entity candidate lists, assembled into
+        # the scheduler's candidate sequence from the non-empty entries.
+        # Candidates carry an interned (entity name, action repr) sort
+        # key so schedulers never recompute repr() per pick.
+        active: Dict[int, List[Tuple[Entity, Action, Tuple[str, str]]]] = {}
+        # Entities whose enabled set must be re-derived before the next
+        # pick. The full-scan path simply treats every entity as dirty
+        # every round; impure entities are re-marked every round so
+        # their enabled() call sequence matches the full scan's.
+        dirty: Set[int] = set(all_idx)
+        impure_idx = [i.index for i in infos if not i.pure_enabled]
+
+        # Min-deadline cache (incremental path only). Static-deadline
+        # entities live in a lazily-invalidated heap of
+        # (deadline, index, generation); dynamic ones are re-evaluated
+        # at every advance query, as the full scan does for everyone.
+        static_idx = [i.index for i in infos if i.static_deadline]
+        dynamic_idx = [i.index for i in infos if not i.static_deadline]
+        dl_val: List[float] = [INFINITY] * n_entities
+        dl_gen: List[int] = [0] * n_entities
+        dl_heap: List[Tuple[float, int, int]] = []
+        dl_dirty: Set[int] = set(static_idx)
+        advancing_idx = [i.index for i in infos if i.advances]
+        nonwake_idx = [i.index for i in infos if not i.wakes_at_deadline]
+        nonwake_static_idx = [
+            i.index
+            for i in infos
+            if i.static_deadline and not i.wakes_at_deadline
+        ]
+
+        def refresh(idx: int) -> None:
+            entity = entity_by_idx[idx]
+            name = infos[idx].name
+            state = state_by_idx[idx]
+            enabled = entity.enabled(state, now)
+            if enabled:
+                active[idx] = [
+                    (entity, action, (name, repr(action))) for action in enabled
+                ]
+            else:
+                active.pop(idx, None)
+
+        def mark_dirty(info: _EntityInfo) -> None:
+            dirty.add(info.index)
+            if info.static_deadline:
+                dl_dirty.add(info.index)
 
         wall_start = time.perf_counter()
         tracer.run_start(horizon)
 
         while True:
             # Deliver any injections scheduled at (or before) this time.
-            while (
-                inject_idx < len(injections)
-                and injections[inject_idx][1] <= now + _TOLERANCE
-            ):
-                action, _ = injections[inject_idx]
-                inject_idx += 1
-                c_injections.inc()
-                for entity in self.entities:
-                    if entity.accepts(action):
-                        entity.apply_input(states[entity.name], action, now)
-                recorder.record(action, now, "environment", None, True)
-                c_visible.inc()
-                tracer.injection(now, action)
+            if inject_idx < n_injections and injections[inject_idx][1] <= now + _TOLERANCE:
+                while (
+                    inject_idx < n_injections
+                    and injections[inject_idx][1] <= now + _TOLERANCE
+                ):
+                    action, _ = injections[inject_idx]
+                    inject_idx += 1
+                    c_injections.inc()
+                    if incremental:
+                        for info in self._route_targets(action):
+                            if info.entity.accepts(action):
+                                info.entity.apply_input(
+                                    state_by_idx[info.index], action, now
+                                )
+                                mark_dirty(info)
+                    else:
+                        for entity in self.entities:
+                            if entity.accepts(action):
+                                entity.apply_input(states[entity.name], action, now)
+                    record(action, now, "environment", None, True)
+                    c_visible.inc()
+                    tracer.injection(now, action)
+                if stop_when is not None and stop_when(recorder, now):
+                    break
 
-            # Gather enabled locally controlled actions.
-            candidates = []
-            for entity in self.entities:
-                for action in entity.enabled(states[entity.name], now):
-                    candidates.append((entity, action))
+            # Re-derive enabled sets for entities whose state (or time)
+            # may have changed, then gather the candidate actions.
+            if incremental:
+                dirty.update(impure_idx)
+                if dirty:
+                    for idx in sorted(dirty):
+                        refresh(idx)
+                    dirty.clear()
+            else:
+                for idx in all_idx:
+                    refresh(idx)
+            if active:
+                if len(active) == 1:
+                    (candidates,) = active.values()
+                else:
+                    candidates = [
+                        cand for lst in active.values() for cand in lst
+                    ]
+            else:
+                candidates = []
 
             if candidates:
-                if steps >= self.max_steps:
+                if steps >= max_steps:
                     raise SimulationLimitError(
-                        f"exceeded {self.max_steps} steps at now={now:g}"
+                        f"exceeded {max_steps} steps at now={now:g}"
                     )
-                entity, action = self.scheduler.pick(candidates, now)
-                if self.strict and not (
+                picked = pick(candidates, now)
+                entity, action = picked[0], picked[1]
+                if strict and not (
                     entity.signature.is_output(action)
                     or entity.signature.is_internal(action)
                 ):
@@ -254,32 +513,75 @@ class Simulator:
                 state = states[entity.name]
                 clock = entity.clock_value(state, now)
                 entity.fire(state, action, now)
-                visible = self._is_visible(action, entity)
-                recorder.record(action, now, entity.name, clock, visible)
+                is_output = entity.signature.is_output(action)
+                visible = is_output and (
+                    self.hidden is None or action not in self.hidden
+                )
+                record(action, now, entity.name, clock, visible)
                 (c_visible if visible else c_hidden).inc()
                 trace_action(now, entity.name, action, clock, visible)
-                self._route(action, entity, states, now)
+                if is_output:
+                    if incremental:
+                        for info in self._route_targets(action):
+                            target_entity = info.entity
+                            if target_entity is entity:
+                                continue
+                            if target_entity.accepts(action):
+                                target_entity.apply_input(
+                                    state_by_idx[info.index], action, now
+                                )
+                                mark_dirty(info)
+                    else:
+                        self._route(action, entity, states, now)
                 steps += 1
                 c_steps.inc()
                 c_actions.inc()
+                if incremental:
+                    mark_dirty(info_by_name[entity.name])
                 if stop_when is not None and stop_when(recorder, now):
                     break
                 continue
 
-            # No action enabled: advance time.
+            # No action enabled: advance time. The target starts at the
+            # horizon capped by the next injection and is pulled down by
+            # the minimum entity deadline; reaching the horizon with
+            # nothing enabled ends the run (the former separate
+            # "horizon drain" is subsumed by the loop's candidate
+            # gathering above).
             target = horizon
-            if inject_idx < len(injections):
-                target = min(target, injections[inject_idx][1])
+            if inject_idx < n_injections:
+                inj_time = injections[inject_idx][1]
+                if inj_time < target:
+                    target = inj_time
             blocker = None
-            for entity in self.entities:
-                entity_deadline = entity.deadline(states[entity.name], now)
-                if entity_deadline < target:
-                    target = entity_deadline
-                    blocker = entity
-            if target >= horizon and not (
-                inject_idx < len(injections) and injections[inject_idx][1] < horizon
-            ):
-                target = horizon
+            if incremental:
+                if dl_dirty:
+                    for idx in sorted(dl_dirty):
+                        value = entity_by_idx[idx].deadline(state_by_idx[idx], now)
+                        dl_val[idx] = value
+                        dl_gen[idx] += 1
+                        heappush(dl_heap, (value, idx, dl_gen[idx]))
+                    dl_dirty.clear()
+                while dl_heap and dl_heap[0][2] != dl_gen[dl_heap[0][1]]:
+                    heappop(dl_heap)
+                best_val = INFINITY
+                best_idx = -1
+                if dl_heap:
+                    best_val, best_idx = dl_heap[0][0], dl_heap[0][1]
+                for idx in dynamic_idx:
+                    value = entity_by_idx[idx].deadline(state_by_idx[idx], now)
+                    if value < best_val or (value == best_val and idx < best_idx):
+                        best_val = value
+                        best_idx = idx
+                if best_val < target:
+                    target = best_val
+                    blocker = entity_by_idx[best_idx]
+            else:
+                for entity in self.entities:
+                    entity_deadline = entity.deadline(states[entity.name], now)
+                    if entity_deadline < target:
+                        target = entity_deadline
+                        blocker = entity
             if target <= now + _TOLERANCE:
                 if now >= horizon - _TOLERANCE:
                     break
@@ -289,20 +591,26 @@ class Simulator:
                     f"{blocker.name if blocker else '?'} blocks time passage "
                     f"but nothing is enabled"
                 )
-            for entity in self.entities:
-                entity.advance(states[entity.name], now, target)
+            if incremental:
+                for idx in advancing_idx:
+                    entity_by_idx[idx].advance(state_by_idx[idx], now, target)
+            else:
+                for entity in self.entities:
+                    entity.advance(states[entity.name], now, target)
             trace_advance(now, target, blocker.name if blocker else None)
             now = target
             c_advances.inc()
-            if now >= horizon - _TOLERANCE and inject_idx >= len(injections):
-                # One final drain: fire anything that became enabled
-                # exactly at the horizon before stopping.
-                final_candidates = []
-                for entity in self.entities:
-                    for action in entity.enabled(states[entity.name], now):
-                        final_candidates.append((entity, action))
-                if not final_candidates:
-                    break
+            if incremental:
+                # Time moved: re-derive every entity that has not
+                # promised its enabled set only changes at its deadline,
+                # plus the promised ones whose deadline just arrived.
+                dirty.update(nonwake_idx)
+                dl_dirty.update(nonwake_static_idx)
+                while dl_heap and dl_heap[0][0] <= now + _TOLERANCE:
+                    value, idx, gen = heappop(dl_heap)
+                    if gen == dl_gen[idx]:
+                        dirty.add(idx)
+                        dl_dirty.add(idx)
 
         wall = time.perf_counter() - wall_start
         tracer.run_end(now, steps)
@@ -312,7 +620,12 @@ class Simulator:
         # function of the seeded run.
         metrics.gauge("repro.engine.now").set(now)
         metrics.gauge("repro.engine.horizon").set(horizon)
-        metrics.gauge("repro.recorder.events").set(float(len(recorder)))
+        # ``events`` counts every recorded action — a ring-mode recorder's
+        # overwritten entries included (they used to be silently excluded).
+        events_total = float(len(recorder) + recorder.dropped)
+        metrics.gauge("repro.recorder.events").set(events_total)
+        metrics.gauge("repro.recorder.events_total").set(events_total)
+        metrics.gauge("repro.recorder.events_retained").set(float(len(recorder)))
         metrics.gauge("repro.recorder.dropped").set(float(recorder.dropped))
         metrics.gauge("repro.engine.wall_seconds", volatile=True).set(wall)
         if wall > 0:

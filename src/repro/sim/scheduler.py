@@ -16,10 +16,20 @@ from repro.errors import ScheduleError
 from repro.obs.metrics import CONTENTION_BUCKETS, NULL_COUNTER, NULL_HISTOGRAM
 
 
-Candidate = Tuple[object, Action]  # (entity, action)
+Candidate = Tuple[object, Action]  # (entity, action[, interned sort key])
 
 
 def _sort_key(candidate: Candidate) -> Tuple[str, str]:
+    """The (entity name, action repr) ordering key of one candidate.
+
+    The engine's candidate cache carries the key pre-computed as a third
+    tuple element (interned once per enabled-set derivation, not per
+    pick); bare ``(entity, action)`` pairs — the documented external
+    interface, used throughout the tests — still work and pay the
+    ``repr`` on the spot.
+    """
+    if len(candidate) > 2:
+        return candidate[2]
     entity, action = candidate
     return (entity.name, repr(action))
 

@@ -100,3 +100,53 @@ class TestSchedulers:
         second = scheduler.pick(self.candidates(), 0.0)
         assert first[0].name == "a"
         assert second[0].name == "b"
+
+    def test_round_robin_wraps_around(self):
+        # After serving the lexicographically last entity, priority must
+        # wrap back to the first instead of sticking at the end.
+        scheduler = RoundRobinScheduler()
+        picked = [
+            scheduler.pick(self.candidates(), 0.0)[0].name for _ in range(5)
+        ]
+        assert picked == ["a", "b", "a", "b", "a"]
+
+    def test_round_robin_wraps_when_last_served_leaves(self):
+        # The remembered entity need not be among the candidates at all:
+        # anything <= it is skipped, then the wrap serves the head.
+        scheduler = RoundRobinScheduler()
+        scheduler._last_entity_name = "z"
+        entity, _ = scheduler.pick(self.candidates(), 0.0)
+        assert entity.name == "a"
+
+    def test_random_seed_stable_under_reordering(self):
+        # A full pick *sequence* (consuming RNG state each step) must not
+        # depend on the order the engine happens to gather candidates in.
+        def sequence(shuffle):
+            scheduler = RandomScheduler(seed=11)
+            picked = []
+            for step in range(8):
+                cands = self.candidates()
+                if shuffle:
+                    cands = list(reversed(cands))
+                entity, action = scheduler.pick(cands, 0.0)
+                picked.append((entity.name, action.name))
+            return picked
+
+        assert sequence(False) == sequence(True)
+
+    def test_interned_sort_keys_match_computed(self):
+        # The engine passes 3-tuple candidates carrying the interned
+        # (entity name, action repr) key; schedulers must order them
+        # exactly as they order bare 2-tuples.
+        bare = self.candidates()
+        interned = [
+            (entity, action, (entity.name, repr(action)))
+            for entity, action in bare
+        ]
+        det_bare = DeterministicScheduler().pick(bare, 0.0)
+        det_interned = DeterministicScheduler().pick(interned, 0.0)
+        assert det_bare[0].name == det_interned[0].name
+        assert det_bare[1] == det_interned[1]
+        rnd_bare = RandomScheduler(seed=9).pick(bare, 0.0)
+        rnd_interned = RandomScheduler(seed=9).pick(interned, 0.0)
+        assert rnd_bare[1] == rnd_interned[1]

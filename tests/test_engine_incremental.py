@@ -1,0 +1,295 @@
+"""Conformance of the incremental engine core against the full scan.
+
+``Simulator(..., incremental=True)`` (the default) runs the dirty-set /
+routing-table / deadline-heap core; ``incremental=False`` re-derives
+every entity's enabled set and deadline on every event, exactly as the
+models' operational semantics read. The two must produce byte-identical
+recorder event sequences on every seeded system in the corpus — any
+divergence means an entity broke a scheduling promise declared on
+:class:`repro.components.base.Entity` (``pure_enabled`` /
+``static_deadline`` / ``wakes_at_deadline``).
+
+Also the regression tests for the engine-loop bugs fixed alongside the
+rework: ``stop_when`` after injection delivery, and ring-recorder event
+totals.
+"""
+
+import pytest
+
+from repro.automata.actions import Action
+from repro.clocks.sources import DriftingClockSource
+from repro.components.pinger import pinger_process_factory, pinger_topology
+from repro.core.pipeline import (
+    build_clock_system,
+    build_mmt_system,
+    build_timed_system,
+)
+from repro.faults.crash import CrashableEntity, CrashSchedule
+from repro.faults.models import BernoulliFaults
+from repro.registers.system import (
+    baseline_register_system,
+    clock_register_system,
+    timed_register_system,
+)
+from repro.registers.workload import RegisterWorkload
+from repro.sim.clock_drivers import driver_factory
+from repro.sim.delay import UniformDelay
+from repro.sim.engine import Simulator
+from repro.sim.recorder import Recorder
+from repro.sim.scheduler import (
+    DeterministicScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+
+HORIZON = 30.0
+
+
+def _pinger_timed():
+    return build_timed_system(
+        pinger_topology(), pinger_process_factory(6, 1.0), 0.2, 0.6
+    )
+
+
+def _pinger_clock():
+    return build_clock_system(
+        pinger_topology(), pinger_process_factory(6, 1.0), 0.05, 0.2, 0.6,
+        driver_factory("mixed", 0.05, seed=3),
+    )
+
+
+def _pinger_mmt():
+    return build_mmt_system(
+        pinger_topology(), pinger_process_factory(6, 1.0), 0.05, 0.2, 0.6,
+        0.1, lambda i: DriftingClockSource(0.05, 1.004, 10.0),
+    )
+
+
+def _timed_register():
+    return timed_register_system(
+        n=3, d1_prime=0.2, d2_prime=1.0, c=0.3,
+        workload=RegisterWorkload(operations=5, seed=4),
+        delay_model=UniformDelay(seed=4),
+    )
+
+
+def _clock_register():
+    return clock_register_system(
+        n=3, d1=0.2, d2=1.0, c=0.3, eps=0.1,
+        workload=RegisterWorkload(operations=5, seed=5),
+        drivers=driver_factory("random", 0.1, seed=5),
+        delay_model=UniformDelay(seed=5),
+    )
+
+
+def _baseline_register():
+    return baseline_register_system(
+        n=3, d1=0.2, d2=1.0, eps=0.1,
+        workload=RegisterWorkload(operations=4, seed=6),
+        drivers=driver_factory("mixed", 0.1, seed=6),
+        delay_model=UniformDelay(seed=6),
+    )
+
+
+def _crashed_pinger():
+    spec = build_timed_system(
+        pinger_topology(), pinger_process_factory(8, 1.0), 0.2, 0.6
+    )
+    spec.entities[:] = [
+        CrashableEntity(e, CrashSchedule(4.5)) if e.name == "echo(1)" else e
+        for e in spec.entities
+    ]
+    return spec
+
+
+def _lossy_pinger():
+    return build_timed_system(
+        pinger_topology(), pinger_process_factory(8, 1.0), 0.2, 0.6,
+        fault_model=BernoulliFaults(seed=9, p_drop=0.3),
+    )
+
+
+CORPUS = [
+    ("pinger-timed", _pinger_timed),
+    ("pinger-clock", _pinger_clock),
+    ("pinger-mmt", _pinger_mmt),
+    ("register-timed", _timed_register),
+    ("register-clock", _clock_register),
+    ("register-baseline", _baseline_register),
+    ("crash", _crashed_pinger),
+    ("lossy", _lossy_pinger),
+]
+
+SCHEDULERS = [
+    ("deterministic", DeterministicScheduler),
+    ("random", lambda: RandomScheduler(seed=7)),
+    ("roundrobin", RoundRobinScheduler),
+]
+
+
+def _run(spec, incremental, scheduler, **kwargs):
+    recorder = kwargs.pop("recorder", None) or Recorder()
+    sim = Simulator(
+        spec.entities, scheduler=scheduler, hidden=spec.hidden,
+        incremental=incremental,
+    )
+    result = sim.run(HORIZON, recorder=recorder, **kwargs)
+    return recorder, result
+
+
+class TestConformance:
+    """incremental=True and incremental=False are trace-equivalent."""
+
+    @pytest.mark.parametrize("label,build", CORPUS)
+    @pytest.mark.parametrize("sched_label,make_scheduler", SCHEDULERS)
+    def test_traces_identical(self, label, build, sched_label, make_scheduler):
+        rec_inc, res_inc = _run(build(), True, make_scheduler())
+        rec_full, res_full = _run(build(), False, make_scheduler())
+        assert rec_inc.events == rec_full.events
+        assert res_inc.steps == res_full.steps
+        assert res_inc.now == res_full.now
+        assert res_inc.stats == res_full.stats
+
+    def test_traces_identical_with_injections(self):
+        injections = [
+            (Action("NOP", (99,)), 0.5),
+            (Action("NOP", (99,)), 3.25),
+            (Action("NOP", (99,)), 3.25),
+        ]
+        runs = [
+            _run(_pinger_timed(), incremental, DeterministicScheduler(),
+                 initial_inputs=injections)
+            for incremental in (True, False)
+        ]
+        assert runs[0][0].events == runs[1][0].events
+        assert runs[0][1].stats["injections"] == 3
+
+    def test_max_steps_equivalent(self):
+        spec = _pinger_timed()
+        for incremental in (True, False):
+            sim = Simulator(
+                spec.entities, hidden=spec.hidden,
+                max_steps=3, incremental=incremental,
+            )
+            from repro.errors import SimulationLimitError
+
+            with pytest.raises(SimulationLimitError):
+                sim.run(HORIZON)
+
+
+class TestStopWhenAfterInjection:
+    """Regression: stop_when used to be checked only after fired actions,
+    so an injection-only run could never early-stop."""
+
+    def _injection_only_spec(self):
+        # A system with no locally controlled actions at all: one echo
+        # node that never gets pinged. Only injections generate events.
+        return build_timed_system(
+            pinger_topology(), pinger_process_factory(0, 1.0), 0.2, 0.6
+        )
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_injection_only_run_stops(self, incremental):
+        injections = [(Action("NOP", (99,)), float(t)) for t in (1, 2, 3, 4)]
+        seen = []
+
+        def stop(recorder, now):
+            seen.append(now)
+            return any(e.now >= 2.0 for e in recorder.events)
+
+        spec = self._injection_only_spec()
+        sim = Simulator(
+            spec.entities, hidden=spec.hidden, incremental=incremental
+        )
+        result = sim.run(10.0, initial_inputs=injections, stop_when=stop)
+        assert result.now == 2.0
+        assert not result.completed()
+        assert len(result.recorder) == 2  # injections at 1.0 and 2.0 only
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_stop_not_called_without_events(self, incremental):
+        calls = []
+
+        def stop(recorder, now):
+            calls.append(now)
+            return False
+
+        spec = self._injection_only_spec()
+        sim = Simulator(
+            spec.entities, hidden=spec.hidden, incremental=incremental
+        )
+        result = sim.run(5.0, stop_when=stop)
+        assert result.completed()
+        assert calls == []  # no actions, no injections -> never consulted
+
+
+class TestRingRecorderTotals:
+    """Regression: summary()/gauges under-reported ring-mode totals."""
+
+    def _ring_run(self):
+        ring = Recorder(max_events=10, on_overflow="ring")
+        spec = _pinger_timed()
+        sim = Simulator(spec.entities, hidden=spec.hidden)
+        result = sim.run(HORIZON, recorder=ring)
+        return ring, result
+
+    def test_summary_counts_dropped(self):
+        ring, result = self._ring_run()
+        assert ring.dropped > 0  # the premise: the ring actually wrapped
+        summary = result.summary()
+        assert summary["events"] == len(ring) + ring.dropped
+        assert summary["events_retained"] == len(ring) == 10
+        assert summary["events_dropped"] == ring.dropped
+
+    def test_gauges_count_dropped(self):
+        ring, result = self._ring_run()
+        gauges = result.metrics["gauges"]
+        total = float(len(ring) + ring.dropped)
+        assert gauges["repro.recorder.events"] == total
+        assert gauges["repro.recorder.events_total"] == total
+        assert gauges["repro.recorder.events_retained"] == float(len(ring))
+        assert gauges["repro.recorder.dropped"] == float(ring.dropped)
+
+    def test_unbounded_recorder_unchanged(self):
+        spec = _pinger_timed()
+        sim = Simulator(spec.entities, hidden=spec.hidden)
+        result = sim.run(HORIZON)
+        summary = result.summary()
+        assert summary["events"] == summary["events_retained"]
+        assert summary["events_dropped"] == 0
+
+
+class TestRoutingTable:
+    """The routing prefilter must be a pure over-approximation."""
+
+    def test_custom_accepts_still_probed(self):
+        # An entity that overrides accepts() beyond its signature must
+        # keep receiving every routed action (wildcard routing).
+        from repro.automata.signature import Signature
+        from repro.components.base import Entity
+
+        received = []
+
+        class Sniffer(Entity):
+            def __init__(self):
+                super().__init__("sniffer", Signature())
+
+            def accepts(self, action):
+                return True
+
+            def initial_state(self):
+                return None
+
+            def apply_input(self, state, action, now):
+                received.append(action.name)
+
+            def enabled(self, state, now):
+                return []
+
+        spec = _pinger_timed()
+        sim = Simulator(
+            spec.entities + [Sniffer()], hidden=spec.hidden, incremental=True
+        )
+        sim.run(5.0)
+        assert "SENDMSG" in received
+        assert "RECVMSG" in received

@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Validate ``BENCH_engine.json`` and gate speedup regressions.
+
+Usage::
+
+    python tools/validate_bench.py BENCH_engine.json
+    python tools/validate_bench.py /tmp/fresh.json --baseline BENCH_engine.json
+    python tools/validate_bench.py BENCH_engine.json --require-speedup 3.0 --at-n 32
+
+Checks, in order:
+
+1. **Schema** — the file is a ``repro-bench-engine`` document whose every
+   result record carries pipeline/n/steps, per-mode ``steps_per_sec`` /
+   ``wall_s`` / ``allocs_per_step``, a ``speedup``, and
+   ``traces_identical``.
+2. **Conformance** — ``traces_identical`` must be true in every cell:
+   the incremental engine is only a valid optimization while it is
+   byte-for-byte the reference semantics.
+3. **Speedup floor** (``--require-speedup X --at-n N``, both optional) —
+   every pipeline's cell at n=N must show ``speedup >= X``.
+4. **Regression vs baseline** (``--baseline PATH``) — for each
+   (pipeline, n) present in both files, the fresh *speedup ratio* must
+   be at least 80% of the baseline's (``--tolerance`` to adjust).
+   Ratios, not absolute steps/sec, are compared because CI hardware
+   differs from the machine that produced the checked-in baseline; the
+   incremental-over-full ratio on one machine is the portable measure
+   of whether the incremental path regressed.
+
+Exits 0 when all checks pass, 1 on failures (printed one per line),
+2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_MODE_KEYS = ("steps_per_sec", "wall_s", "allocs_per_step")
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle), []
+    except (OSError, ValueError) as exc:
+        return None, [f"{path}: unreadable: {exc}"]
+
+
+def check_schema(doc, path):
+    problems = []
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object"]
+    if doc.get("format") != "repro-bench-engine":
+        problems.append(f"{path}: format must be 'repro-bench-engine'")
+    if not isinstance(doc.get("version"), int):
+        problems.append(f"{path}: version must be an integer")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        return problems + [f"{path}: results must be a non-empty list"]
+    for i, record in enumerate(results):
+        where = f"{path}: results[{i}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        if not isinstance(record.get("pipeline"), str):
+            problems.append(f"{where}: missing pipeline")
+        if not isinstance(record.get("n"), int) or record.get("n", 0) <= 0:
+            problems.append(f"{where}: n must be a positive integer")
+        if not isinstance(record.get("steps"), int) or record.get("steps", 0) <= 0:
+            problems.append(f"{where}: steps must be a positive integer")
+        if not isinstance(record.get("traces_identical"), bool):
+            problems.append(f"{where}: missing traces_identical")
+        speedup = record.get("speedup")
+        if not isinstance(speedup, (int, float)) or speedup <= 0:
+            problems.append(f"{where}: speedup must be a positive number")
+        for mode in ("incremental", "full"):
+            cell = record.get(mode)
+            if not isinstance(cell, dict):
+                problems.append(f"{where}: missing {mode} object")
+                continue
+            for key in REQUIRED_MODE_KEYS:
+                value = cell.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"{where}: {mode}.{key} must be a non-negative number"
+                    )
+    return problems
+
+
+def check_conformance(doc, path):
+    return [
+        f"{path}: {r['pipeline']} n={r['n']}: traces diverge between "
+        f"incremental and full modes"
+        for r in doc["results"]
+        if r.get("traces_identical") is not True
+    ]
+
+
+def check_speedup_floor(doc, path, floor, at_n):
+    problems = []
+    cells = [r for r in doc["results"] if r.get("n") == at_n]
+    if not cells:
+        return [f"{path}: no results at n={at_n} to check the speedup floor"]
+    for r in cells:
+        if r.get("speedup", 0) < floor:
+            problems.append(
+                f"{path}: {r['pipeline']} n={r['n']}: speedup "
+                f"{r['speedup']:.2f}x below required {floor:g}x"
+            )
+    return problems
+
+
+def check_regression(doc, baseline, path, base_path, tolerance):
+    problems = []
+    base_by_cell = {
+        (r["pipeline"], r["n"]): r.get("speedup", 0)
+        for r in baseline["results"]
+    }
+    compared = 0
+    for r in doc["results"]:
+        key = (r.get("pipeline"), r.get("n"))
+        base = base_by_cell.get(key)
+        if base is None or base <= 0:
+            continue
+        compared += 1
+        floor = base * (1.0 - tolerance)
+        if r.get("speedup", 0) < floor:
+            problems.append(
+                f"{path}: {key[0]} n={key[1]}: speedup {r['speedup']:.2f}x "
+                f"regressed more than {tolerance:.0%} from baseline "
+                f"{base:.2f}x ({base_path})"
+            )
+    if compared == 0:
+        problems.append(
+            f"{path}: no (pipeline, n) cells in common with {base_path}"
+        )
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench", help="BENCH_engine.json to validate")
+    parser.add_argument(
+        "--baseline",
+        help="checked-in BENCH_engine.json to compare speedup ratios against",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional speedup regression vs baseline (default 0.20)",
+    )
+    parser.add_argument(
+        "--require-speedup", type=float, default=None,
+        help="minimum speedup every pipeline must reach at --at-n",
+    )
+    parser.add_argument(
+        "--at-n", type=int, default=32,
+        help="system size the --require-speedup floor applies to (default 32)",
+    )
+    args = parser.parse_args(argv)
+
+    doc, problems = load(args.bench)
+    if doc is not None:
+        problems += check_schema(doc, args.bench)
+    if not problems:
+        problems += check_conformance(doc, args.bench)
+        if args.require_speedup is not None:
+            problems += check_speedup_floor(
+                doc, args.bench, args.require_speedup, args.at_n
+            )
+        if args.baseline:
+            base, base_problems = load(args.baseline)
+            if base is not None:
+                base_problems += check_schema(base, args.baseline)
+            problems += base_problems
+            if not base_problems:
+                problems += check_regression(
+                    doc, base, args.bench, args.baseline, args.tolerance
+                )
+    if problems:
+        for problem in problems:
+            print(problem)
+        return 1
+    print(f"{args.bench}: OK ({len(doc['results'])} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
