@@ -29,10 +29,17 @@ DRIVER_KINDS = ("perfect", "fast", "slow", "mixed", "random", "drift")
 
 @dataclass(frozen=True)
 class AdversaryChoice:
-    """One point in the adversary grid (fully determines a run)."""
+    """One point in the adversary grid (fully determines a run).
+
+    ``plan_seed`` is the scripted-fault axis: when set, the adversary
+    also carries a seeded random :class:`~repro.chaos.plan.FaultPlan`
+    (crashes, partitions, eps-violating clock windows) to lower onto
+    the system under test via :meth:`plan`; ``None`` means fault-free.
+    """
 
     seed: int
     driver_kind: str
+    plan_seed: Optional[int] = None
 
     def drivers(self, eps: float):
         """A per-node driver factory for this adversary."""
@@ -46,8 +53,24 @@ class AdversaryChoice:
         """The seeded scheduler for this adversary."""
         return RandomScheduler(seed=self.seed)
 
+    def plan(self, n_nodes: int, edges, horizon: float, eps: float = 0.1):
+        """The adversary's fault plan, or ``None`` when fault-free.
+
+        A pure function of ``plan_seed`` and the topology, so a fuzz
+        run with faults is exactly as replayable as one without.
+        """
+        if self.plan_seed is None:
+            return None
+        from repro.chaos.plan import FaultPlan
+
+        return FaultPlan.random(
+            self.plan_seed, n_nodes=n_nodes, edges=edges, horizon=horizon,
+            eps=eps,
+        )
+
     def __repr__(self) -> str:
-        return f"Adversary(seed={self.seed}, driver={self.driver_kind})"
+        plan = f", plan_seed={self.plan_seed}" if self.plan_seed is not None else ""
+        return f"Adversary(seed={self.seed}, driver={self.driver_kind}{plan})"
 
 
 @dataclass(frozen=True)
@@ -94,12 +117,20 @@ class FuzzReport:
 def adversary_grid(
     seeds: Iterable[int],
     driver_kinds: Sequence[str] = DRIVER_KINDS,
+    plan_seeds: Sequence[Optional[int]] = (None,),
 ) -> List[AdversaryChoice]:
-    """The cross product of seeds and driver kinds."""
+    """The cross product of seeds, driver kinds, and fault-plan seeds.
+
+    The default ``plan_seeds=(None,)`` keeps the grid fault-free and
+    identical to the historical two-axis grid; pass integers to add
+    scripted-fault adversaries (``None`` may be kept in the list to
+    retain the fault-free baseline).
+    """
     return [
-        AdversaryChoice(seed, kind)
+        AdversaryChoice(seed, kind, plan_seed)
         for seed in seeds
         for kind in driver_kinds
+        for plan_seed in plan_seeds
     ]
 
 

@@ -29,8 +29,7 @@ from repro.core.pipeline import SystemSpec, build_clock_system, build_timed_syst
 from repro.errors import SpecificationError, TransitionError
 from repro.network.topology import Topology
 
-INFINITY = float("inf")
-_TOLERANCE = 1e-9
+from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
 
 
 @dataclass

@@ -42,6 +42,7 @@ AXES: Tuple[str, ...] = (
     "read_fraction",
     "fault",
     "p_drop",
+    "plan_seed",
     "seed",
 )
 """Canonical axis order; every grid point lists its config in this order."""
@@ -58,6 +59,7 @@ DEFAULTS: Dict[str, object] = {
     "read_fraction": 0.5,
     "fault": "none",
     "p_drop": 0.2,
+    "plan_seed": 0,
     "seed": 0,
 }
 """Default value of every axis not swept (one register experiment)."""
@@ -70,7 +72,7 @@ RUN_DEFAULTS: Dict[str, float] = {
 """Fixed (non-swept) run parameters and their defaults."""
 
 MODELS = ("clock", "timed", "baseline", "mmt")
-FAULTS = ("none", "lossy")
+FAULTS = ("none", "lossy", "plan")
 DRIVERS = ("perfect", "fast", "slow", "mixed", "random", "drift", "sawtooth")
 
 

@@ -96,6 +96,14 @@ def _build_system(config: Dict, run: Dict):
             n, d1, d2, c, eps, float(config["p_drop"]), delta, workload,
             drivers, delay,
         )
+    if fault == "plan":
+        spec = clock_register_system(
+            n=n, d1=d1, d2=d2, c=c, eps=eps, workload=workload,
+            drivers=drivers, delta=delta, delay_model=delay,
+        )
+        return _with_random_plan(
+            spec, n, eps, int(config["plan_seed"]), float(run["horizon"])
+        )
     if model == "clock":
         return clock_register_system(
             n=n, d1=d1, d2=d2, c=c, eps=eps, workload=workload,
@@ -128,6 +136,22 @@ def _build_system(config: Dict, run: Dict):
             delay_model=delay,
         )
     raise CampaignError(f"unknown model {model!r}")
+
+
+def _with_random_plan(spec, n, eps, plan_seed, horizon):
+    """``spec`` under a seeded random fault plan (the chaos sweep axis).
+
+    The plan is a pure function of ``plan_seed`` and the topology, so a
+    chaos point stays deterministic and byte-identical across workers.
+    """
+    from repro.chaos import FaultPlan
+    from repro.chaos.apply import apply_plan
+
+    edges = [(i, j) for i in range(n) for j in range(n) if i != j]
+    plan = FaultPlan.random(
+        plan_seed, n_nodes=n, edges=edges, horizon=horizon, eps=eps
+    )
+    return apply_plan(spec, plan)
 
 
 def _lossy_clock_system(

@@ -1,0 +1,499 @@
+"""Declarative fault plans: a scripted timeline of fault events.
+
+A :class:`FaultPlan` is data, not code — a list of :class:`FaultEvent`
+records (crash, recover, partition, heal, clock_fault, drop_burst) on a
+real-time axis, loadable from JSON or TOML and applicable to any built
+:class:`~repro.core.pipeline.SystemSpec`
+(:func:`repro.chaos.apply.apply_plan`). Keeping the plan declarative is
+what makes the rest of the chaos toolkit possible: plans can be
+generated from a seed (:meth:`FaultPlan.random`), minimized by delta
+debugging (:mod:`repro.chaos.shrink`), and *attributed* — a safety
+violation at time ``t`` maps back to the plan event whose effect
+interval covers ``t`` (:meth:`FaultPlan.attribute`).
+
+Validation is deliberately **lenient** by default: a ``recover`` without
+a preceding ``crash``, or a ``heal`` without an open partition, is a
+no-op rather than an error. The shrinker removes arbitrary subsets of
+events, and every subset of a valid plan must remain a valid plan for
+delta debugging to work. ``validate(strict=True)`` enforces pairing for
+hand-written plans.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
+from repro.errors import SpecificationError
+from repro.faults.partition import (
+    DropWindow,
+    EdgeDropWindow,
+    PartitionWindow,
+)
+from repro.faults.recovery import RecoverySchedule
+from repro.sim.clock_drivers import ClockFaultWindow
+
+Edge = Tuple[int, int]
+
+KINDS = ("crash", "recover", "partition", "heal", "clock_fault", "drop_burst")
+
+# How long an event's *effects* can outlive its window, for attribution:
+# a clock fault's skew decays only as real time catches up (~|excess|); a
+# dropped message surfaces as a detector timeout one period+timeout
+# later. Attribution uses the event window stretched by this slack, then
+# falls back to the most recent past event, so a violation in a
+# non-empty plan is always attributed to *something*.
+_EFFECT_SLACK = 1.0
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted fault. ``t`` is the instant (or window start)."""
+
+    kind: str
+    t: float
+    end: float = INFINITY
+    node: Optional[int] = None
+    edge: Optional[Edge] = None
+    groups: Optional[Tuple[Tuple[int, ...], ...]] = None
+    excess: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise SpecificationError(f"unknown fault kind {self.kind!r}")
+        if self.t < 0:
+            raise SpecificationError(f"{self.kind}: negative time {self.t:g}")
+        if self.kind in ("crash", "recover", "clock_fault") and self.node is None:
+            raise SpecificationError(f"{self.kind}: needs a node")
+        if self.kind == "clock_fault":
+            if self.end <= self.t:
+                raise SpecificationError("clock_fault: empty window")
+            if self.excess == 0:
+                raise SpecificationError("clock_fault: excess must be non-zero")
+        if self.kind == "drop_burst":
+            if self.edge is None:
+                raise SpecificationError("drop_burst: needs an edge")
+            if self.end <= self.t:
+                raise SpecificationError("drop_burst: empty window")
+        if self.kind == "partition" and not self.groups:
+            raise SpecificationError("partition: needs node groups")
+
+    def describe(self) -> str:
+        """One human-readable line, e.g. ``crash(node=0, t=17)``."""
+        if self.kind == "crash":
+            return f"crash(node={self.node}, t={self.t:g})"
+        if self.kind == "recover":
+            return f"recover(node={self.node}, t={self.t:g})"
+        if self.kind == "partition":
+            groups = "|".join(
+                ",".join(str(n) for n in g) for g in (self.groups or ())
+            )
+            return f"partition([{groups}], t={self.t:g})"
+        if self.kind == "heal":
+            return f"heal(t={self.t:g})"
+        if self.kind == "clock_fault":
+            return (
+                f"clock_fault(node={self.node}, t=[{self.t:g},{self.end:g}), "
+                f"excess={self.excess:+g})"
+            )
+        return f"drop_burst(edge={self.edge}, t=[{self.t:g},{self.end:g}))"
+
+    def to_dict(self) -> dict:
+        """The event as plain JSON-ready data (omits defaulted fields)."""
+        payload: dict = {"kind": self.kind, "t": self.t}
+        if self.end != INFINITY:
+            payload["end"] = self.end
+        if self.node is not None:
+            payload["node"] = self.node
+        if self.edge is not None:
+            payload["edge"] = list(self.edge)
+        if self.groups is not None:
+            payload["groups"] = [list(g) for g in self.groups]
+        if self.excess:
+            payload["excess"] = self.excess
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultEvent":
+        unknown = set(payload) - {
+            "kind", "t", "end", "node", "edge", "groups", "excess"
+        }
+        if unknown:
+            raise SpecificationError(
+                f"unknown fault event fields: {sorted(unknown)}"
+            )
+        edge = payload.get("edge")
+        groups = payload.get("groups")
+        return cls(
+            kind=payload.get("kind", "?"),
+            t=float(payload.get("t", -1.0)),
+            end=float(payload.get("end", INFINITY)),
+            node=payload.get("node"),
+            edge=tuple(edge) if edge is not None else None,
+            groups=tuple(tuple(g) for g in groups) if groups is not None else None,
+            excess=float(payload.get("excess", 0.0)),
+        )
+
+
+# -- constructors (the scripting vocabulary) -------------------------------
+
+def crash(node: int, t: float) -> FaultEvent:
+    """Node goes down at ``t`` (until a later ``recover``, else forever)."""
+    return FaultEvent("crash", t, node=node)
+
+
+def recover(node: int, t: float) -> FaultEvent:
+    """Node comes back at ``t`` (no-op without a preceding crash)."""
+    return FaultEvent("recover", t, node=node)
+
+
+def partition(groups: Sequence[Sequence[int]], t: float) -> FaultEvent:
+    """Partition the network into groups at ``t`` (until the next heal)."""
+    return FaultEvent(
+        "partition", t, groups=tuple(tuple(g) for g in groups)
+    )
+
+
+def heal(t: float) -> FaultEvent:
+    """Close the open partition at ``t`` (no-op if none is open)."""
+    return FaultEvent("heal", t)
+
+
+def clock_fault(node: int, t0: float, t1: float, excess: float) -> FaultEvent:
+    """Drive ``|now - clock|`` beyond ``eps`` by up to ``|excess|`` in
+    ``[t0, t1)`` — positive excess runs the clock fast, negative slow."""
+    return FaultEvent("clock_fault", t0, end=t1, node=node, excess=excess)
+
+
+def drop_burst(edge: Edge, t0: float, t1: float) -> FaultEvent:
+    """The directed edge drops every message during ``[t0, t1)``."""
+    return FaultEvent("drop_burst", t0, end=t1, edge=tuple(edge))
+
+
+# -- the plan ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """The plan lowered onto the fault-injection mechanisms."""
+
+    recovery: Dict[int, RecoverySchedule]
+    clock_windows: Dict[int, Tuple[ClockFaultWindow, ...]]
+    drop_windows: Tuple[DropWindow, ...]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, ordered timeline of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    name: str = "plan"
+
+    @classmethod
+    def of(cls, events: Sequence[FaultEvent], name: str = "plan") -> "FaultPlan":
+        return cls(tuple(events), name)
+
+    def with_events(self, events: Sequence[FaultEvent]) -> "FaultPlan":
+        """A copy of the plan with its event list replaced (ddmin step)."""
+        return replace(self, events=tuple(events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self, strict: bool = False) -> "FaultPlan":
+        """Check the plan; returns self for chaining.
+
+        Lenient mode (default) only checks per-event field validity —
+        already enforced at construction — plus overlapping crash
+        windows per node. Strict mode additionally requires pairing:
+        every ``recover`` follows a ``crash`` on the same node, every
+        ``heal`` follows an open ``partition``.
+        """
+        self.compile()  # raises on per-node window overlap
+        if not strict:
+            return self
+        down: Dict[int, bool] = {}
+        open_partition = False
+        for event in sorted(self.events, key=lambda e: (e.t, KINDS.index(e.kind))):
+            if event.kind == "crash":
+                if down.get(event.node):
+                    raise SpecificationError(
+                        f"strict plan: node {event.node} crashes while down"
+                    )
+                down[event.node] = True
+            elif event.kind == "recover":
+                if not down.get(event.node):
+                    raise SpecificationError(
+                        f"strict plan: recover(node={event.node}, "
+                        f"t={event.t:g}) without a preceding crash"
+                    )
+                down[event.node] = False
+            elif event.kind == "partition":
+                if open_partition:
+                    raise SpecificationError(
+                        "strict plan: partition while one is already open"
+                    )
+                open_partition = True
+            elif event.kind == "heal":
+                if not open_partition:
+                    raise SpecificationError(
+                        f"strict plan: heal(t={event.t:g}) without an "
+                        "open partition"
+                    )
+                open_partition = False
+        return self
+
+    # -- lowering -----------------------------------------------------------
+
+    def compile(self) -> CompiledPlan:
+        """Lower the plan onto schedules and windows (lenient pairing)."""
+        ordered = sorted(
+            enumerate(self.events), key=lambda pair: (pair[1].t, pair[0])
+        )
+        crash_open: Dict[int, float] = {}
+        recovery_windows: Dict[int, List[Tuple[float, float]]] = {}
+        clock_windows: Dict[int, List[ClockFaultWindow]] = {}
+        drop_windows: List[DropWindow] = []
+        open_partition: Optional[Tuple[float, Tuple[Tuple[int, ...], ...]]] = None
+
+        def close_partition(at: float) -> None:
+            nonlocal open_partition
+            if open_partition is None:
+                return
+            start, groups = open_partition
+            if at > start + _TOLERANCE:
+                drop_windows.append(
+                    PartitionWindow(start=start, end=at, groups=groups)
+                )
+            open_partition = None
+
+        for _, event in ordered:
+            if event.kind == "crash":
+                if event.node not in crash_open:
+                    crash_open[event.node] = event.t
+            elif event.kind == "recover":
+                start = crash_open.pop(event.node, None)
+                if start is not None and event.t > start + _TOLERANCE:
+                    recovery_windows.setdefault(event.node, []).append(
+                        (start, event.t)
+                    )
+            elif event.kind == "partition":
+                close_partition(event.t)
+                open_partition = (event.t, event.groups)
+            elif event.kind == "heal":
+                close_partition(event.t)
+            elif event.kind == "clock_fault":
+                clock_windows.setdefault(event.node, []).append(
+                    ClockFaultWindow(event.t, event.end, event.excess)
+                )
+            elif event.kind == "drop_burst":
+                drop_windows.append(
+                    EdgeDropWindow(
+                        start=event.t, end=event.end, edge=tuple(event.edge)
+                    )
+                )
+        for node, start in crash_open.items():
+            recovery_windows.setdefault(node, []).append((start, INFINITY))
+        close_partition(INFINITY)
+        return CompiledPlan(
+            recovery={
+                node: RecoverySchedule.of(windows)
+                for node, windows in recovery_windows.items()
+            },
+            clock_windows={
+                node: tuple(windows)
+                for node, windows in clock_windows.items()
+            },
+            drop_windows=tuple(drop_windows),
+        )
+
+    # -- attribution ---------------------------------------------------------
+
+    def _effect_interval(self, index: int) -> Tuple[float, float]:
+        event = self.events[index]
+        if event.kind == "crash":
+            end = INFINITY
+            for other in self.events:
+                if (
+                    other.kind == "recover"
+                    and other.node == event.node
+                    and other.t > event.t
+                ):
+                    end = min(end, other.t)
+            return (event.t, end if end == INFINITY else end + _EFFECT_SLACK)
+        if event.kind == "partition":
+            end = INFINITY
+            for other in self.events:
+                if other.kind == "heal" and other.t > event.t:
+                    end = min(end, other.t)
+            return (event.t, end if end == INFINITY else end + _EFFECT_SLACK)
+        if event.kind in ("clock_fault", "drop_burst"):
+            slack = max(abs(event.excess), _EFFECT_SLACK)
+            return (event.t, event.end + slack)
+        return (event.t, event.t + _EFFECT_SLACK)  # recover / heal
+
+    def active_events(self, now: float) -> List[FaultEvent]:
+        """Events whose effect interval covers real time ``now``."""
+        out = []
+        for index, event in enumerate(self.events):
+            lo, hi = self._effect_interval(index)
+            if lo - _TOLERANCE <= now < hi + _TOLERANCE:
+                out.append(event)
+        return out
+
+    def attribute(
+        self,
+        time: float,
+        node: Optional[int] = None,
+        edge: Optional[Edge] = None,
+    ) -> Tuple[Optional[FaultEvent], Optional[int]]:
+        """The plan event most plausibly responsible for a violation.
+
+        Scores every event: being active at the violation time dominates,
+        then locality — a matching node, or an edge whose endpoint the
+        event touches. Ties break toward the *earliest* matching event
+        (the first cause). Falls back to the most recent past event, so
+        a violation under a non-empty plan always gets an attribution.
+        """
+        candidates: List[Tuple[int, float, int]] = []  # (-score, t, index)
+        for index, event in enumerate(self.events):
+            lo, hi = self._effect_interval(index)
+            score = 0
+            if lo - _TOLERANCE <= time < hi + _TOLERANCE:
+                score += 4
+            touched = set()
+            if event.node is not None:
+                touched.add(event.node)
+            if event.edge is not None:
+                touched.update(event.edge)
+            if event.groups is not None:
+                for group in event.groups:
+                    touched.update(group)
+            if node is not None and node in touched:
+                score += 2
+            if edge is not None and touched.intersection(edge):
+                score += 2
+            if score > 0:
+                candidates.append((-score, event.t, index))
+        if candidates:
+            _, _, index = min(candidates)
+            return self.events[index], index
+        # fallback: most recent event at or before the violation
+        past = [
+            (event.t, index)
+            for index, event in enumerate(self.events)
+            if event.t <= time + _TOLERANCE
+        ]
+        if past:
+            _, index = max(past)
+            return self.events[index], index
+        if self.events:
+            return self.events[0], 0
+        return None, None
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The plan as plain data (the versioned file format)."""
+        return {
+            "format": "repro-fault-plan",
+            "version": 1,
+            "name": self.name,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        if payload.get("format", "repro-fault-plan") != "repro-fault-plan":
+            raise SpecificationError(f"not a fault plan: {payload.get('format')!r}")
+        if payload.get("version", 1) != 1:
+            raise SpecificationError(
+                f"unsupported fault plan version {payload.get('version')!r}"
+            )
+        events = [FaultEvent.from_dict(e) for e in payload.get("events", [])]
+        return cls(tuple(events), payload.get("name", "plan"))
+
+    def dumps(self) -> str:
+        """The plan serialized to stable, diff-friendly JSON."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        """Write the plan to ``path`` as JSON (see :meth:`load`)."""
+        with open(path, "w") as handle:
+            handle.write(self.dumps())
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Load a plan from JSON, or TOML when the path ends ``.toml``."""
+        if path.endswith(".toml"):
+            import tomllib
+
+            with open(path, "rb") as handle:
+                return cls.from_dict(tomllib.load(handle))
+        with open(path) as handle:
+            return cls.loads(handle.read())
+
+    # -- randomized plans ------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_nodes: int,
+        edges: Sequence[Edge],
+        horizon: float,
+        n_events: int = 4,
+        eps: float = 0.1,
+    ) -> "FaultPlan":
+        """A seeded random plan over the given system shape.
+
+        Crash and partition events come paired with their recover/heal
+        (the interesting transient-fault regime); windows land inside
+        the horizon. Deterministic for a fixed seed.
+        """
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+        kinds = ["crash", "clock_fault", "drop_burst"]
+        if n_nodes >= 2:
+            kinds.append("partition")
+        while len(events) < n_events:
+            kind = rng.choice(kinds)
+            t0 = round(rng.uniform(0.05, 0.7) * horizon, 3)
+            t1 = round(min(t0 + rng.uniform(0.05, 0.25) * horizon, horizon), 3)
+            if t1 <= t0:
+                continue
+            if kind == "crash":
+                node = rng.randrange(n_nodes)
+                events.append(crash(node, t0))
+                events.append(recover(node, t1))
+            elif kind == "clock_fault":
+                node = rng.randrange(n_nodes)
+                excess = round(rng.choice([-1.0, 1.0]) * rng.uniform(2.0, 10.0) * eps, 3)
+                events.append(clock_fault(node, t0, t1, excess))
+            elif kind == "drop_burst" and edges:
+                edge = edges[rng.randrange(len(edges))]
+                events.append(drop_burst(tuple(edge), t0, t1))
+            elif kind == "partition":
+                nodes = list(range(n_nodes))
+                rng.shuffle(nodes)
+                cut = rng.randrange(1, n_nodes)
+                groups = (tuple(sorted(nodes[:cut])), tuple(sorted(nodes[cut:])))
+                events.append(partition(groups, t0))
+                events.append(heal(t1))
+        plan = cls(tuple(events[:max(n_events, 1)]), name=f"random-{seed}")
+        try:
+            plan.compile()
+        except SpecificationError:
+            # overlapping crash windows on one node — thin them out
+            return cls.random(seed + 104729, n_nodes, edges, horizon,
+                              n_events, eps)
+        return plan

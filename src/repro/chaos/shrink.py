@@ -1,0 +1,115 @@
+"""Delta-debugging a violating fault plan down to a smallest witness.
+
+Zeller's *ddmin* over the plan's event list: repeatedly try removing
+chunks (and keeping only chunks) of events, re-running the system each
+time, keeping any subset that still violates. The result is
+**1-minimal**: removing any single remaining event makes the violation
+disappear. For the common "one fault, several red herrings" plan the
+witness is a single event — the one the monitors attributed all along.
+
+This is why :meth:`~repro.chaos.plan.FaultPlan.validate` is lenient:
+ddmin removes *arbitrary* subsets, so a ``recover`` may lose its
+``crash`` or a ``heal`` its ``partition`` mid-shrink; both degrade to
+no-ops instead of invalidating the candidate.
+
+The oracle is any ``plan -> bool`` callable ("does this plan still
+produce a violation?"); :func:`repro.chaos.runner.violation_oracle`
+builds one from a system builder. Oracles must be deterministic — with
+a fixed seed every re-execution of a candidate gives the same verdict,
+so the shrink itself is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.chaos.plan import FaultEvent, FaultPlan
+from repro.errors import SpecificationError
+
+Oracle = Callable[[FaultPlan], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink: the witness plan plus search statistics."""
+
+    plan: FaultPlan
+    original_size: int
+    tests: int
+    removed: int
+
+    @property
+    def witness(self) -> FaultPlan:
+        return self.plan
+
+
+def _still_violates(oracle: Oracle, plan: FaultPlan) -> bool:
+    try:
+        return bool(oracle(plan))
+    except SpecificationError:
+        # a subset that does not even compile cannot be a witness
+        return False
+
+
+def shrink_plan(
+    plan: FaultPlan,
+    oracle: Oracle,
+    log: Optional[Callable[[str], None]] = None,
+) -> ShrinkResult:
+    """Minimize ``plan`` to a 1-minimal violating witness via ddmin.
+
+    ``oracle(candidate)`` returns True when the candidate plan still
+    triggers the violation. The full plan must itself violate (checked
+    first); otherwise a :class:`SpecificationError` is raised.
+    """
+    tests = 0
+
+    def check(events: List[FaultEvent]) -> bool:
+        nonlocal tests
+        tests += 1
+        candidate = plan.with_events(events)
+        verdict = _still_violates(oracle, candidate)
+        if log is not None:
+            log(f"shrink: |plan|={len(events)} -> {'FAIL' if verdict else 'pass'}")
+        return verdict
+
+    events = list(plan.events)
+    if not check(events):
+        raise SpecificationError(
+            f"plan {plan.name!r} does not violate; nothing to shrink"
+        )
+    n = 2
+    while len(events) >= 2:
+        chunk = max(len(events) // n, 1)
+        reduced = False
+        # try each complement (remove one chunk)...
+        for start in range(0, len(events), chunk):
+            candidate = events[:start] + events[start + chunk:]
+            if candidate and check(candidate):
+                events = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        else:
+            # ...then each chunk alone (keep one chunk)
+            if n > 2:
+                for start in range(0, len(events), chunk):
+                    candidate = events[start: start + chunk]
+                    if candidate and len(candidate) < len(events) and check(candidate):
+                        events = candidate
+                        n = 2
+                        reduced = True
+                        break
+        if not reduced:
+            if n >= len(events):
+                break
+            n = min(len(events), n * 2)
+    witness = plan.with_events(events)
+    witness = FaultPlan(witness.events, name=f"{plan.name}-witness")
+    return ShrinkResult(
+        plan=witness,
+        original_size=len(plan.events),
+        tests=tests,
+        removed=len(plan.events) - len(events),
+    )

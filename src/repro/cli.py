@@ -21,6 +21,11 @@ Commands:
     Run a parameter-sweep campaign over the register experiments —
     grid from flags or a spec file, sharded across worker processes,
     checkpointed and resumable, aggregated to JSONL + CSV.
+``chaos``
+    Run a scripted fault plan (from a file, a seed, or the built-in
+    demo) against the heartbeat detector under online safety monitors;
+    optionally shrink the plan to a smallest witness and check that the
+    run is trace-identical across both engine cores.
 
 Every command is seeded and deterministic; exit status is non-zero when
 a correctness check fails, so the CLI doubles as a smoke harness.
@@ -328,6 +333,7 @@ _AXIS_FLAGS = (
     ("read_fraction", "read_fraction", float),
     ("fault", "fault", str),
     ("p_drop", "p_drop", float),
+    ("plan_seed", "plan_seed", int),
 )
 
 
@@ -399,6 +405,63 @@ def _sweep(args) -> int:
     for failure in payload["failures"]:
         print(f"FAILED point {failure['index']}: {failure['error']}")
     return 0 if summary["failed"] == 0 else 1
+
+
+def _chaos(args) -> int:
+    from repro.chaos import (
+        FaultPlan,
+        conformance_check,
+        demo_builder,
+        demo_monitors,
+        demo_plan,
+        run_chaos,
+        shrink_chaos,
+    )
+    from repro.chaos.runner import DEMO_HORIZON
+
+    horizon = args.horizon if args.horizon is not None else DEMO_HORIZON
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+    elif args.random_seed is not None:
+        plan = FaultPlan.random(
+            args.random_seed, n_nodes=2, edges=[(0, 1)], horizon=horizon
+        )
+    else:
+        plan = demo_plan()
+    metrics, tracer = _obs(args)
+    outcome = run_chaos(
+        demo_builder, plan, horizon, monitors_factory=demo_monitors,
+        incremental=not args.full_scan, metrics=metrics, tracer=tracer,
+    )
+    _finish_obs(args, metrics, tracer)
+    print(f"plan {plan.name!r}: {len(plan)} event(s), horizon {horizon:g}")
+    for event in plan.events:
+        print(f"  {event.describe()}")
+    print(f"violations: {len(outcome.violations)}")
+    for violation in outcome.violations:
+        print(f"  {violation.describe()}")
+    first = outcome.first_violation
+    if first is not None and first.event is not None:
+        print(f"attributed: {first.event.describe()} (event {first.event_index})")
+    if args.conformance:
+        conformance_check(
+            demo_builder, plan, horizon, monitors_factory=demo_monitors
+        )
+        print("conformance: engine cores trace-identical")
+    if args.shrink and outcome.violated:
+        shrunk = shrink_chaos(
+            demo_builder, plan, horizon, demo_monitors,
+            match_kind=first.kind if first is not None else None,
+        )
+        print(f"witness: {len(shrunk.plan)} event(s) "
+              f"(from {shrunk.original_size}, {shrunk.tests} oracle runs)")
+        for event in shrunk.plan.events:
+            print(f"  {event.describe()}")
+    if args.expect == "violation":
+        return 0 if outcome.violated else 1
+    if args.expect == "clean":
+        return 1 if outcome.violated else 0
+    return 0
 
 
 def _report(args) -> int:
@@ -538,6 +601,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos-crash", type=int, default=0, metavar="K",
                    help="testing: crash the first K points' first attempts")
     p.set_defaults(func=_sweep)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a scripted fault plan against the heartbeat detector",
+    )
+    p.add_argument("--plan", metavar="FILE", default=None,
+                   help="fault plan file (.json, or .toml on Python 3.11+); "
+                        "default: the built-in demo plan")
+    p.add_argument("--random-seed", type=int, default=None, metavar="SEED",
+                   help="generate a seeded random plan instead of --plan")
+    p.add_argument("--horizon", type=float, default=None,
+                   help="simulated horizon (default: the demo horizon)")
+    p.add_argument("--shrink", action="store_true",
+                   help="ddmin the plan to a smallest violating witness")
+    p.add_argument("--conformance", action="store_true",
+                   help="check the run is trace-identical across both "
+                        "engine cores")
+    p.add_argument("--full-scan", action="store_true",
+                   help="use the full-scan engine core (default: incremental)")
+    p.add_argument("--expect", choices=["violation", "clean"], default=None,
+                   help="exit non-zero unless the run matches")
+    obs(p)
+    p.set_defaults(func=_chaos)
 
     p = sub.add_parser("report", help="render an ASCII dashboard from exports")
     p.add_argument("metrics_file", help="metrics JSON written by --metrics-out")

@@ -44,8 +44,7 @@ from repro.network.topology import Topology
 from repro.sim.clock_drivers import DriftingClockDriver
 from repro.sim.delay import DelayModel
 
-INFINITY = float("inf")
-_TOLERANCE = 1e-9
+from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
 
 
 @dataclass

@@ -38,8 +38,7 @@ from repro.components.base import Entity
 from repro.core.mmt_transform import EagerStepPolicy, StepPolicy
 from repro.errors import SpecificationError, TransitionError
 
-INFINITY = float("inf")
-_TOLERANCE = 1e-9
+from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
 
 
 @dataclass(frozen=True)

@@ -31,8 +31,7 @@ from repro.automata.signature import Signature
 from repro.components.base import Process, ProcessContext
 from repro.errors import TransitionError
 
-INFINITY = float("inf")
-_TOLERANCE = 1e-9
+from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
 
 
 @dataclass
@@ -97,7 +96,10 @@ class PingerProcess(Process):
             return actions  # send before anything else at this instant
         for k in state.pending_pongs:
             actions.append(Action("GOTPONG", (self.node, k)))
-        if abs(ctx.time - self._next_ping_time(state)) <= _TOLERANCE:
+        # ``>=``, not equality: the deadline normally stops time exactly
+        # at the due instant, but a crash–recovery can resume the node
+        # past it — the overdue pings then fire at the recovery time.
+        if ctx.time >= self._next_ping_time(state) - _TOLERANCE:
             actions.append(Action("PING", (self.node, state.next_index)))
         return actions
 

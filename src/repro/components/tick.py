@@ -26,7 +26,7 @@ from repro.obs.metrics import (
     SKEW_BUCKETS,
 )
 
-_TOLERANCE = 1e-9
+from repro.constants import TOLERANCE as _TOLERANCE
 
 
 @dataclass

@@ -1,0 +1,13 @@
+"""Shared numeric constants of the executable layer.
+
+``TOLERANCE`` is the float-comparison slack used wherever the engine and
+its components compare real times, clock values, or deadlines. It was
+historically re-declared per module as ``_TOLERANCE = 1e-9``; modules
+now import it from here so the engine and the adversary/chaos machinery
+can never drift apart on what "simultaneous" means.
+"""
+
+TOLERANCE = 1e-9
+"""Absolute slack for real-time/clock comparisons across the simulator."""
+
+INFINITY = float("inf")

@@ -39,8 +39,7 @@ from repro.obs.metrics import (
     SKEW_BUCKETS,
 )
 
-INFINITY = float("inf")
-_TOLERANCE = 1e-9
+from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
 
 Stamped = Tuple[object, float]  # (message, clock stamp)
 

@@ -31,8 +31,7 @@ from repro.errors import TransitionError
 from repro.obs.metrics import NULL_GAUGE, NULL_HISTOGRAM, SKEW_BUCKETS
 from repro.sim.clock_drivers import ClockDriver
 
-INFINITY = float("inf")
-_TOLERANCE = 1e-9
+from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
 
 
 def _observed_skew(now: float, clock: float, eps: float) -> float:
@@ -262,6 +261,30 @@ class ClockNodeEntity(Entity):
 
     def clock_value(self, state: MachineState, now: float) -> Optional[float]:
         return state.clock
+
+    def on_recover(self, state: MachineState, now: float) -> None:
+        """Crash-recovery hook (:class:`~repro.faults.recovery.RecoverableEntity`).
+
+        A restored snapshot carries the clock value from the crash
+        instant, but the hardware clock kept running while the node was
+        down — a rebooting node re-reads it, so the clock jumps forward
+        into the ``C_eps`` envelope at the recovery time (to its lower
+        edge: the minimal, deterministic legal jump). Clock deadlines
+        the jump passes over become immediately urgent
+        (``target_now`` maps ``cap <= clock`` to ``now``), so overdue
+        work fires at the resumed clock before time passes — processes
+        with timetable semantics must tolerate firing late (see
+        :class:`~repro.detector.heartbeat.HeartbeatSender`). The
+        snapshot round-trip also rebuilt the buffers as decoupled
+        copies, so their metrics instruments are re-bound to the live
+        registry.
+        """
+        state.clock = max(state.clock, now - self.driver.eps, 0.0)
+        if self.machine._metrics is not None:
+            for sbuf in state.send_buffers.values():
+                sbuf.bind_instruments(self.machine._metrics)
+            for rbuf in state.recv_buffers.values():
+                rbuf.bind_instruments(self.machine._metrics)
 
     def buffering_stats(self, state: MachineState) -> Dict[str, float]:
         """Receive-buffer hold statistics (Section 7.2)."""

@@ -40,8 +40,7 @@ from repro.components.base import Entity
 from repro.core.clock_transform import ClockMachine, MachineState
 from repro.errors import SimulationLimitError, TransitionError
 
-INFINITY = float("inf")
-_TOLERANCE = 1e-9
+from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
 
 
 class StepPolicy:

@@ -20,7 +20,7 @@ from typing import List, Optional
 from repro.automata.actions import Action, ActionSet
 from repro.automata.executions import TimedSequence
 
-_TOLERANCE = 1e-9
+from repro.constants import TOLERANCE as _TOLERANCE
 
 
 def _output_times(

@@ -29,8 +29,7 @@ from repro.automata.actions import ActionPattern, PatternActionSet
 from repro.core.pipeline import SystemSpec, build_clock_system, build_timed_system
 from repro.network.topology import Topology
 
-INFINITY = float("inf")
-_TOLERANCE = 1e-9
+from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
 
 
 def detector_timeout(d2: float, eps: float) -> float:
@@ -83,7 +82,11 @@ class HeartbeatSender(Process):
                     (self.node, self.monitor, ("hb", state.pending_send)),
                 )
             ]
-        if abs(ctx.time - self._due(state)) <= _TOLERANCE:
+        # ``>=``, not equality: normally the clock deadline stops the
+        # clock exactly at the due time, but a crash–recovery clock
+        # jump can land past it — the overdue beats then fire
+        # back-to-back at the resumed clock.
+        if ctx.time >= self._due(state) - _TOLERANCE:
             return [Action("BEAT", (self.node, state.next_beat))]
         return []
 

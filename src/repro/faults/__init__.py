@@ -21,7 +21,13 @@ implements that extension path:
   bounds (:func:`~repro.faults.retransmit.effective_delay_bounds`);
 - :mod:`repro.faults.crash` — crash-stop node failures, so detectors
   (e.g. ``examples/failure_monitor.py``) can be tested for *true*
-  positives, not just the absence of false ones.
+  positives, not just the absence of false ones;
+- :mod:`repro.faults.recovery` — crash–recovery node failures with
+  stable-storage snapshot/restore (the chaos layer's ``crash``/
+  ``recover`` events);
+- :mod:`repro.faults.partition` — time-varying channel faults: network
+  partitions and scripted per-edge drop bursts, composable over any
+  stationary fault model.
 """
 
 from repro.faults.crash import CrashableEntity, CrashSchedule
@@ -33,7 +39,18 @@ from repro.faults.models import (
     NoFaults,
     ScriptedFaults,
 )
-from repro.faults.retransmit import ReliableAdapter, effective_delay_bounds
+from repro.faults.partition import (
+    EdgeDropWindow,
+    PartitionFaultModel,
+    PartitionWindow,
+    TimelineFaultModel,
+)
+from repro.faults.recovery import RecoverableEntity, RecoverySchedule
+from repro.faults.retransmit import (
+    BackoffPolicy,
+    ReliableAdapter,
+    effective_delay_bounds,
+)
 
 __all__ = [
     "FaultModel",
@@ -41,9 +58,16 @@ __all__ = [
     "BernoulliFaults",
     "BurstFaults",
     "ScriptedFaults",
+    "TimelineFaultModel",
+    "PartitionFaultModel",
+    "PartitionWindow",
+    "EdgeDropWindow",
     "LossyChannelEntity",
     "ReliableAdapter",
+    "BackoffPolicy",
     "effective_delay_bounds",
     "CrashableEntity",
     "CrashSchedule",
+    "RecoverableEntity",
+    "RecoverySchedule",
 ]

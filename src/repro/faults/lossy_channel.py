@@ -10,6 +10,7 @@ the channel state for the fault benchmarks.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Optional
 
@@ -65,11 +66,15 @@ class LossyChannelEntity(ChannelEntity):
         if copies > 1:
             state.duplicated += copies - 1
             self._duplicated.inc(copies - 1)
-        for _ in range(copies):
+        for k in range(copies):
             delay = self.delay_model.sample(
                 (self.src, self.dst), message, now, self.d1, self.d2
             )
-            state.buffer.append(InTransit(message, now, now + delay))
+            # Duplicates must be independent objects: a mutable payload
+            # aliased across InTransit records would let the receiver's
+            # mutation of one delivery corrupt the copy still in flight.
+            payload = message if k == 0 else copy.deepcopy(message)
+            state.buffer.append(InTransit(payload, now, now + delay))
         depth = float(len(state.buffer))
         self._occupancy.observe(depth)
         self._depth.set(depth)

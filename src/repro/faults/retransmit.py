@@ -15,7 +15,15 @@ consecutive attempts of a message and the raw channel delay is in
 ``[d1, d2]``, attempt ``B`` (0-based) departs at ``send + B*R`` and
 arrives by ``send + B*R + d2``, so the adapted channel behaves like a
 *reliable* channel with delay bounds ``[d1, d2 + B*R]`` —
-:func:`effective_delay_bounds`. Design the inner algorithm against
+:func:`effective_delay_bounds`. Under a :class:`BackoffPolicy` the gap
+before attempt ``k`` (1-based) widens to
+``I_k = min(R * factor**(k-1), max_interval) * (1 + jitter)``, so
+attempt ``B`` departs at ``send + I_1 + ... + I_B`` and the effective
+upper bound becomes ``d2 + sum_{k<=B} I_k`` —
+``effective_delay_bounds(..., backoff=policy)`` computes exactly that
+sum (jitter is sampled in ``[0, jitter * interval]``, so the no-jitter
+value stays a valid *lower* bound per attempt and the ``1 + jitter``
+factor the upper one). Design the inner algorithm against
 those effective bounds (plus the usual ``2*eps`` widening for the
 clock model) and every theorem in the paper goes through unchanged:
 the adapter is itself eps-time independent, so it transforms like any
@@ -30,26 +38,82 @@ plus ack losses) to keep quiescent runs finite.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.automata.actions import Action
 from repro.components.base import Process, ProcessContext
+from repro.constants import TOLERANCE as _TOLERANCE
 from repro.errors import TransitionError
 
 INFINITY = float("inf")
-_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Bounded exponential backoff with deterministic seeded jitter.
+
+    The gap before retransmission attempt ``k`` (1-based) is
+    ``min(R * factor**(k-1), max_interval)`` plus a jitter term sampled
+    uniformly in ``[0, jitter * gap]``. The jitter is a pure function of
+    ``(seed, dst, seq, attempt)`` — a throwaway :class:`random.Random`
+    keyed on that tuple (as a string seed, which Python hashes stably) —
+    so runs are bit-reproducible regardless of the order attempts fire
+    in, and no RNG state leaks into ``enabled``.
+    """
+
+    factor: float = 2.0
+    max_interval: float = INFINITY
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if self.max_interval <= 0:
+            raise ValueError("max_interval must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def gap(self, base: float, attempt: int, dst: int = 0, seq: int = 0) -> float:
+        """The delay before retransmission ``attempt`` (1-based)."""
+        raw = min(base * self.factor ** max(attempt - 1, 0), self.max_interval)
+        if self.jitter:
+            u = random.Random(f"{self.seed}:{dst}:{seq}:{attempt}").random()
+            raw += raw * self.jitter * u
+        return raw
+
+    def worst_case_gap_sum(self, base: float, attempts: int) -> float:
+        """Upper bound on ``I_1 + ... + I_attempts`` (jitter maximal)."""
+        total = 0.0
+        for k in range(1, attempts + 1):
+            raw = min(base * self.factor ** (k - 1), self.max_interval)
+            total += raw * (1.0 + self.jitter)
+        return total
 
 
 def effective_delay_bounds(
-    d1: float, d2: float, retransmit_interval: float, max_consecutive_drops: int
+    d1: float,
+    d2: float,
+    retransmit_interval: float,
+    max_consecutive_drops: int,
+    backoff: Optional[BackoffPolicy] = None,
 ) -> Tuple[float, float]:
     """Delay bounds of the *adapted* (reliable) channel.
 
     ``[d1, d2 + B * R]`` with ``B`` the consecutive-loss bound and ``R``
-    the retransmission interval.
+    the retransmission interval; under ``backoff`` the ``B * R`` term
+    becomes the worst-case sum of the first ``B`` backoff gaps
+    (:meth:`BackoffPolicy.worst_case_gap_sum`).
     """
-    return (d1, d2 + max_consecutive_drops * retransmit_interval)
+    if backoff is not None:
+        widening = backoff.worst_case_gap_sum(
+            retransmit_interval, max_consecutive_drops
+        )
+    else:
+        widening = max_consecutive_drops * retransmit_interval
+    return (d1, d2 + widening)
 
 
 @dataclass
@@ -78,6 +142,7 @@ class ReliableAdapter(Process):
         inner: Process,
         retransmit_interval: float,
         max_attempts: int = 25,
+        backoff: Optional[BackoffPolicy] = None,
     ):
         if retransmit_interval <= 0:
             raise ValueError("retransmit_interval must be positive")
@@ -85,6 +150,13 @@ class ReliableAdapter(Process):
         self.inner = inner
         self.retransmit_interval = retransmit_interval
         self.max_attempts = max_attempts
+        self.backoff = backoff
+
+    def _gap(self, attempts: int, dst: int, seq: int) -> float:
+        """Delay before the next retransmission, after ``attempts`` sends."""
+        if self.backoff is None:
+            return self.retransmit_interval
+        return self.backoff.gap(self.retransmit_interval, attempts, dst, seq)
 
     # -- helpers ---------------------------------------------------------
 
@@ -174,7 +246,7 @@ class ReliableAdapter(Process):
             )
             state.next_seq[dst] = seq + 1
             state.outbox[(dst, seq)] = _OutboxEntry(
-                dst, seq, message, now + self.retransmit_interval, attempts=1
+                dst, seq, message, now + self._gap(1, dst, seq), attempts=1
             )
             return
         # a retransmission
@@ -182,7 +254,7 @@ class ReliableAdapter(Process):
         if entry.attempts >= self.max_attempts:
             del state.outbox[(dst, seq)]
         else:
-            entry.next_attempt = now + self.retransmit_interval
+            entry.next_attempt = now + self._gap(entry.attempts, dst, seq)
 
     def deadline(self, state: AdapterState, ctx: ProcessContext) -> float:
         deadline = self.inner.deadline(state.inner, ctx)

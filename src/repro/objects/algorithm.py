@@ -31,8 +31,7 @@ from repro.components.base import Process, ProcessContext
 from repro.errors import TransitionError
 from repro.objects.specs import SequentialSpec
 
-INFINITY = float("inf")
-_TOLERANCE = 1e-9
+from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
 
 
 @dataclass

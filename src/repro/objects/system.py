@@ -27,8 +27,7 @@ from repro.sim.delay import DelayModel
 from repro.sim.engine import SimulationResult
 from repro.sim.scheduler import Scheduler
 
-INFINITY = float("inf")
-_TOLERANCE = 1e-9
+from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
 
 PayloadGenerator = Callable[[random.Random, int, int, bool], Tuple]
 """``f(rng, node, seq, is_update) -> payload`` for workload generation."""

@@ -48,8 +48,7 @@ from repro.registers.algorithm_l import (
     register_signature,
 )
 
-INFINITY = float("inf")
-_TOLERANCE = 1e-9
+from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
 
 
 @dataclass

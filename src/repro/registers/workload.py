@@ -22,8 +22,7 @@ from repro.automata.signature import Signature
 from repro.components.base import Entity
 from repro.errors import TransitionError
 
-INFINITY = float("inf")
-_TOLERANCE = 1e-9
+from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
 
 
 @dataclass

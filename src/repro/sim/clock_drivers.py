@@ -30,10 +30,10 @@ import math
 import random
 from typing import Callable, Optional
 
+from repro.constants import TOLERANCE as _TOLERANCE
 from repro.errors import ClockEnvelopeError
 
 INFINITY = float("inf")
-_TOLERANCE = 1e-9
 
 
 class ClockDriver:
@@ -234,6 +234,139 @@ class RandomWalkClockDriver(ClockDriver):
         # Nominal rate 1.0; target_now re-solves if the sampled rate
         # undershoots, so convergence to the cap is still guaranteed.
         return now + (cap - clock)
+
+
+class ClockFaultWindow:
+    """A real-time window ``[start, end)`` where ``C_eps`` is violated.
+
+    ``excess > 0`` lets the clock run *ahead* of ``now + eps`` by up to
+    ``excess``; ``excess < 0`` lets it *lag* below ``now - eps`` by up to
+    ``|excess|``. A chaos plan's ``clock_fault`` event compiles to one of
+    these.
+    """
+
+    def __init__(self, start: float, end: float, excess: float):
+        if start < 0 or end <= start:
+            raise ValueError(f"invalid clock fault window [{start:g}, {end:g})")
+        if excess == 0:
+            raise ValueError("clock fault excess must be non-zero")
+        self.start = start
+        self.end = end
+        self.excess = excess
+
+    def active(self, now: float) -> bool:
+        """Whether ``now`` falls inside the half-open fault window."""
+        return self.start - _TOLERANCE <= now < self.end - _TOLERANCE
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClockFaultWindow [{self.start:g},{self.end:g}) "
+            f"excess={self.excess:+g}>"
+        )
+
+
+class FaultyClockDriver(ClockDriver):
+    """Wraps a driver and breaks the ``C_eps`` envelope in scripted windows.
+
+    Inside an active :class:`ClockFaultWindow` the feasible envelope is
+    widened on the faulty side by ``|excess|`` and the wrapped driver's
+    proposal is pushed to the widened boundary — the clock genuinely
+    leaves ``[now - eps, now + eps]``, which is what the chaos layer's
+    clock-predicate monitor exists to catch.
+
+    Re-entry after the window closes is handled without ever violating
+    monotonicity: a clock that ran *fast* holds constant (``hi`` is
+    floored at the current clock value) until real time catches up; a
+    clock that ran *slow* jumps back up into the envelope on the first
+    post-window step (a legal ``nu`` choice — only the fault windows
+    themselves are illegal). If the snapped-back envelope lands above a
+    clock deadline the lagging clock never reached, the jump stops *at*
+    the cap — the overdue action becomes urgent and fires before time
+    passes again, exactly the late-firing semantics of crash recovery
+    (see :meth:`repro.core.clock_transform.ClockNodeEntity.on_recover`).
+    """
+
+    def __init__(self, inner: ClockDriver, windows):
+        super().__init__(inner.eps)
+        self.inner = inner
+        self.windows = tuple(windows)
+
+    def _excess_at(self, now: float) -> float:
+        for window in self.windows:
+            if window.active(now):
+                return window.excess
+        return 0.0
+
+    def desired(self, now: float, clock: float, new_now: float) -> float:
+        excess = self._excess_at(new_now)
+        base = self.inner.desired(now, clock, new_now)
+        if excess > 0:
+            return max(base, new_now + self.eps + excess)
+        if excess < 0:
+            return min(base, new_now - self.eps + excess)
+        return base
+
+    def step(self, now: float, clock: float, new_now: float, cap: float) -> float:
+        excess = self._excess_at(new_now)
+        pos = max(excess, 0.0)
+        neg = max(-excess, 0.0)
+        # Widened envelope; ``hi`` floored at ``clock`` so a fast clock
+        # left stranded above ``new_now + eps`` after its window closes
+        # holds constant instead of raising ClockEnvelopeError.
+        lo = max(clock, new_now - self.eps - neg, 0.0)
+        hi = min(cap, max(new_now + self.eps + pos, clock))
+        if lo > hi + _TOLERANCE:
+            # The widened window can only be empty when the cap binds:
+            # ``hi`` is floored at ``clock``, so ``lo > hi`` means a
+            # window just closed with the re-tightened lower envelope
+            # above a pending clock deadline the slow clock never hit.
+            # Stop at the cap; the deadline fires late, then the clock
+            # resumes its jump into the envelope.
+            if hi >= clock - _TOLERANCE:
+                return hi
+            raise ClockEnvelopeError(
+                f"no feasible clock value: window [{lo:g}, {hi:g}] is empty "
+                f"(now {now:g} -> {new_now:g}, clock {clock:g}, cap {cap:g}, "
+                f"eps {self.eps:g}, fault excess {excess:+g})"
+            )
+        proposal = self.desired(now, clock, new_now)
+        return min(max(proposal, lo), hi)
+
+    def solve_cap(self, now: float, clock: float, cap: float) -> float:
+        return self.inner.solve_cap(now, clock, cap)
+
+    def target_now(self, now: float, clock: float, cap: float) -> float:
+        """Deadline mapping aware of the widened trajectories.
+
+        A positive-excess window can push the clock to its cap *early*
+        (as soon as ``new_now + eps + excess`` reaches the cap, but not
+        before the window opens); a negative-excess window can hold it
+        below the cap *past* ``cap + eps`` (until the widened lower
+        envelope — or the window's end — forces it over). Without this
+        correction the engine would wake the node at the un-faulted
+        instant and either miss the early firing or spin on a deadline
+        already in the past.
+        """
+        if cap == INFINITY:
+            return INFINITY
+        if cap <= clock + _TOLERANCE:
+            return now
+        target = self.inner.target_now(now, clock, cap)
+        for window in self.windows:
+            if window.excess > 0:
+                t = max(window.start, cap - self.eps - window.excess)
+                if t < window.end - _TOLERANCE and now + _TOLERANCE < t < target:
+                    target = t
+            elif window.active(target):
+                forced = min(cap + self.eps - window.excess, window.end)
+                target = max(target, forced)
+        return target
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultyClockDriver over {self.inner!r} "
+            f"{len(self.windows)} window(s)>"
+        )
 
 
 DriverFactory = Callable[[int], ClockDriver]

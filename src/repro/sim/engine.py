@@ -63,8 +63,9 @@ from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.recorder import Recorder
 from repro.sim.scheduler import DeterministicScheduler, Scheduler
 
+from repro.constants import TOLERANCE as _TOLERANCE
+
 INFINITY = float("inf")
-_TOLERANCE = 1e-9
 
 
 @dataclass

@@ -9,9 +9,12 @@ tagged encoding that round-trips the tuple/list distinction JSON loses.
 
 from __future__ import annotations
 
+import collections
+import dataclasses
 import io
 import json
-from typing import IO, Iterable, List
+import random
+from typing import IO, Any, Iterable, List
 
 from repro.automata.actions import Action
 from repro.automata.executions import TimedEvent, TimedSequence
@@ -54,6 +57,91 @@ def decode_action(payload: dict) -> Action:
 # historical private names, kept for callers of the original API
 _encode_action = encode_action
 _decode_action = decode_action
+
+
+# -- entity-state snapshots (crash-recovery stable storage) ----------------
+#
+# The chaos layer's crash-recovery model (``repro.faults.recovery``)
+# persists a node's state to "stable storage" at the crash instant and
+# restores it on recovery. The snapshot reuses the tagged value encoding
+# above for the scalar/tuple/list core and extends it structurally —
+# dicts, sets, dataclasses, plain objects — so restoring always yields a
+# *decoupled* deep copy: no aliasing survives a crash, exactly like real
+# serialization to disk, without requiring states to be JSON-text
+# serializable (class objects are carried by reference, in memory only).
+
+def _instrument_types():
+    from repro.obs.metrics import Counter, Gauge, Histogram, _NullInstrument
+
+    return (Counter, Gauge, Histogram, _NullInstrument)
+
+
+def encode_state(value: Any) -> Any:
+    """Snapshot an arbitrary entity state into a decoupled structure."""
+    if isinstance(value, _instrument_types()):
+        # Metrics instruments are observers of the run, not node state:
+        # a reboot must keep reporting into the same live series, so
+        # they ride through the snapshot by reference.
+        return {"r": value}
+    if isinstance(value, tuple):
+        return {"t": [encode_state(v) for v in value]}
+    if isinstance(value, list):
+        return {"l": [encode_state(v) for v in value]}
+    if isinstance(value, dict):
+        return {"m": [(encode_state(k), encode_state(v)) for k, v in value.items()]}
+    if isinstance(value, collections.deque):
+        return {"dq": [encode_state(v) for v in value]}
+    if isinstance(value, (set, frozenset)):
+        tag = "fz" if isinstance(value, frozenset) else "s"
+        return {tag: [encode_state(v) for v in value]}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, random.Random):
+        # object.__new__(Random) re-seeds from system entropy — silently
+        # nondeterministic; refuse loudly instead.
+        raise ReproError(
+            "cannot snapshot random.Random state; keep RNGs on the entity, "
+            "not in its state object"
+        )
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: encode_state(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"o": type(value), "f": fields}
+    if hasattr(value, "__dict__") and not callable(value):
+        fields = {k: encode_state(v) for k, v in vars(value).items()}
+        return {"o": type(value), "f": fields}
+    raise ReproError(
+        f"cannot snapshot state of type {type(value).__name__}: {value!r}"
+    )
+
+
+def decode_state(snapshot: Any) -> Any:
+    """Rebuild a fresh state object from an :func:`encode_state` snapshot."""
+    if isinstance(snapshot, dict):
+        if "r" in snapshot:
+            return snapshot["r"]
+        if "t" in snapshot:
+            return tuple(decode_state(v) for v in snapshot["t"])
+        if "l" in snapshot:
+            return [decode_state(v) for v in snapshot["l"]]
+        if "m" in snapshot:
+            return {decode_state(k): decode_state(v) for k, v in snapshot["m"]}
+        if "dq" in snapshot:
+            return collections.deque(decode_state(v) for v in snapshot["dq"])
+        if "s" in snapshot:
+            return {decode_state(v) for v in snapshot["s"]}
+        if "fz" in snapshot:
+            return frozenset(decode_state(v) for v in snapshot["fz"])
+        if "o" in snapshot:
+            cls = snapshot["o"]
+            instance = object.__new__(cls)
+            for name, encoded in snapshot["f"].items():
+                setattr(instance, name, decode_state(encoded))
+            return instance
+        raise ReproError(f"malformed state snapshot: {snapshot!r}")
+    return snapshot
 
 
 def dump_events(events: Iterable[EventRecord], stream: IO[str]) -> int:

@@ -312,6 +312,25 @@ def test_cli_sweep_rejects_spec_plus_axis_flags(tmp_path):
     assert "not both" in completed.stderr
 
 
+def test_plan_fault_axis_runs_and_is_deterministic():
+    from repro.campaign.worker import run_point
+
+    grid = Grid(
+        {"fault": ["plan"], "plan_seed": [0], "n": [2], "ops": [4]},
+        run={"horizon": 30.0},
+        seeds=1,
+    )
+    (point,) = grid.points()
+    assert '"fault":"plan"' in point["key"]
+    first = run_point(point)["result"]
+    again = run_point(point)["result"]
+    # the seeded plan is part of the config, so the point is exactly as
+    # deterministic as a fault-free one
+    assert json.dumps(first, sort_keys=True) == json.dumps(again, sort_keys=True)
+    assert first["config"]["plan_seed"] == 0
+    assert first["operations"] > 0
+
+
 # -- experiments as campaign tasks -------------------------------------------
 
 

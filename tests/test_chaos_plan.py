@@ -1,0 +1,223 @@
+"""Tests for fault-plan data: events, validation, compile, serialization."""
+
+import math
+
+import pytest
+
+from repro.chaos.plan import (
+    FaultEvent,
+    FaultPlan,
+    clock_fault,
+    crash,
+    drop_burst,
+    heal,
+    partition,
+    recover,
+)
+from repro.errors import SpecificationError
+from repro.faults.partition import EdgeDropWindow, PartitionWindow
+
+INFINITY = float("inf")
+
+
+class TestFaultEvent:
+    def test_constructors(self):
+        assert crash(0, 1.0).kind == "crash"
+        assert recover(0, 2.0).kind == "recover"
+        assert partition([[0], [1]], 3.0).groups == ((0,), (1,))
+        assert heal(4.0).kind == "heal"
+        fault = clock_fault(1, 2.0, 5.0, excess=0.5)
+        assert (fault.t, fault.end, fault.excess) == (2.0, 5.0, 0.5)
+        burst = drop_burst((0, 1), 1.0, 2.0)
+        assert burst.edge == (0, 1)
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            FaultEvent("meteor", 0.0)
+        with pytest.raises(SpecificationError):
+            crash(0, -1.0)
+        with pytest.raises(SpecificationError):
+            FaultEvent("crash", 1.0)  # no node
+        with pytest.raises(SpecificationError):
+            clock_fault(0, 2.0, 2.0, excess=0.5)  # empty window
+        with pytest.raises(SpecificationError):
+            clock_fault(0, 2.0, 3.0, excess=0.0)  # no excess
+        with pytest.raises(SpecificationError):
+            FaultEvent("drop_burst", 1.0, end=2.0)  # no edge
+        with pytest.raises(SpecificationError):
+            FaultEvent("partition", 1.0)  # no groups
+
+    def test_describe_mentions_the_parameters(self):
+        assert "node=0" in crash(0, 17.0).describe()
+        assert "t=[2.5,6)" in clock_fault(1, 2.5, 6.0, 1.5).describe()
+        assert "edge=(0, 1)" in drop_burst((0, 1), 1.0, 2.0).describe()
+
+    def test_dict_round_trip(self):
+        for event in (
+            crash(0, 1.0),
+            recover(0, 2.0),
+            partition([[0, 2], [1]], 3.0),
+            heal(4.0),
+            clock_fault(1, 2.0, 5.0, excess=-0.5),
+            drop_burst((0, 1), 1.0, 2.0),
+        ):
+            assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(SpecificationError):
+            FaultEvent.from_dict({"kind": "crash", "t": 1.0, "node": 0,
+                                  "severity": "high"})
+
+
+class TestFaultPlanValidation:
+    def test_lenient_allows_orphans(self):
+        plan = FaultPlan.of([recover(0, 5.0), heal(3.0)])
+        plan.validate()  # orphan recover/heal are no-ops, not errors
+        compiled = plan.compile()
+        assert compiled.recovery == {}
+        assert compiled.drop_windows == ()
+
+    def test_strict_requires_pairing(self):
+        with pytest.raises(SpecificationError):
+            FaultPlan.of([recover(0, 5.0)]).validate(strict=True)
+        with pytest.raises(SpecificationError):
+            FaultPlan.of([heal(3.0)]).validate(strict=True)
+        with pytest.raises(SpecificationError):
+            FaultPlan.of([crash(0, 1.0), crash(0, 2.0)]).validate(strict=True)
+        # well-paired passes
+        FaultPlan.of(
+            [crash(0, 1.0), recover(0, 2.0), partition([[0], [1]], 3.0),
+             heal(4.0)]
+        ).validate(strict=True)
+
+
+class TestFaultPlanCompile:
+    def test_crash_recover_pairing(self):
+        compiled = FaultPlan.of(
+            [crash(0, 1.0), recover(0, 2.0), crash(0, 5.0)]
+        ).compile()
+        assert compiled.recovery[0].windows == ((1.0, 2.0), (5.0, INFINITY))
+
+    def test_partition_closes_at_heal(self):
+        compiled = FaultPlan.of(
+            [partition([[0], [1]], 2.0), heal(4.0)]
+        ).compile()
+        (window,) = compiled.drop_windows
+        assert isinstance(window, PartitionWindow)
+        assert (window.start, window.end) == (2.0, 4.0)
+        assert window.severs((0, 1), 3.0)
+        assert not window.severs((0, 1), 5.0)
+
+    def test_new_partition_closes_the_open_one(self):
+        compiled = FaultPlan.of(
+            [partition([[0], [1]], 2.0), partition([[0, 1], [2]], 5.0)]
+        ).compile()
+        first, second = compiled.drop_windows
+        assert (first.start, first.end) == (2.0, 5.0)
+        assert second.end == INFINITY
+
+    def test_clock_and_drop_windows(self):
+        compiled = FaultPlan.of(
+            [clock_fault(1, 2.0, 5.0, excess=1.0), drop_burst((0, 1), 3.0, 4.0)]
+        ).compile()
+        (window,) = compiled.clock_windows[1]
+        assert (window.start, window.end, window.excess) == (2.0, 5.0, 1.0)
+        (drop,) = compiled.drop_windows
+        assert isinstance(drop, EdgeDropWindow)
+        assert drop.severs((0, 1), 3.5) and not drop.severs((1, 0), 3.5)
+
+
+class TestFaultPlanSerialization:
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan.of(
+            [clock_fault(1, 2.5, 6.0, 1.5), crash(0, 17.0), recover(0, 18.0)],
+            name="demo",
+        )
+        path = tmp_path / "plan.json"
+        plan.save(str(path))
+        assert FaultPlan.load(str(path)) == plan
+
+    def test_toml_round_trip(self, tmp_path):
+        tomllib = pytest.importorskip("tomllib")  # Python 3.11+
+        del tomllib
+        path = tmp_path / "plan.toml"
+        path.write_text(
+            'format = "repro-fault-plan"\n'
+            "version = 1\n"
+            'name = "handwritten"\n'
+            "[[events]]\n"
+            'kind = "clock_fault"\n'
+            "t = 2.5\nend = 6.0\nnode = 1\nexcess = 1.5\n"
+            "[[events]]\n"
+            'kind = "crash"\nt = 17.0\nnode = 0\n'
+        )
+        plan = FaultPlan.load(str(path))
+        assert plan.name == "handwritten"
+        assert plan.events == (
+            clock_fault(1, 2.5, 6.0, 1.5), crash(0, 17.0)
+        )
+
+    def test_loads_rejects_wrong_format_and_version(self):
+        with pytest.raises(SpecificationError):
+            FaultPlan.from_dict({"format": "not-a-plan"})
+        with pytest.raises(SpecificationError):
+            FaultPlan.from_dict({"format": "repro-fault-plan", "version": 99})
+
+    def test_dumps_is_stable(self):
+        plan = FaultPlan.of([crash(0, 1.0), recover(0, 2.0)])
+        assert plan.dumps() == plan.dumps()
+        assert FaultPlan.loads(plan.dumps()) == plan
+
+
+class TestRandomPlans:
+    def test_deterministic_per_seed(self):
+        edges = [(0, 1), (1, 0)]
+        a = FaultPlan.random(7, n_nodes=2, edges=edges, horizon=20.0)
+        b = FaultPlan.random(7, n_nodes=2, edges=edges, horizon=20.0)
+        assert a == b
+        assert a != FaultPlan.random(8, n_nodes=2, edges=edges, horizon=20.0)
+
+    def test_always_compiles_and_fits_horizon(self):
+        for seed in range(25):
+            plan = FaultPlan.random(
+                seed, n_nodes=3, edges=[(0, 1), (1, 2)], horizon=30.0
+            )
+            compiled = plan.compile()  # never raises
+            for event in plan.events:
+                assert 0.0 <= event.t <= 30.0
+                if math.isfinite(event.end):
+                    assert event.end <= 30.0
+            del compiled
+
+
+class TestAttribution:
+    def plan(self):
+        return FaultPlan.of(
+            [
+                clock_fault(1, 2.5, 6.0, excess=1.5),
+                drop_burst((0, 1), 15.0, 15.5),
+                crash(0, 17.0),
+                recover(0, 18.0),
+            ],
+            name="demo",
+        )
+
+    def test_active_window_and_node_win(self):
+        event, index = self.plan().attribute(3.0, node=1)
+        assert index == 0 and event.kind == "clock_fault"
+
+    def test_edge_locality(self):
+        event, index = self.plan().attribute(15.2, edge=(0, 1))
+        assert index == 1 and event.kind == "drop_burst"
+
+    def test_fallback_to_most_recent_past_event(self):
+        # long after every effect interval: the latest past event wins
+        event, index = self.plan().attribute(500.0)
+        assert index == 3 and event.kind == "recover"
+
+    def test_empty_plan_attributes_nothing(self):
+        assert FaultPlan().attribute(1.0) == (None, None)
+
+    def test_active_events(self):
+        active = self.plan().active_events(3.0)
+        assert [e.kind for e in active] == ["clock_fault"]

@@ -11,7 +11,11 @@ from repro.faults.models import (
     NoFaults,
     ScriptedFaults,
 )
-from repro.faults.retransmit import ReliableAdapter, effective_delay_bounds
+from repro.faults.retransmit import (
+    BackoffPolicy,
+    ReliableAdapter,
+    effective_delay_bounds,
+)
 from repro.sim.delay import MinimalDelay
 
 from helpers import PingerProcess
@@ -94,6 +98,23 @@ class TestLossyChannel:
         chan.apply_input(state, Action("SENDMSG", (0, 1, "m")), 0.0)
         assert len(state.buffer) == 1
 
+    def test_duplicates_do_not_alias_mutable_payloads(self):
+        # regression: duplicated InTransit records used to share the
+        # payload object, so mutating one delivered copy corrupted the
+        # copy still in flight
+        chan = LossyChannelEntity(
+            0, 1, 0.0, 1.0, delay_model=MinimalDelay(),
+            fault_model=ScriptedFaults([2]),
+        )
+        state = chan.initial_state()
+        payload = ["mutable", [1, 2]]
+        chan.apply_input(state, Action("SENDMSG", (0, 1, payload)), 0.0)
+        first, second = state.buffer
+        assert first.message == second.message
+        assert first.message is not second.message
+        first.message[1].append(3)  # the receiver scribbles on its copy
+        assert second.message == ["mutable", [1, 2]]
+
 
 class TestReliableAdapter:
     def adapter(self, retx=0.5):
@@ -154,6 +175,22 @@ class TestReliableAdapter:
         assert effective_delay_bounds(0.1, 1.0, 0.5, 3) == (0.1, 2.5)
         assert effective_delay_bounds(0.1, 1.0, 0.5, 0) == (0.1, 1.0)
 
+    def test_backoff_widens_the_retransmission_gap(self):
+        backoff = BackoffPolicy(factor=2.0)
+        adapter = ReliableAdapter(
+            PingerProcess(0, 1, 1, 1.0), 0.5, backoff=backoff
+        )
+        state = adapter.initial_state()
+        adapter.fire(state, Action("PING", (0, 1)), ProcessContext(1.0))
+        frame = adapter.enabled(state, ProcessContext(1.0))[0]
+        adapter.fire(state, frame, ProcessContext(1.0))
+        # first gap: 0.5 * 2**0 = 0.5
+        assert state.outbox[(1, 0)].next_attempt == pytest.approx(1.5)
+        retx = adapter.enabled(state, ProcessContext(1.5))[0]
+        adapter.fire(state, retx, ProcessContext(1.5))
+        # second gap doubles: 0.5 * 2**1 = 1.0
+        assert state.outbox[(1, 0)].next_attempt == pytest.approx(2.5)
+
     def test_max_attempts_caps_retransmission(self):
         adapter = ReliableAdapter(PingerProcess(0, 1, 1, 1.0), 0.5, max_attempts=3)
         state = adapter.initial_state()
@@ -167,3 +204,57 @@ class TestReliableAdapter:
             adapter.fire(state, frames[0], ProcessContext(now))
             now += 0.5
         assert not state.outbox
+
+
+class TestBackoffPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_interval=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=-0.1)
+
+    def test_geometric_growth_capped_at_max_interval(self):
+        policy = BackoffPolicy(factor=2.0, max_interval=3.0)
+        gaps = [policy.gap(0.5, k) for k in range(1, 6)]
+        assert gaps == pytest.approx([0.5, 1.0, 2.0, 3.0, 3.0])
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = BackoffPolicy(factor=2.0, jitter=0.25, seed=42)
+        first = policy.gap(0.5, 3, dst=1, seq=7)
+        # bit-reproducible: a pure function of (seed, dst, seq, attempt)
+        assert policy.gap(0.5, 3, dst=1, seq=7) == first
+        # bounded: raw <= gap <= raw * (1 + jitter)
+        assert 2.0 <= first <= 2.0 * 1.25
+        # and actually sensitive to the key
+        others = {
+            policy.gap(0.5, 3, dst=1, seq=8),
+            policy.gap(0.5, 3, dst=2, seq=7),
+            policy.gap(0.5, 4, dst=1, seq=7),
+        }
+        assert len(others | {first}) == 4
+
+    def test_worst_case_gap_sum(self):
+        policy = BackoffPolicy(factor=2.0, max_interval=3.0, jitter=0.25)
+        # (0.5 + 1.0 + 2.0 + 3.0) * 1.25
+        assert policy.worst_case_gap_sum(0.5, 4) == pytest.approx(8.125)
+        # every sampled schedule is below the analytic bound
+        sampled = sum(policy.gap(0.5, k, dst=1, seq=0) for k in range(1, 5))
+        assert sampled <= policy.worst_case_gap_sum(0.5, 4) + 1e-9
+
+    def test_effective_delay_bounds_with_backoff(self):
+        policy = BackoffPolicy(factor=2.0)
+        # widening: 0.5 + 1.0 + 2.0 = 3.5 instead of 3 * 0.5
+        assert effective_delay_bounds(0.1, 1.0, 0.5, 3, backoff=policy) == (
+            0.1,
+            pytest.approx(4.5),
+        )
+        # factor 1, no jitter degenerates to the flat-interval bound
+        flat = BackoffPolicy(factor=1.0)
+        assert effective_delay_bounds(0.1, 1.0, 0.5, 3, backoff=flat) == (
+            0.1,
+            pytest.approx(effective_delay_bounds(0.1, 1.0, 0.5, 3)[1]),
+        )

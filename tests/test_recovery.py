@@ -1,0 +1,244 @@
+"""Crash–recovery proxies: schedules, restore policies, ARQ interplay."""
+
+import pytest
+
+from repro.automata.actions import Action, action_set
+from repro.automata.signature import Signature
+from repro.components.base import Entity, TimedNodeEntity
+from repro.core.pipeline import SystemSpec, build_timed_system
+from repro.errors import SpecificationError
+from repro.faults.models import ScriptedFaults
+from repro.faults.recovery import (
+    INFINITY,
+    RecoverableEntity,
+    RecoverySchedule,
+)
+from repro.faults.retransmit import ReliableAdapter
+from repro.obs.metrics import MetricsRegistry
+
+from helpers import EchoProcess, PingerProcess, pinger_topology
+
+
+class Chatty(Entity):
+    """Emits SAY every second; counts inputs (same probe as crash tests)."""
+
+    def __init__(self):
+        super().__init__(
+            "chatty",
+            Signature(inputs=action_set("HEAR"), outputs=action_set("SAY")),
+        )
+
+    def initial_state(self):
+        return {"next": 1.0, "heard": 0, "notes": []}
+
+    def enabled(self, state, now):
+        if now >= state["next"] - 1e-9:
+            return [Action("SAY", (0,))]
+        return []
+
+    def fire(self, state, action, now):
+        state["next"] += 1.0
+
+    def apply_input(self, state, action, now):
+        state["heard"] += 1
+
+    def deadline(self, state, now):
+        return state["next"]
+
+
+class TestRecoverySchedule:
+    def test_window_validation(self):
+        with pytest.raises(SpecificationError):
+            RecoverySchedule.of([(-1.0, 2.0)])
+        with pytest.raises(SpecificationError):
+            RecoverySchedule.of([(2.0, 2.0)])  # empty window
+        with pytest.raises(SpecificationError):
+            RecoverySchedule.of([(1.0, 3.0), (2.0, 4.0)])  # overlap
+
+    def test_adjacent_windows_allowed(self):
+        schedule = RecoverySchedule.of([(1.0, 2.0), (2.0, 3.0)])
+        assert schedule.down(1.5) and schedule.down(2.5)
+
+    def test_down_is_half_open(self):
+        schedule = RecoverySchedule.of([(1.0, 2.0)])
+        assert not schedule.down(0.99)
+        assert schedule.down(1.0)  # down at the crash instant
+        assert schedule.down(1.5)
+        assert not schedule.down(2.0)  # up again at the recovery instant
+
+    def test_next_boundary(self):
+        schedule = RecoverySchedule.of([(1.0, 2.0), (5.0, 6.0)])
+        assert schedule.next_boundary(0.0) == 1.0
+        assert schedule.next_boundary(1.0) == 2.0
+        assert schedule.next_boundary(3.0) == 5.0
+        assert schedule.next_boundary(6.0) == INFINITY
+
+    def test_crash_stop_as_special_case(self):
+        schedule = RecoverySchedule.of([(4.0, INFINITY)])
+        assert schedule.down(1e9)
+        assert schedule.next_boundary(4.0) == INFINITY
+
+
+class TestRecoverableEntity:
+    def entity(self, windows, restore="snapshot"):
+        return RecoverableEntity(
+            Chatty(), RecoverySchedule.of(windows), restore=restore
+        )
+
+    def test_restore_policy_validated(self):
+        with pytest.raises(SpecificationError):
+            self.entity([(1.0, 2.0)], restore="voodoo")
+
+    def test_behaves_normally_while_up(self):
+        entity = self.entity([(10.0, 11.0)])
+        state = entity.initial_state()
+        assert entity.enabled(state, 1.0) == [Action("SAY", (0,))]
+        entity.fire(state, Action("SAY", (0,)), 1.0)
+        assert state.inner["next"] == 2.0
+        entity.apply_input(state, Action("HEAR", (0,)), 1.5)
+        assert state.inner["heard"] == 1
+
+    def test_silent_while_down_and_inputs_lost(self):
+        entity = self.entity([(1.5, 4.0)])
+        state = entity.initial_state()
+        entity.apply_input(state, Action("HEAR", (0,)), 1.0)
+        assert entity.enabled(state, 2.0) == []
+        entity.apply_input(state, Action("HEAR", (0,)), 2.5)
+        entity.apply_input(state, Action("HEAR", (0,)), 3.0)
+        assert state.lost_inputs == 2
+        # the deadline while down is exactly the recovery boundary
+        assert entity.deadline(state, 2.0) == pytest.approx(4.0)
+
+    def test_snapshot_restore_resumes_from_the_crash_instant(self):
+        entity = self.entity([(1.5, 4.0)])
+        state = entity.initial_state()
+        entity.fire(state, Action("SAY", (0,)), 1.0)
+        entity.apply_input(state, Action("HEAR", (0,)), 1.2)
+        entity.enabled(state, 2.0)  # first touch while down: snapshots
+        entity.apply_input(state, Action("HEAR", (0,)), 3.0)  # lost
+        assert entity.enabled(state, 4.0) == [Action("SAY", (0,))]
+        assert state.inner["next"] == 2.0  # progress preserved
+        assert state.inner["heard"] == 1  # the down-window input is gone
+        assert state.crashes == 1 and state.recoveries == 1
+        assert [kind for kind, _ in state.log] == ["crash", "recover"]
+
+    def test_initial_restore_is_amnesia(self):
+        entity = self.entity([(1.5, 4.0)], restore="initial")
+        state = entity.initial_state()
+        entity.fire(state, Action("SAY", (0,)), 1.0)
+        entity.apply_input(state, Action("HEAR", (0,)), 1.2)
+        entity.enabled(state, 2.0)
+        entity.enabled(state, 4.0)
+        assert state.inner["next"] == 1.0
+        assert state.inner["heard"] == 0
+
+    def test_snapshot_shares_no_structure_with_escaped_state(self):
+        entity = self.entity([(2.0, 3.0)])
+        state = entity.initial_state()
+        escaped = state.inner["notes"]  # alias taken before the crash
+        escaped.append("pre")
+        entity.enabled(state, 2.0)  # crash: snapshot
+        escaped.append("while-down")  # mutation through the alias
+        entity.enabled(state, 3.0)  # recover: decode from stable storage
+        assert state.inner["notes"] == ["pre"]
+
+    def test_repeated_windows_counted(self):
+        entity = self.entity([(1.0, 2.0), (5.0, 6.0)])
+        state = entity.initial_state()
+        for t in (1.0, 2.0, 5.0, 6.0):
+            entity.enabled(state, t)
+        assert state.crashes == 2 and state.recoveries == 2
+
+    def test_metrics_counters(self):
+        metrics = MetricsRegistry()
+        entity = self.entity([(1.0, 2.0)])
+        entity.instrument(metrics)
+        state = entity.initial_state()
+        entity.enabled(state, 1.0)
+        entity.apply_input(state, Action("HEAR", (0,)), 1.5)
+        entity.enabled(state, 2.0)
+        assert metrics.counter("repro.chaos.crashes").value == 1
+        assert metrics.counter("repro.chaos.recoveries").value == 1
+        assert metrics.counter("repro.chaos.inputs_lost").value == 1
+
+    def test_not_pure_enabled(self):
+        # the enabled set grows at the recovery boundary with no
+        # fire/apply_input to signal it, so the incremental engine must
+        # re-derive it every round
+        assert self.entity([(1.0, 2.0)]).pure_enabled is False
+
+
+class TestRecoveryWithInFlightRetransmissions:
+    """A crash straddling an ARQ retransmission window (satellite 3)."""
+
+    def entity(self, windows):
+        adapter = ReliableAdapter(PingerProcess(0, 1, 1, 1.0), 0.5)
+        return RecoverableEntity(
+            TimedNodeEntity(adapter), RecoverySchedule.of(windows)
+        )
+
+    def test_outbox_survives_the_crash_and_retransmits_late(self):
+        entity = self.entity([(1.2, 3.0)])
+        state = entity.initial_state()
+        entity.fire(state, Action("PING", (0, 1)), 1.0)
+        (frame,) = [
+            a for a in entity.enabled(state, 1.0) if a.name == "SENDMSG"
+        ]
+        assert frame.params[2] == ("DATA", 0, ("ping", 1))
+        entity.fire(state, frame, 1.0)
+        assert state.inner.outbox[(1, 0)].attempts == 1
+        # the retransmission due at 1.5 is silenced by the crash
+        assert entity.enabled(state, 1.5) == []
+        assert entity.deadline(state, 1.5) == pytest.approx(3.0)
+        # the peer's ACK arrives while down: lost, so the entry stays
+        entity.apply_input(
+            state, Action("RECVMSG", (0, 1, ("ACK", 0))), 2.0
+        )
+        assert state.lost_inputs == 1
+        # recovery restores the crash-instant outbox; the overdue
+        # retransmission fires immediately at the recovery time
+        (retx,) = [
+            a for a in entity.enabled(state, 3.0) if a.name == "SENDMSG"
+        ]
+        assert retx.params[2] == ("DATA", 0, ("ping", 1))
+        entity.fire(state, retx, 3.0)
+        entry = state.inner.outbox[(1, 0)]
+        assert entry.attempts == 2
+        assert entry.next_attempt == pytest.approx(3.5)
+
+    def test_ack_after_recovery_clears_the_outbox(self):
+        entity = self.entity([(1.2, 3.0)])
+        state = entity.initial_state()
+        entity.fire(state, Action("PING", (0, 1)), 1.0)
+        (frame,) = [
+            a for a in entity.enabled(state, 1.0) if a.name == "SENDMSG"
+        ]
+        entity.fire(state, frame, 1.0)
+        entity.enabled(state, 1.2)  # crash
+        entity.apply_input(
+            state, Action("RECVMSG", (0, 1, ("ACK", 0))), 3.5
+        )
+        assert not state.inner.outbox
+
+    def test_end_to_end_ping_completes_despite_crash_and_loss(self):
+        # node 0 is down across its ping's due time AND the first DATA
+        # attempt is dropped: the late ping fires at recovery, the
+        # retransmission covers the loss, the pong still arrives
+        def processes(i):
+            if i == 0:
+                return ReliableAdapter(PingerProcess(0, 1, 1, 1.0), 0.5)
+            return ReliableAdapter(EchoProcess(1, 0), 0.5)
+
+        spec = build_timed_system(
+            pinger_topology(), processes, 0.1, 0.3, None,
+            fault_model=ScriptedFaults([0]),
+        )
+        entities = [
+            RecoverableEntity(e, RecoverySchedule.of([(0.5, 2.0)]))
+            if e.name.startswith("arq(pinger") else e
+            for e in spec.entities
+        ]
+        result = SystemSpec(entities=entities, hidden=spec.hidden).run(10.0)
+        pongs = [e for e in result.trace if e.action.name == "GOTPONG"]
+        assert len(pongs) == 1
+        assert pongs[0].time >= 2.0  # necessarily after the recovery

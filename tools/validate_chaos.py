@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Validate chaos fault-plan files and re-run the demo/shrinker fixture.
+
+Usage::
+
+    python tools/validate_chaos.py                        # fixture only
+    python tools/validate_chaos.py plan.json plan.toml    # plans + fixture
+    python tools/validate_chaos.py --strict plan.toml     # demand pairing
+    python tools/validate_chaos.py --write-demo /tmp/demo.json
+
+Checks, in order:
+
+1. **Plan schema** — each given file loads as a ``repro-fault-plan``
+   document (JSON, or TOML on Python 3.11+) and passes
+   ``FaultPlan.validate`` (``--strict`` additionally demands
+   crash/recover and partition/heal pairing).
+2. **Demo fixture** (skip with ``--skip-fixture``) — the canonical
+   clock-fault demo (``repro.chaos.runner.run_demo``) must surface
+   violations, attribute every one to the scripted ``clock_fault``,
+   stay trace-identical between the incremental and full-scan engine
+   cores, and ddmin-shrink to the single-event witness.
+
+``--write-demo PATH`` saves the demo plan to PATH first and validates
+it like any given file (how CI exercises the file round-trip).
+
+Exits 0 when all checks pass, 1 on failures (printed one per line),
+2 on usage errors.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.chaos.plan import FaultPlan  # noqa: E402
+from repro.chaos.runner import (  # noqa: E402
+    DEMO_HORIZON,
+    conformance_check,
+    demo_builder,
+    demo_monitors,
+    demo_plan,
+    run_demo,
+)
+
+
+def check_plan(path, strict):
+    try:
+        plan = FaultPlan.load(path)
+    except Exception as exc:  # unreadable, bad format, bad TOML, ...
+        return [f"{path}: {exc}"]
+    try:
+        plan.validate(strict=strict)
+    except Exception as exc:
+        return [f"{path}: {exc}"]
+    print(f"{path}: OK ({plan.name!r}, {len(plan.events)} event(s))")
+    return []
+
+
+def check_fixture():
+    problems = []
+    outcome, shrunk = run_demo(shrink=True)
+    if not outcome.violated:
+        return ["fixture: demo run produced no violations"]
+    for v in outcome.violations:
+        if v.event is None or v.event.kind != "clock_fault":
+            problems.append(
+                f"fixture: violation [{v.kind}] t={v.time:g} attributed to "
+                f"{v.event.kind if v.event else None!r}, not the clock_fault"
+            )
+    try:
+        conformance_check(
+            demo_builder, demo_plan(), DEMO_HORIZON,
+            monitors_factory=demo_monitors,
+        )
+    except AssertionError as exc:
+        problems.append(f"fixture: {exc}")
+    if shrunk is None:
+        problems.append("fixture: shrinker did not run")
+    elif len(shrunk.witness.events) != 1:
+        problems.append(
+            f"fixture: witness has {len(shrunk.witness.events)} event(s), "
+            f"expected the single clock_fault"
+        )
+    elif shrunk.witness.events[0].kind != "clock_fault":
+        problems.append(
+            f"fixture: witness event is {shrunk.witness.events[0].kind!r}, "
+            f"expected 'clock_fault'"
+        )
+    if not problems:
+        print(
+            f"fixture: OK ({len(outcome.violations)} violation(s) attributed "
+            f"to the clock_fault, cores trace-identical, witness is 1 event "
+            f"in {shrunk.tests} oracle run(s))"
+        )
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "plans", nargs="*", metavar="PLAN",
+        help="fault-plan files (.json / .toml) to validate",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="demand crash/recover and partition/heal pairing",
+    )
+    parser.add_argument(
+        "--skip-fixture", action="store_true",
+        help="only validate the given plan files",
+    )
+    parser.add_argument(
+        "--write-demo", metavar="PATH", default=None,
+        help="save the demo plan to PATH and validate it too",
+    )
+    args = parser.parse_args(argv)
+
+    paths = list(args.plans)
+    if args.write_demo:
+        demo_plan().save(args.write_demo)
+        paths.append(args.write_demo)
+    if not paths and args.skip_fixture:
+        parser.error("nothing to do: no plan files and --skip-fixture")
+
+    problems = []
+    for path in paths:
+        problems += check_plan(path, args.strict)
+    if not args.skip_fixture:
+        problems += check_fixture()
+    if problems:
+        for problem in problems:
+            print(problem)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
