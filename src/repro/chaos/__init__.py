@@ -33,6 +33,7 @@ from repro.chaos.plan import (
 )
 from repro.chaos.runner import (
     ChaosResult,
+    causal_attribution,
     conformance_check,
     demo_builder,
     demo_monitors,
@@ -63,6 +64,7 @@ __all__ = [
     "TeeTracer",
     "Violation",
     "ChaosResult",
+    "causal_attribution",
     "run_chaos",
     "run_demo",
     "shrink_chaos",

@@ -429,6 +429,10 @@ class TeeTracer(Tracer):
         for t in self.tracers:
             t.run_end(now, steps)
 
+    def meta(self, payload):
+        for t in self.tracers:
+            t.meta(payload)
+
     def close(self):
         for t in self.tracers:
             t.close()

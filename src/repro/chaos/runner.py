@@ -267,6 +267,39 @@ def demo_monitors(plan: FaultPlan) -> List[ChaosMonitor]:
     ]
 
 
+def causal_attribution(trace_path: str) -> str:
+    """Render a causal attribution summary of a chaos run's trace.
+
+    Reconstructs the happens-before DAG from the trace file a chaos run
+    wrote (``--trace-out`` / ``--causal``) and summarizes where message
+    latency went, phase by phase — including the spans that never
+    completed because a fault dropped or stranded them.
+    """
+    from repro.obs.causal import CausalTrace
+
+    trace = CausalTrace.from_file(trace_path)
+    lines = [
+        f"causal attribution: {len(trace.events)} events, "
+        f"{len(trace.spans)} message spans, {len(trace.ops)} operation spans"
+    ]
+    problems = trace.check()
+    lines.append(
+        "  happens-before DAG: "
+        + ("acyclic, sound" if not problems else "; ".join(problems))
+    )
+    delivered = sum(1 for span in trace.spans if span.delivered)
+    lines.append(
+        f"  delivered {delivered}/{len(trace.spans)} message spans; "
+        f"{len(trace.open_spans)} open (dropped or in flight at the horizon)"
+    )
+    for label, stats in sorted(trace.phase_summary().items()):
+        lines.append(
+            f"  phase {label:<12} n={stats['count']:<5} "
+            f"mean={stats['mean']:.4f} max={stats['max']:.4f}"
+        )
+    return "\n".join(lines)
+
+
 def run_demo(
     shrink: bool = False, incremental: bool = True
 ) -> "tuple[ChaosResult, Optional[ShrinkResult]]":

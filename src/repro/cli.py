@@ -109,40 +109,63 @@ def _finish_obs(args, metrics, tracer) -> None:
         print(f"metrics -> {args.metrics_out}")
 
 
-def _register(args) -> int:
+def _register_params(args) -> dict:
+    """The workload parameters stamped into trace ``meta`` records.
+
+    ``python -m repro trace`` reads these back, so a traced register run
+    can be bound-checked later without repeating the flags.
+    """
+    return {
+        "workload": "register", "model": args.model, "n": args.n,
+        "d1": args.d1, "d2": args.d2, "eps": args.eps, "c": args.c,
+        "delta": getattr(args, "delta", 0.01), "ops": args.ops,
+        "read_fraction": args.read_fraction, "seed": args.seed,
+        "driver": args.driver, "horizon": args.horizon,
+    }
+
+
+def _build_register_spec(args):
     workload = RegisterWorkload(
         operations=args.ops, read_fraction=args.read_fraction, seed=args.seed
     )
-    drivers = driver_factory(args.driver, args.eps, seed=args.seed)
     delay = UniformDelay(seed=args.seed)
+    delta = getattr(args, "delta", 0.01)
     if args.model == "timed":
-        spec = timed_register_system(
+        return timed_register_system(
             n=args.n, d1_prime=args.d1, d2_prime=args.d2, c=args.c,
-            workload=workload, algorithm="L", delay_model=delay,
+            workload=workload, algorithm="L", delta=delta, delay_model=delay,
         )
-    elif args.model == "clock":
-        spec = clock_register_system(
+    drivers = driver_factory(args.driver, args.eps, seed=args.seed)
+    if args.model == "clock":
+        return clock_register_system(
             n=args.n, d1=args.d1, d2=args.d2, c=args.c, eps=args.eps,
-            workload=workload, drivers=drivers, delay_model=delay,
+            workload=workload, drivers=drivers, delta=delta,
+            delay_model=delay,
         )
-    elif args.model == "baseline":
-        spec = baseline_register_system(
+    if args.model == "baseline":
+        return baseline_register_system(
             n=args.n, d1=args.d1, d2=args.d2, eps=args.eps,
             workload=workload, drivers=drivers, delay_model=delay,
         )
-    else:  # mmt
-        def sources(i):
-            if i % 2 == 0:
-                return OffsetClockSource(args.eps, args.eps)
-            return OffsetClockSource(args.eps, -args.eps)
 
-        spec = mmt_register_system(
-            n=args.n, d1=args.d1, d2=args.d2, c=args.c, eps=args.eps,
-            step_bound=args.step_bound, sources=sources, workload=workload,
-            step_policy_factory=lambda i: UniformStepPolicy(seed=i),
-            delay_model=delay,
-        )
+    def sources(i):
+        if i % 2 == 0:
+            return OffsetClockSource(args.eps, args.eps)
+        return OffsetClockSource(args.eps, -args.eps)
+
+    return mmt_register_system(
+        n=args.n, d1=args.d1, d2=args.d2, c=args.c, eps=args.eps,
+        step_bound=args.step_bound, sources=sources, workload=workload,
+        step_policy_factory=lambda i: UniformStepPolicy(seed=i),
+        delta=delta, delay_model=delay,
+    )
+
+
+def _register(args) -> int:
+    spec = _build_register_spec(args)
     metrics, tracer = _obs(args)
+    if tracer is not None:
+        tracer.meta(_register_params(args))
     run = run_register_experiment(
         spec, args.horizon, max_steps=3_000_000, metrics=metrics, tracer=tracer
     )
@@ -408,8 +431,12 @@ def _sweep(args) -> int:
 
 
 def _chaos(args) -> int:
+    import os
+    import tempfile
+
     from repro.chaos import (
         FaultPlan,
+        causal_attribution,
         conformance_check,
         demo_builder,
         demo_monitors,
@@ -429,11 +456,28 @@ def _chaos(args) -> int:
     else:
         plan = demo_plan()
     metrics, tracer = _obs(args)
+    causal_path = args.trace_out
+    causal_tmp = False
+    if args.causal and tracer is None:
+        # --causal needs a trace on disk; keep a temporary one
+        fd, causal_path = tempfile.mkstemp(
+            prefix="repro-chaos-", suffix=".jsonl"
+        )
+        os.close(fd)
+        causal_tmp = True
+        tracer = JsonlTracer(causal_path)
     outcome = run_chaos(
         demo_builder, plan, horizon, monitors_factory=demo_monitors,
         incremental=not args.full_scan, metrics=metrics, tracer=tracer,
     )
+    if causal_tmp:
+        tracer.close()
+        tracer = None
     _finish_obs(args, metrics, tracer)
+    if args.causal:
+        print(causal_attribution(causal_path))
+        if causal_tmp:
+            os.unlink(causal_path)
     print(f"plan {plan.name!r}: {len(plan)} event(s), horizon {horizon:g}")
     for event in plan.events:
         print(f"  {event.describe()}")
@@ -462,6 +506,94 @@ def _chaos(args) -> int:
     if args.expect == "clean":
         return 1 if outcome.violated else 0
     return 0
+
+
+def _trace(args) -> int:
+    """Analyze a trace file — or run the default workload and analyze that."""
+    import os
+    import tempfile
+
+    from repro.obs.causal import CausalTrace, check_bounds
+
+    path = args.trace_file
+    cleanup = False
+    if path is None:
+        # No trace given: run the default register workload, traced.
+        path = args.out
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="repro-trace-", suffix=".jsonl")
+            os.close(fd)
+            cleanup = True
+        spec = _build_register_spec(args)
+        tracer = JsonlTracer(path)
+        tracer.meta(_register_params(args))
+        run_register_experiment(
+            spec, args.horizon, max_steps=3_000_000, tracer=tracer
+        )
+        tracer.close()
+        print(f"ran the default {args.model} register workload -> {path}"
+              + (" (temporary)" if cleanup else ""))
+    try:
+        trace = CausalTrace.from_file(path)
+        # meta-recorded parameters win over flag defaults: the trace
+        # knows what run produced it
+        params = {
+            key: float(trace.meta.get(key, getattr(args, key)))
+            for key in ("eps", "c", "delta", "d1", "d2")
+        }
+        model = trace.meta.get("model", args.model)
+
+        status = 0
+        analyze = args.analyze or not (args.critical_path or args.assert_bounds)
+        if analyze:
+            problems = trace.check()
+            delivered = sum(1 for s in trace.spans if s.delivered)
+            print(f"trace: {len(trace.events)} events, {len(trace.spans)} "
+                  f"message spans ({delivered} delivered, "
+                  f"{len(trace.open_spans)} open), {len(trace.ops)} "
+                  f"operation spans")
+            print("happens-before DAG: "
+                  + ("acyclic, sound" if not problems else "; ".join(problems)))
+            for label, stats in sorted(trace.phase_summary().items()):
+                print(f"  phase {label:<12} n={stats['count']:<5} "
+                      f"mean={stats['mean']:.4f} max={stats['max']:.4f}")
+            if problems:
+                status = 1
+        if args.critical_path:
+            ops = trace.completed_ops()
+            if args.critical_path != "all":
+                ops = [op for op in ops if op.sid == args.critical_path]
+                if not ops:
+                    print(f"no completed operation {args.critical_path!r} "
+                          f"in the trace", file=sys.stderr)
+                    status = 1
+            for op in ops:
+                segs = ", ".join(
+                    f"{seg.label}={seg.duration:.4f}"
+                    for seg in trace.critical_path(op)
+                )
+                print(f"{op.sid} [{op.kind}@{op.node}] "
+                      f"latency={op.latency:.4f}: {segs}")
+                for chain in trace.propagation(op):
+                    hops = " + ".join(
+                        f"{seg.label}={seg.duration:.4f}"
+                        for seg in chain.segments
+                    )
+                    print(f"  propagation -> node {chain.dst}: {hops} "
+                          f"= {chain.total:.4f}")
+        if args.assert_bounds:
+            if model not in ("timed", "clock", "mmt"):
+                print(f"error: no Theorem 6.5 bounds for model {model!r}",
+                      file=sys.stderr)
+                return 2
+            report = check_bounds(trace, model, **params)
+            print(report.render())
+            if not report.ok:
+                status = 1
+        return status
+    finally:
+        if cleanup:
+            os.unlink(path)
 
 
 def _report(args) -> int:
@@ -519,10 +651,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="clock",
                    choices=["timed", "clock", "mmt", "baseline"])
     p.add_argument("--c", type=float, default=0.3)
+    p.add_argument("--delta", type=float, default=0.01)
     p.add_argument("--ops", type=int, default=8)
     p.add_argument("--read-fraction", type=float, default=0.5)
     p.add_argument("--step-bound", type=float, default=0.05)
     p.set_defaults(func=_register)
+
+    p = sub.add_parser(
+        "trace",
+        help="analyze a causal trace (or run the default workload and "
+             "analyze it)",
+    )
+    p.add_argument("trace_file", nargs="?", default=None,
+                   help="JSONL trace from --trace-out; omitted = run the "
+                        "default register workload first")
+    p.add_argument("--analyze", action="store_true",
+                   help="print the causal graph and per-phase summary "
+                        "(default when no other mode is given)")
+    p.add_argument("--critical-path", metavar="SID", nargs="?", const="all",
+                   default=None,
+                   help="print per-operation critical paths and write "
+                        "propagation chains (SID or all)")
+    p.add_argument("--assert-bounds", action="store_true",
+                   help="check observed latencies against the Theorem 6.5 "
+                        "bounds; exit 1 on violation")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="keep the freshly generated trace at FILE")
+    common(p)
+    p.add_argument("--model", default="clock",
+                   choices=["timed", "clock", "mmt", "baseline"])
+    p.add_argument("--c", type=float, default=0.3)
+    p.add_argument("--delta", type=float, default=0.01)
+    p.add_argument("--ops", type=int, default=8)
+    p.add_argument("--read-fraction", type=float, default=0.5)
+    p.add_argument("--step-bound", type=float, default=0.05)
+    p.set_defaults(func=_trace)
 
     p = sub.add_parser("object", help="run a generalized-object experiment")
     common(p)
@@ -622,6 +785,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the full-scan engine core (default: incremental)")
     p.add_argument("--expect", choices=["violation", "clean"], default=None,
                    help="exit non-zero unless the run matches")
+    p.add_argument("--causal", action="store_true",
+                   help="reconstruct the causal graph after the run and "
+                        "print per-phase latency attribution")
     obs(p)
     p.set_defaults(func=_chaos)
 

@@ -35,6 +35,7 @@ from repro.errors import TransitionError
 from repro.obs.metrics import (
     NULL_GAUGE,
     NULL_HISTOGRAM,
+    NULL_SKETCH,
     OCCUPANCY_BUCKETS,
     SKEW_BUCKETS,
 )
@@ -53,6 +54,7 @@ class SendBuffer:
     queue: List[Stamped] = field(default_factory=list)
     occupancy_hist: object = field(default=NULL_HISTOGRAM, repr=False, compare=False)
     occupancy_gauge: object = field(default=NULL_GAUGE, repr=False, compare=False)
+    hold_sketch: object = field(default=NULL_SKETCH, repr=False, compare=False)
     # Monotonic min-deque over queued stamps: front always holds the
     # minimum, making clock_deadline O(1) instead of an O(n) scan on
     # the engine's time-advance hot path. Maintained by enqueue/emit;
@@ -69,6 +71,7 @@ class SendBuffer:
         self.occupancy_gauge = metrics.gauge(
             f"repro.buffer.occupancy[S:{self.src}->{self.dst}]"
         )
+        self.hold_sketch = metrics.sketch("repro.phase.send_buffer")
 
     def enqueue(self, message: object, clock: float) -> None:
         """``SENDMSG_i(j, m)`` effect: remember ``(m, clock)``."""
@@ -107,6 +110,9 @@ class SendBuffer:
         if self._min_stamps and self._min_stamps[0] == entry[1]:
             self._min_stamps.popleft()
         self.occupancy_gauge.set(float(len(self.queue)))
+        # the clock-time hold between buffering and emission (the
+        # time-passage guard makes this ~0 in a fault-free run)
+        self.hold_sketch.observe(max(0.0, clock - entry[1]))
         return entry
 
     def clock_deadline(self) -> float:
@@ -128,6 +134,7 @@ class ReceiveBuffer:
     occupancy_hist: object = field(default=NULL_HISTOGRAM, repr=False, compare=False)
     occupancy_gauge: object = field(default=NULL_GAUGE, repr=False, compare=False)
     hold_hist: object = field(default=NULL_HISTOGRAM, repr=False, compare=False)
+    hold_sketch: object = field(default=NULL_SKETCH, repr=False, compare=False)
 
     def bind_instruments(self, metrics) -> None:
         """Publish occupancy samples, a depth gauge, and hold times."""
@@ -140,6 +147,7 @@ class ReceiveBuffer:
         self.hold_hist = metrics.histogram(
             "repro.buffer.hold_time", SKEW_BUCKETS
         )
+        self.hold_sketch = metrics.sketch("repro.phase.recv_buffer")
 
     def enqueue(self, message: object, stamp: float, clock: float) -> None:
         """``ERECVMSG_i(j, (m, c))`` effect: buffer, ordered by stamp.
@@ -151,6 +159,9 @@ class ReceiveBuffer:
             self.held_count += 1
             self.total_hold_clock += stamp - clock
             self.hold_hist.observe(stamp - clock)
+        # sketch the hold unconditionally (zeros included) so the phase
+        # breakdown's quantiles reflect *all* arrivals, not just held ones
+        self.hold_sketch.observe(max(0.0, stamp - clock))
         entry = (message, stamp)
         index = len(self.queue)
         while index > 0 and self.queue[index - 1][1] > stamp:

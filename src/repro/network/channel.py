@@ -36,6 +36,7 @@ from repro.obs.metrics import (
     NULL_COUNTER,
     NULL_GAUGE,
     NULL_HISTOGRAM,
+    NULL_SKETCH,
     OCCUPANCY_BUCKETS,
 )
 from repro.sim.delay import ConstantFractionDelay, DelayModel
@@ -96,6 +97,7 @@ class ChannelEntity(Entity):
         self._sent = NULL_COUNTER
         self._delivered = NULL_COUNTER
         self._latency = NULL_HISTOGRAM
+        self._latency_sketch = NULL_SKETCH
         self._occupancy = NULL_HISTOGRAM
         self._depth = NULL_GAUGE
 
@@ -108,6 +110,7 @@ class ChannelEntity(Entity):
         self._latency = metrics.histogram(
             "repro.channel.delivery_latency", LATENCY_BUCKETS
         )
+        self._latency_sketch = metrics.sketch("repro.phase.channel")
         self._occupancy = metrics.histogram(
             "repro.channel.occupancy", OCCUPANCY_BUCKETS
         )
@@ -157,6 +160,7 @@ class ChannelEntity(Entity):
                 state.delivered += 1
                 self._delivered.inc()
                 self._latency.observe(now - item.send_time)
+                self._latency_sketch.observe(now - item.send_time)
                 self._depth.set(float(len(state.buffer)))
                 return
         raise TransitionError(f"{self.name}: no deliverable message {message!r}")

@@ -1,18 +1,31 @@
-"""Observability: metrics registry, structured trace export, dashboards.
+"""Observability: metrics registry, trace export, causal analysis.
 
 - :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms,
   deterministic JSON snapshots, null instruments for the disabled path;
+- :mod:`repro.obs.sketch` — mergeable quantile sketches (percentiles
+  that aggregate byte-identically across campaign workers);
 - :mod:`repro.obs.trace` — JSONL span/event tracer for the engine hot
   loop (null-object pattern when disabled);
+- :mod:`repro.obs.causal` — causal span correlation, happens-before
+  reconstruction, critical paths, and Theorem 6.5 bound checks
+  (``python -m repro trace``);
 - :mod:`repro.obs.schema` — JSON-schema validation of both export
   formats (the CI contract);
 - :mod:`repro.obs.dashboard` — ASCII rendering for
   ``python -m repro report``.
 
-See ``docs/observability.md`` for the metric name schema and worked
-examples.
+See ``docs/observability.md`` for the metric name schema, the span
+lifecycle, and worked examples.
 """
 
+from repro.obs.causal import (
+    BoundReport,
+    CausalTrace,
+    MessageSpan,
+    OperationSpan,
+    SpanBook,
+    check_bounds,
+)
 from repro.obs.metrics import (
     CANONICAL_STAT_KEYS,
     CONTENTION_BUCKETS,
@@ -25,6 +38,7 @@ from repro.obs.metrics import (
     NULL_GAUGE,
     NULL_HISTOGRAM,
     NULL_METRICS,
+    NULL_SKETCH,
     NullMetrics,
     OCCUPANCY_BUCKETS,
     SKEW_BUCKETS,
@@ -32,27 +46,37 @@ from repro.obs.metrics import (
     registry_from_snapshot,
     stats_from_metrics,
 )
+from repro.obs.sketch import QuantileSketch, quantile_triplet
 from repro.obs.trace import JsonlTracer, NULL_TRACER, Tracer, read_trace
 
 __all__ = [
+    "BoundReport",
     "CANONICAL_STAT_KEYS",
     "CONTENTION_BUCKETS",
+    "CausalTrace",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonlTracer",
     "LATENCY_BUCKETS",
+    "MessageSpan",
     "MetricsRegistry",
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_METRICS",
+    "NULL_SKETCH",
     "NULL_TRACER",
     "NullMetrics",
     "OCCUPANCY_BUCKETS",
+    "OperationSpan",
+    "QuantileSketch",
     "SKEW_BUCKETS",
+    "SpanBook",
     "Tracer",
+    "check_bounds",
     "merge_snapshots",
+    "quantile_triplet",
     "read_trace",
     "registry_from_snapshot",
     "stats_from_metrics",

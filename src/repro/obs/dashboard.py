@@ -12,8 +12,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.analysis.report import Table
+from repro.obs.sketch import QuantileSketch, quantile_triplet
 
 BAR_WIDTH = 24
+
+PHASE_PREFIX = "repro.phase."
+OP_PREFIX = "repro.op."
 
 
 def _bar(fraction: float, width: int = BAR_WIDTH) -> str:
@@ -45,6 +49,40 @@ def _render_histogram(name: str, hist: Dict[str, object]) -> List[str]:
     return lines
 
 
+def _render_phase_breakdown(sketches: Dict[str, Dict[str, object]]) -> str:
+    """Per-phase latency panel: where message time goes, proportionally.
+
+    Picks out the ``repro.phase.*`` sketches (send buffer, channel,
+    receive buffer) fed by the pipeline stages and the ``repro.op.*``
+    operation-latency sketches fed by the register workload, and renders
+    each phase's share of the summed mean latency as a bar — a quick
+    visual answer to "which lifecycle phase dominates?".
+    """
+    phases = []
+    for name in sorted(sketches):
+        if name.startswith(PHASE_PREFIX):
+            label = name[len(PHASE_PREFIX):]
+        elif name.startswith(OP_PREFIX):
+            label = name[len(OP_PREFIX):]
+        else:
+            continue
+        sketch = QuantileSketch.from_dict(name, sketches[name])
+        if not sketch.count:
+            continue
+        phases.append((label, sketch.mean, sketch.count))
+    if not phases:
+        return ""
+    lines = ["== latency by phase (mean, simulated time) =="]
+    peak = max(mean for _, mean, _ in phases) or 1.0
+    label_width = max(len(label) for label, _, _ in phases)
+    for label, mean, count in phases:
+        lines.append(
+            f"   {label.rjust(label_width)} |{_bar(mean / peak)}| "
+            f"{mean:.4g} (n={count})"
+        )
+    return "\n".join(lines)
+
+
 def render_dashboard(
     snapshot: Dict[str, object],
     trace_summary: Optional[Dict[str, int]] = None,
@@ -73,6 +111,24 @@ def render_dashboard(
             lines.extend(_render_histogram(name, histograms[name]))
         sections.append("\n".join(lines))
 
+    sketches = snapshot.get("sketches") or {}
+    if sketches:
+        table = Table(
+            "latency quantiles (simulated time)",
+            ["name", "n", "p50", "p95", "p99", "max"],
+        )
+        for name in sorted(sketches):
+            sketch = QuantileSketch.from_dict(name, sketches[name])
+            p50, p95, p99 = quantile_triplet(sketch)
+            table.add_row(
+                name, sketch.count, f"{p50:.4g}", f"{p95:.4g}",
+                f"{p99:.4g}", f"{sketch.maximum:.4g}",
+            )
+        sections.append(table.render())
+        phase_panel = _render_phase_breakdown(sketches)
+        if phase_panel:
+            sections.append(phase_panel)
+
     if trace_summary:
         table = Table("trace events", ["kind", "records"])
         for kind in sorted(trace_summary):
@@ -80,7 +136,7 @@ def render_dashboard(
         sections.append(table.render())
 
     if not sections:
-        return "(empty snapshot: no counters, gauges, or histograms)"
+        return "(empty snapshot: no counters, gauges, histograms, or sketches)"
     return "\n\n".join(sections)
 
 

@@ -28,15 +28,29 @@ import json
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch
+
 FORMAT = "repro-metrics"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+# Version history:
+#   1 — counters / gauges / histograms
+#   2 — adds the "sketches" section (mergeable quantile sketches)
 
 # -- shared fixed bucket sets (upper bounds, ascending; +inf implicit) -------
 
 LATENCY_BUCKETS: Tuple[float, ...] = (
     0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
-"""Delivery latencies and hold times, in simulated time units."""
+"""Delivery latencies and hold times, in **simulated-time units**.
+
+These bounds are in the model's own time scale (the unit of ``d1``,
+``d2``, ``eps``, horizons — seconds of *simulated* time), never
+wall-clock seconds of the host process. Wall-clock quantities are
+volatile gauges, not histograms. Pick workload parameters with these
+buckets in mind, or register a histogram with custom bounds (or a
+:class:`~repro.obs.sketch.QuantileSketch`, which needs no bounds at
+all) when latencies fall outside ``[0.01, 10.0]``.
+"""
 
 SKEW_BUCKETS: Tuple[float, ...] = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
@@ -75,6 +89,9 @@ class _NullInstrument:
     def count(self) -> int:
         return 0
 
+    def quantile(self, q: float) -> float:
+        return 0.0
+
     def __repr__(self) -> str:
         return "<NullInstrument>"
 
@@ -82,6 +99,7 @@ class _NullInstrument:
 NULL_COUNTER = _NullInstrument()
 NULL_GAUGE = _NullInstrument()
 NULL_HISTOGRAM = _NullInstrument()
+NULL_SKETCH = _NullInstrument()
 
 
 class Counter:
@@ -185,6 +203,48 @@ class Histogram:
     def maximum(self) -> float:
         return self._max if self._count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear bucket interpolation.
+
+        Finds the bucket holding rank ``q * (count - 1)`` and
+        interpolates linearly across its ``(lower, upper]`` range —
+        the observed min/max stand in for the open edges (below the
+        first bound, above the last), and the estimate is clamped into
+        ``[min, max]``. Accuracy is bounded by the bucket width at that
+        rank; prefer a :class:`~repro.obs.sketch.QuantileSketch` when
+        relative error matters. 0.0 on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if not self._count:
+            return 0.0
+        if q == 0.0:
+            return self.minimum
+        if q == 1.0:
+            return self.maximum
+        rank = q * (self._count - 1)
+        cumulative = 0
+        for idx, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if rank < cumulative + bucket_count:
+                if idx == 0:
+                    lower = min(self._min, self.bounds[0])
+                else:
+                    lower = self.bounds[idx - 1]
+                if idx < len(self.bounds):
+                    upper = self.bounds[idx]
+                else:
+                    upper = self._max
+                if bucket_count > 1:
+                    position = (rank - cumulative) / (bucket_count - 1)
+                else:
+                    position = 0.5
+                estimate = lower + (upper - lower) * position
+                return min(max(estimate, self._min), self._max)
+            cumulative += bucket_count
+        return self.maximum
+
     def to_dict(self) -> Dict[str, object]:
         """The histogram as a plain (JSON-ready) dict."""
         return {
@@ -201,7 +261,7 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named counters, gauges, and histograms with JSON export.
+    """Named counters, gauges, histograms, and sketches with JSON export.
 
     Instruments are created on first use and shared thereafter;
     ``volatile=True`` marks an instrument as wall-clock dependent, kept
@@ -212,6 +272,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._sketches: Dict[str, QuantileSketch] = {}
         self._volatile: set = set()
 
     # -- instrument access -------------------------------------------------
@@ -251,6 +312,22 @@ class MetricsRegistry:
             )
         return instrument
 
+    def sketch(
+        self, name: str, alpha: float = DEFAULT_ALPHA, volatile: bool = False,
+    ) -> QuantileSketch:
+        """Get-or-create the named quantile sketch (``alpha`` on creation)."""
+        instrument = self._sketches.get(name)
+        if instrument is None:
+            instrument = self._sketches[name] = QuantileSketch(name, alpha)
+            if volatile:
+                self._volatile.add(name)
+        elif abs(instrument.alpha - alpha) > 1e-12:
+            raise ValueError(
+                f"sketch {name!r} already registered with alpha "
+                f"{instrument.alpha:g}"
+            )
+        return instrument
+
     # -- export ------------------------------------------------------------
 
     def snapshot(self, include_volatile: bool = False) -> Dict[str, object]:
@@ -273,6 +350,11 @@ class MetricsRegistry:
                 for n, h in sorted(self._histograms.items())
                 if keep(n)
             },
+            "sketches": {
+                n: s.to_dict()
+                for n, s in sorted(self._sketches.items())
+                if keep(n)
+            },
         }
 
     def to_json(self, include_volatile: bool = False) -> str:
@@ -293,7 +375,8 @@ class MetricsRegistry:
         """Fold ``other`` into this registry (for sharded/multi-run sweeps).
 
         Counters add; histograms add bucket counts and combine
-        count/sum/min/max (bounds must agree); gauges combine by
+        count/sum/min/max (bounds must agree); sketches add bucket
+        counts likewise (alpha must agree); gauges combine by
         maximum — the only order-independent choice for point-in-time
         values such as queue depths and skew maxima.
         """
@@ -317,11 +400,16 @@ class MetricsRegistry:
             mine._sum += hist._sum
             mine._min = min(mine._min, hist._min)
             mine._max = max(mine._max, hist._max)
+        for name, sketch in other._sketches.items():
+            self.sketch(
+                name, alpha=sketch.alpha, volatile=name in other._volatile
+            ).merge(sketch)
 
     def __repr__(self) -> str:
         return (
             f"<MetricsRegistry: {len(self._counters)} counters, "
-            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms>"
+            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms, "
+            f"{len(self._sketches)} sketches>"
         )
 
 
@@ -349,6 +437,9 @@ def registry_from_snapshot(payload: Dict[str, object]) -> MetricsRegistry:
         if instrument._count:
             instrument._min = float(hist["min"])
             instrument._max = float(hist["max"])
+    # version-1 snapshots carry no "sketches" section; tolerate both
+    for name, sketch in (payload.get("sketches") or {}).items():
+        registry._sketches[name] = QuantileSketch.from_dict(name, sketch)
     return registry
 
 
@@ -390,6 +481,12 @@ class NullMetrics:
         """The shared no-op histogram."""
         return NULL_HISTOGRAM
 
+    def sketch(
+        self, name: str, alpha: float = DEFAULT_ALPHA, volatile: bool = False,
+    ) -> _NullInstrument:
+        """The shared no-op sketch."""
+        return NULL_SKETCH
+
     def snapshot(self, include_volatile: bool = False) -> Dict[str, object]:
         """An empty (but schema-valid) snapshot."""
         return {
@@ -398,6 +495,7 @@ class NullMetrics:
             "counters": {},
             "gauges": {},
             "histograms": {},
+            "sketches": {},
         }
 
     def to_json(self, include_volatile: bool = False) -> str:

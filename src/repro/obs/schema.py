@@ -7,9 +7,20 @@ Schema dicts (documentation and interop) and enforced by a small
 hand-rolled validator — the library has no dependencies, and the subset
 of JSON Schema we need (types, required keys, enum, items) is tiny.
 
+Both export formats are versioned and both validators are
+version-aware: metrics version 2 adds the ``sketches`` section, trace
+version 2 adds the ``span``/``meta`` record kinds. A file must be
+internally consistent with the version its header declares — a
+version-1 trace carrying ``span`` records, or a second header mid-file
+(two traces concatenated), is *mixed-version* and rejected with an
+error saying so.
+
 Run directly::
 
-    python -m repro.obs.schema metrics.json trace.jsonl
+    python -m repro.obs.schema metrics.json trace.jsonl ...
+
+Any number of files; ``.jsonl`` files validate as traces, everything
+else as metrics snapshots.
 """
 
 from __future__ import annotations
@@ -19,13 +30,23 @@ import sys
 from typing import Dict, List
 
 from repro.obs.metrics import FORMAT, FORMAT_VERSION
-from repro.obs.trace import TRACE_FORMAT, TRACE_KINDS, TRACE_VERSION
+from repro.obs.sketch import validate_sketch_dict
+from repro.obs.trace import (
+    KINDS_BY_VERSION,
+    SUPPORTED_TRACE_VERSIONS,
+    TRACE_FORMAT,
+    TRACE_KINDS,
+    TRACE_VERSION,
+)
+
+SUPPORTED_METRICS_VERSIONS = (1, 2)
 
 METRICS_SCHEMA: Dict[str, object] = {
     "$schema": "http://json-schema.org/draft-07/schema#",
     "title": "repro metrics snapshot",
     "type": "object",
-    "required": ["format", "version", "counters", "gauges", "histograms"],
+    "required": ["format", "version", "counters", "gauges", "histograms",
+                 "sketches"],
     "properties": {
         "format": {"const": FORMAT},
         "version": {"const": FORMAT_VERSION},
@@ -46,6 +67,29 @@ METRICS_SCHEMA: Dict[str, object] = {
                 },
             },
         },
+        "sketches": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["alpha", "zero", "buckets", "count", "sum",
+                             "min", "max"],
+                "properties": {
+                    "alpha": {"type": "number"},
+                    "zero": {"type": "integer"},
+                    "buckets": {
+                        "type": "array",
+                        "items": {
+                            "type": "array",
+                            "items": {"type": "integer"},
+                        },
+                    },
+                    "count": {"type": "integer"},
+                    "sum": {"type": "number"},
+                    "min": {"type": "number"},
+                    "max": {"type": "number"},
+                },
+            },
+        },
     },
 }
 
@@ -56,7 +100,7 @@ TRACE_HEADER_SCHEMA: Dict[str, object] = {
     "required": ["format", "version"],
     "properties": {
         "format": {"const": TRACE_FORMAT},
-        "version": {"const": TRACE_VERSION},
+        "version": {"enum": list(SUPPORTED_TRACE_VERSIONS)},
     },
 }
 
@@ -75,6 +119,8 @@ _REQUIRED_RECORD_KEYS = {
     "advance": ("from", "to"),
     "timelock": ("now",),
     "run_end": ("now", "steps"),
+    "span": ("sid", "span", "ph", "now"),
+    "meta": ("m",),
 }
 
 
@@ -87,17 +133,33 @@ def _is_integer(value: object) -> bool:
 
 
 def validate_metrics(payload: object) -> List[str]:
-    """Problems with a metrics snapshot dict; empty list means valid."""
+    """Problems with a metrics snapshot dict; empty list means valid.
+
+    Version-aware: version-1 snapshots have no ``sketches`` section
+    (one present is a mixed-version error), version-2 snapshots must
+    carry it.
+    """
     problems: List[str] = []
     if not isinstance(payload, dict):
         return [f"metrics: expected an object, got {type(payload).__name__}"]
     if payload.get("format") != FORMAT:
         problems.append(f"metrics: format is {payload.get('format')!r}, "
                         f"expected {FORMAT!r}")
-    if payload.get("version") != FORMAT_VERSION:
-        problems.append(f"metrics: version is {payload.get('version')!r}, "
-                        f"expected {FORMAT_VERSION}")
-    for section in ("counters", "gauges", "histograms"):
+    version = payload.get("version")
+    if version not in SUPPORTED_METRICS_VERSIONS:
+        problems.append(f"metrics: version is {version!r}, expected one of "
+                        f"{SUPPORTED_METRICS_VERSIONS}")
+        version = FORMAT_VERSION
+    sections = ["counters", "gauges", "histograms"]
+    if version >= 2:
+        sections.append("sketches")
+    elif "sketches" in payload:
+        problems.append(
+            "metrics: mixed-version snapshot: version-1 declares no "
+            "'sketches' section but one is present (sketches were "
+            "introduced in version 2)"
+        )
+    for section in sections:
         if not isinstance(payload.get(section), dict):
             problems.append(f"metrics: missing or non-object section {section!r}")
     for name, value in (payload.get("counters") or {}).items():
@@ -132,11 +194,19 @@ def validate_metrics(payload: object) -> List[str]:
             problems.append(
                 f"metrics: histogram {name!r} bucket counts do not sum to count"
             )
+    for name, sketch in (payload.get("sketches") or {}).items():
+        problems.extend(validate_sketch_dict(name, sketch))
     return problems
 
 
 def validate_trace_lines(lines: List[str]) -> List[str]:
-    """Problems with the lines of a trace JSONL file; empty means valid."""
+    """Problems with the lines of a trace JSONL file; empty means valid.
+
+    Version-aware: records are checked against the kind set of the
+    version the header declares, so a version-1 file carrying ``span``
+    or ``meta`` records — or any file with a second header mid-stream —
+    is reported as mixed-version.
+    """
     problems: List[str] = []
     if not lines:
         return ["trace: empty file"]
@@ -144,10 +214,14 @@ def validate_trace_lines(lines: List[str]) -> List[str]:
         header = json.loads(lines[0])
     except json.JSONDecodeError as exc:
         return [f"trace: header is not JSON ({exc})"]
+    version = TRACE_VERSION
     if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
         problems.append(f"trace: bad header {lines[0].strip()!r}")
-    elif header.get("version") != TRACE_VERSION:
+    elif header.get("version") not in SUPPORTED_TRACE_VERSIONS:
         problems.append(f"trace: unsupported version {header.get('version')!r}")
+    else:
+        version = header["version"]
+    kinds = KINDS_BY_VERSION[version]
     for lineno, line in enumerate(lines[1:], start=2):
         line = line.strip()
         if not line:
@@ -160,9 +234,23 @@ def validate_trace_lines(lines: List[str]) -> List[str]:
         if not isinstance(record, dict):
             problems.append(f"trace line {lineno}: not an object")
             continue
+        if "format" in record and "k" not in record:
+            problems.append(
+                f"trace line {lineno}: mixed-version trace — a second "
+                f"header appears mid-file; each trace must carry exactly "
+                f"one header"
+            )
+            continue
         kind = record.get("k")
-        if kind not in TRACE_KINDS:
-            problems.append(f"trace line {lineno}: unknown kind {kind!r}")
+        if kind not in kinds:
+            if kind in TRACE_KINDS:
+                problems.append(
+                    f"trace line {lineno}: mixed-version trace — "
+                    f"version-{version} file carries a {kind!r} record, "
+                    f"which a later format version introduced"
+                )
+            else:
+                problems.append(f"trace line {lineno}: unknown kind {kind!r}")
             continue
         for key in _REQUIRED_RECORD_KEYS[kind]:
             if key not in record:
@@ -193,14 +281,22 @@ def validate_trace_file(path: str) -> List[str]:
 
 
 def main(argv=None) -> int:
-    """``python -m repro.obs.schema METRICS.json [TRACE.jsonl]``."""
+    """``python -m repro.obs.schema FILE ...``.
+
+    ``.jsonl`` files validate against the trace schema, everything else
+    against the metrics snapshot schema.
+    """
     argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv or len(argv) > 2:
-        print("usage: python -m repro.obs.schema METRICS.json [TRACE.jsonl]")
+    if not argv:
+        print("usage: python -m repro.obs.schema FILE ... "
+              "(.jsonl = trace, otherwise metrics)")
         return 2
-    problems = validate_metrics_file(argv[0])
-    if len(argv) == 2:
-        problems += validate_trace_file(argv[1])
+    problems: List[str] = []
+    for path in argv:
+        if path.endswith(".jsonl"):
+            problems += validate_trace_file(path)
+        else:
+            problems += validate_metrics_file(path)
     for problem in problems:
         print(problem)
     if not problems:

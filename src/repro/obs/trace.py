@@ -11,6 +11,21 @@ event instead of scattered ``if`` checks.
 Action payloads reuse the tagged encoding of
 :mod:`repro.sim.persistence`, so a trace file round-trips through the
 same decoder as archived recorder traces.
+
+Format version 2 adds two record kinds on top of version 1:
+
+- ``span`` — a causal span phase transition (message lifecycle or
+  operation round trip), correlated online by
+  :class:`repro.obs.causal.SpanBook` and emitted interleaved with the
+  ``action`` records that produced it;
+- ``meta`` — run metadata (entity names, workload parameters) written
+  once near the start so analysis tools are self-contained.
+
+:func:`read_trace` accepts both versions; the causal reconstructor
+re-derives spans from the ``action`` stream, so version-1 files analyze
+identically. A file may carry exactly one header — a second header-like
+line means two traces were concatenated, which is rejected rather than
+silently misread (the versions and span ids would collide).
 """
 
 from __future__ import annotations
@@ -22,7 +37,8 @@ from repro.automata.actions import Action
 from repro.errors import ReproError
 
 TRACE_FORMAT = "repro-obs-trace"
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+SUPPORTED_TRACE_VERSIONS = (1, 2)
 
 
 class Tracer:
@@ -66,6 +82,10 @@ class Tracer:
         """Called once after the engine loop finishes."""
         pass
 
+    def meta(self, payload: Dict[str, object]) -> None:
+        """Called with run metadata (entity names, workload params)."""
+        pass
+
     def close(self) -> None:
         """Flush and release any output resources."""
         pass
@@ -82,18 +102,31 @@ class JsonlTracer(Tracer):
 
     The first line is a format header; every following line carries a
     ``k`` discriminator (``run_start``, ``action``, ``inject``,
-    ``advance``, ``timelock``, ``run_end``). Deterministic for seeded
-    runs: no wall-clock fields.
+    ``advance``, ``timelock``, ``run_end``, ``span``, ``meta``).
+    Deterministic for seeded runs: no wall-clock fields.
+
+    With ``spans=True`` (the default) every fired action is also fed
+    through a :class:`repro.obs.causal.SpanBook`, and the span records
+    it produces are written right after the action that caused them —
+    the "causal span" layer of the version-2 format. Span correlation
+    only costs on this (already I/O-bound) enabled path; the disabled
+    null tracer is untouched.
     """
 
     enabled = True
 
-    def __init__(self, target):
+    def __init__(self, target, spans: bool = True):
         # avoid a circular import at module load: persistence imports
         # nothing from obs, but obs.trace is imported by sim.engine.
         from repro.sim.persistence import encode_action
 
         self._encode_action = encode_action
+        if spans:
+            from repro.obs.causal import SpanBook
+
+            self._book: Optional["SpanBook"] = SpanBook()
+        else:
+            self._book = None
         if isinstance(target, str):
             self._stream: IO[str] = open(target, "w")
             self._owns_stream = True
@@ -122,6 +155,9 @@ class JsonlTracer(Tracer):
                 "vis": visible,
             }
         )
+        if self._book is not None:
+            for record in self._book.observe(now, action.name, action.params, clock):
+                self._write(record)
 
     def injection(self, now, action) -> None:
         self._write(
@@ -139,6 +175,14 @@ class JsonlTracer(Tracer):
     def run_end(self, now, steps) -> None:
         self._write({"k": "run_end", "now": now, "steps": steps})
 
+    def meta(self, payload) -> None:
+        self._write({"k": "meta", "m": payload})
+
+    @property
+    def span_book(self):
+        """The online :class:`~repro.obs.causal.SpanBook` (or ``None``)."""
+        return self._book
+
     def close(self) -> None:
         self._stream.flush()
         if self._owns_stream:
@@ -148,13 +192,23 @@ class JsonlTracer(Tracer):
         return f"<JsonlTracer stream={self._stream!r}>"
 
 
-TRACE_KINDS = ("run_start", "action", "inject", "advance", "timelock", "run_end")
+TRACE_KINDS_V1 = (
+    "run_start", "action", "inject", "advance", "timelock", "run_end",
+)
+TRACE_KINDS = TRACE_KINDS_V1 + ("span", "meta")
+
+KINDS_BY_VERSION = {1: TRACE_KINDS_V1, 2: TRACE_KINDS}
+"""Record kinds each trace format version may carry."""
 
 
 def read_trace(path: str) -> List[Dict[str, object]]:
     """Load a trace file written by :class:`JsonlTracer`.
 
-    Validates the header, decodes embedded actions back into
+    Accepts any supported format version, validates the header and that
+    each record kind is legal *for that version* (a version-1 file
+    containing ``span`` records, or a second header mid-file from a
+    concatenated pair of traces, is rejected as mixed-version), decodes
+    embedded actions back into
     :class:`~repro.automata.actions.Action` objects (under the ``action``
     key, alongside the raw payload), and returns the record dicts in
     file order.
@@ -169,16 +223,29 @@ def read_trace(path: str) -> List[Dict[str, object]]:
         header = json.loads(header_line)
         if header.get("format") != TRACE_FORMAT:
             raise ReproError(f"not a repro obs trace file: {header!r}")
-        if header.get("version") != TRACE_VERSION:
-            raise ReproError(
-                f"unsupported trace version {header.get('version')!r}"
-            )
-        for line in handle:
+        version = header.get("version")
+        if version not in SUPPORTED_TRACE_VERSIONS:
+            raise ReproError(f"unsupported trace version {version!r}")
+        kinds = KINDS_BY_VERSION[version]
+        for lineno, line in enumerate(handle, start=2):
             line = line.strip()
             if not line:
                 continue
             record = json.loads(line)
-            if record.get("k") not in TRACE_KINDS:
+            if "format" in record and "k" not in record:
+                raise ReproError(
+                    f"mixed-version trace: a second header appears at "
+                    f"line {lineno} (found {record!r}); each trace file "
+                    f"must carry exactly one header"
+                )
+            kind = record.get("k")
+            if kind not in kinds:
+                if kind in TRACE_KINDS:
+                    raise ReproError(
+                        f"mixed-version trace: version-{version} file "
+                        f"carries a {kind!r} record (line {lineno}), "
+                        f"introduced in a later format version"
+                    )
                 raise ReproError(f"unknown trace record kind: {record!r}")
             if "a" in record:
                 record["action"] = decode_action(record["a"])

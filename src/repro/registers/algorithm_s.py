@@ -24,9 +24,52 @@ time, exactly ``d2' + delta`` after invocation — far more than
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.registers.algorithm_l import RegisterProcess
+
+
+def theorem_bounds(
+    model: str, eps: float, c: float, delta: float, d2: float,
+) -> Dict[str, float]:
+    """The paper's per-operation latency bounds, in clock and real time.
+
+    - ``timed`` (algorithm L, Lemma 6.1, delays ``[d1', d2']``): read
+      time ``c + delta``, write time ``d2' - c`` — exact in real time,
+      there being no clocks to stretch (``d2`` here is the system's
+      operative upper delay bound, i.e. ``d2'`` for an L system).
+    - ``clock`` / ``mmt`` (algorithm S under the clock transformation,
+      Theorem 6.5): read ``2*eps + delta + c``, write ``d2 + 2*eps - c``
+      *in clock time*. A real-time observer sees each guarantee
+      stretched by up to ``2*eps`` more (the ``C_eps`` envelope lets a
+      clock interval of length ``T`` span up to ``T + 2*eps`` of real
+      time) — the convention of the THM6.5 experiment table
+      (:func:`repro.experiments.paper.exp_thm65`).
+
+    Returns ``read_clock``/``write_clock`` (the paper's clock-time
+    statements) and ``read_real``/``write_real`` (what a trace's real
+    timestamps must obey). The ``baseline`` register has no bound to
+    state — asking for one raises ``ValueError``.
+    """
+    if model == "timed":
+        read = c + delta
+        write = d2 - c
+        return {
+            "read_clock": read, "write_clock": write,
+            "read_real": read, "write_real": write,
+        }
+    if model in ("clock", "mmt"):
+        read = 2.0 * eps + delta + c
+        write = d2 + 2.0 * eps - c
+        stretch = 2.0 * eps
+        return {
+            "read_clock": read, "write_clock": write,
+            "read_real": read + stretch, "write_real": write + stretch,
+        }
+    raise ValueError(
+        f"no Theorem 6.5 bounds for model {model!r} "
+        f"(expected 'timed', 'clock', or 'mmt')"
+    )
 
 
 class AlgorithmSProcess(RegisterProcess):

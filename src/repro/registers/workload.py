@@ -21,6 +21,7 @@ from repro.automata.actions import Action, ActionPattern, PatternActionSet
 from repro.automata.signature import Signature
 from repro.components.base import Entity
 from repro.errors import TransitionError
+from repro.obs.metrics import NULL_SKETCH
 
 from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
 
@@ -87,6 +88,13 @@ class ClientEntity(Entity):
         self.workload = workload
         self._rng = random.Random(workload.seed * 1_000_003 + node)
         self._seq = 0
+        self._read_lat = NULL_SKETCH
+        self._write_lat = NULL_SKETCH
+
+    def instrument(self, metrics) -> None:
+        """Publish per-operation round-trip latency quantiles."""
+        self._read_lat = metrics.sketch("repro.op.read_latency")
+        self._write_lat = metrics.sketch("repro.op.write_latency")
 
     def initial_state(self) -> ClientState:
         return ClientState(next_inv_time=self.workload.start_delay)
@@ -128,10 +136,12 @@ class ClientEntity(Entity):
             state.completed.append(
                 CompletedOp("R", action.params[1], inv_time, now)
             )
+            self._read_lat.observe(now - inv_time)
         elif action.name == "ACK":
             if kind != "W":
                 raise TransitionError(f"{self.name}: ACK answers a read")
             state.completed.append(CompletedOp("W", value, inv_time, now))
+            self._write_lat.observe(now - inv_time)
         else:
             raise TransitionError(f"{self.name}: unexpected input {action}")
         state.pending = None

@@ -447,6 +447,7 @@ class Simulator:
 
         wall_start = time.perf_counter()
         tracer.run_start(horizon)
+        tracer.meta({"entities": [e.name for e in self.entities]})
 
         while True:
             # Deliver any injections scheduled at (or before) this time.

@@ -72,8 +72,9 @@ _decode_action = decode_action
 
 def _instrument_types():
     from repro.obs.metrics import Counter, Gauge, Histogram, _NullInstrument
+    from repro.obs.sketch import QuantileSketch
 
-    return (Counter, Gauge, Histogram, _NullInstrument)
+    return (Counter, Gauge, Histogram, QuantileSketch, _NullInstrument)
 
 
 def encode_state(value: Any) -> Any:

@@ -4,7 +4,14 @@
 Thin script wrapper around :mod:`repro.obs.schema` for CI and shell use
 (works from a checkout without installing the package)::
 
-    python tools/validate_obs.py metrics.json [trace.jsonl]
+    python tools/validate_obs.py FILE [FILE ...]
+
+Files ending in ``.jsonl`` are validated as JSONL event traces (any
+supported trace version — record kinds are checked against the version
+the header declares, and mixed-version files are rejected); everything
+else is validated as a metrics JSON snapshot (version-aware: version-2
+snapshots must carry a ``sketches`` section, version-1 snapshots must
+not).
 
 Exits 0 when every given file conforms, 1 on schema problems (printed
 one per line), 2 on usage errors.
