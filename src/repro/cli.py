@@ -26,6 +26,15 @@ Commands:
     demo) against the heartbeat detector under online safety monitors;
     optionally shrink the plan to a smallest witness and check that the
     run is trace-identical across both engine cores.
+``serve``
+    Run algorithm S as a *real* TCP register service on loopback
+    (wall-clock time, driver-skewed per-node clocks) and write a
+    manifest for out-of-process load generators.
+``load``
+    Replay a seeded operation stream against a live service (an
+    external one via ``--connect``, or a self-hosted loopback cluster),
+    check the recorded history for linearizability, and gate latency
+    percentiles on the Theorem 6.5 bounds.
 
 Every command is seeded and deterministic; exit status is non-zero when
 a correctness check fails, so the CLI doubles as a smoke harness.
@@ -596,6 +605,94 @@ def _trace(args) -> int:
             os.unlink(path)
 
 
+def _live_params(args):
+    from repro.live import LiveParams
+
+    return LiveParams(
+        n=args.n, d1=args.d1, d2=args.d2, eps=args.eps, c=args.c,
+        delta=args.delta, driver=args.driver, seed=args.seed,
+    )
+
+
+def _serve(args) -> int:
+    import asyncio
+
+    from repro.live import LiveCluster
+
+    params = _live_params(args)
+
+    async def serve() -> None:
+        cluster = LiveCluster(params, host=args.host)
+        await cluster.start()
+        if args.manifest:
+            cluster.write_manifest(args.manifest)
+            print(f"manifest -> {args.manifest}")
+        for i, (host, port) in enumerate(cluster.addresses):
+            print(f"node {i}: {host}:{port}")
+        print(f"serving n={params.n} d2={params.d2:g} eps={params.eps:g} "
+              f"driver={params.driver}"
+              + (f" for {args.duration:g}s" if args.duration else " (Ctrl-C to stop)"))
+        try:
+            if args.duration:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        finally:
+            await cluster.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _load(args) -> int:
+    from repro.live import run_load, sim_replay
+    from repro.live.load import live_workload
+    from repro.live.params import read_manifest
+    from repro.obs.metrics import NULL_METRICS
+
+    addresses = None
+    if args.connect:
+        params, addresses = read_manifest(args.connect)
+    else:
+        params = _live_params(args)
+    workload = live_workload(
+        operations=args.ops, read_fraction=args.read_fraction,
+        seed=args.seed, think_min=args.think_min, think_max=args.think_max,
+    )
+    metrics = MetricsRegistry() if args.metrics_out else NULL_METRICS
+    report = run_load(
+        params, workload, addresses=addresses, metrics=metrics,
+        slack=args.slack, max_nodes=args.max_nodes,
+    )
+    print(report.render(assert_bounds=args.assert_bounds))
+    status = 0
+    if not report.linearization.ok:
+        status = 1
+    if args.assert_bounds and not report.bounds_ok:
+        status = 1
+    if args.cross_check:
+        run = sim_replay(params, workload)
+        sim_ok = run.linearizable()
+        print(f"sim replay     : {len(run.operations)} ops, "
+              f"linearizable={sim_ok}")
+        if not sim_ok or len(run.operations) != len(report.operations):
+            print("cross-check    : FAILED (sim and live runs disagree)")
+            status = 1
+        else:
+            print("cross-check    : ok (same seeded schedule, both linearize)")
+    if args.metrics_out:
+        report.to_metrics(metrics)
+        metrics.dump(args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
+    if args.trace_out:
+        report.write_trace(args.trace_out)
+        print(f"trace   -> {args.trace_out}")
+    return status
+
+
 def _report(args) -> int:
     import json
 
@@ -790,6 +887,60 @@ def build_parser() -> argparse.ArgumentParser:
                         "print per-phase latency attribution")
     obs(p)
     p.set_defaults(func=_chaos)
+
+    def live_flags(p):
+        p.add_argument("--n", type=int, default=3)
+        p.add_argument("--d1", type=float, default=0.0)
+        p.add_argument("--d2", type=float, default=0.05)
+        p.add_argument("--eps", type=float, default=0.01)
+        p.add_argument("--c", type=float, default=0.02)
+        p.add_argument("--delta", type=float, default=0.005)
+        p.add_argument("--driver", default="mixed",
+                       choices=["perfect", "fast", "slow", "mixed", "random",
+                                "drift", "sawtooth"])
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "serve",
+        help="run algorithm S as a live TCP register service (wall-clock "
+             "time, per-node skewed clocks)",
+    )
+    live_flags(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--manifest", metavar="FILE", default=None,
+                   help="write node addresses + parameters for "
+                        "'load --connect FILE'")
+    p.add_argument("--duration", type=float, default=None,
+                   help="serve for this many seconds (default: until Ctrl-C)")
+    p.set_defaults(func=_serve)
+
+    p = sub.add_parser(
+        "load",
+        help="replay a seeded op stream against a live register service "
+             "and check the history",
+    )
+    live_flags(p)
+    p.add_argument("--connect", metavar="MANIFEST", default=None,
+                   help="drive the service described by this manifest "
+                        "(default: self-host a loopback cluster)")
+    p.add_argument("--ops", type=int, default=20,
+                   help="operations per client (one client per node)")
+    p.add_argument("--read-fraction", type=float, default=0.5)
+    p.add_argument("--think-min", type=float, default=0.0)
+    p.add_argument("--think-max", type=float, default=0.02)
+    p.add_argument("--assert-bounds", action="store_true",
+                   help="gate p99 latencies on the Theorem 6.5 costs "
+                        "(measured eps substituted); exit 1 on violation")
+    p.add_argument("--slack", type=float, default=0.05,
+                   help="real-time allowance for client RTT and event-loop "
+                        "jitter in the bounds gate")
+    p.add_argument("--cross-check", action="store_true",
+                   help="also replay the same seeded schedules in the "
+                        "virtual-time simulator and compare verdicts")
+    p.add_argument("--max-nodes", type=int, default=2_000_000,
+                   help="linearizability search budget (visited nodes)")
+    obs(p)
+    p.set_defaults(func=_load)
 
     p = sub.add_parser("report", help="render an ASCII dashboard from exports")
     p.add_argument("metrics_file", help="metrics JSON written by --metrics-out")

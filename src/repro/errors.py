@@ -71,6 +71,15 @@ class SpecificationError(ReproError):
     """Raised when a problem specification is internally inconsistent."""
 
 
+class LiveServiceError(ReproError):
+    """Raised when the live register service misbehaves.
+
+    Covers protocol violations on the wire (unexpected frame types,
+    responses without a pending invocation), peers dropping connections
+    mid-operation, and malformed service manifests.
+    """
+
+
 class CampaignError(ReproError):
     """Raised when a parameter-sweep campaign is misconfigured.
 

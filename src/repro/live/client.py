@@ -1,0 +1,107 @@
+"""Load clients: replay an ``OpSchedule`` against a live node.
+
+A :class:`LiveLoadClient` is the live twin of the simulator's
+:class:`~repro.registers.workload.ClientEntity` in replay mode: both
+walk the same :class:`~repro.registers.opstream.OpSchedule`, issuing one
+operation at a time (the alternation condition) with the planned think
+time after each response. Invocation and response instants are taken on
+the load generator's own clock — one shared epoch across all clients,
+so the recorded history is a consistent real-time order, which is
+exactly what the linearizability definition quantifies over.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import LiveServiceError
+from repro.live.wire import decode_frame, encode_frame
+from repro.registers.opstream import OpSchedule
+
+
+@dataclass(frozen=True)
+class ClientRecord:
+    """One completed operation as timed by the load generator."""
+
+    node: int
+    index: int
+    kind: str  # "R" or "W"
+    value: object  # value read (R) / written (W)
+    inv_time: float
+    res_time: float
+
+    @property
+    def latency(self) -> float:
+        return self.res_time - self.inv_time
+
+
+class LiveLoadClient:
+    """One closed-loop client driving one node over a TCP connection."""
+
+    def __init__(
+        self,
+        node: int,
+        schedule: OpSchedule,
+        address: Tuple[str, int],
+        epoch: float,
+    ):
+        if schedule.node != node:
+            raise ValueError(
+                f"schedule is for node {schedule.node}, client is node {node}"
+            )
+        self.node = node
+        self.schedule = schedule
+        self.address = address
+        self.epoch = epoch
+
+    def _now(self) -> float:
+        return time.monotonic() - self.epoch
+
+    async def run(self) -> List[ClientRecord]:
+        """Replay the schedule; returns the timed operation records."""
+        host, port = self.address
+        reader, writer = await asyncio.open_connection(host, port)
+        records: List[ClientRecord] = []
+        try:
+            if self.schedule.start_delay > 0:
+                await asyncio.sleep(self.schedule.start_delay)
+            for op in self.schedule.ops:
+                if op.kind == "R":
+                    request = {"t": "read"}
+                else:
+                    request = {"t": "write", "value": list(op.value)}
+                inv = self._now()
+                writer.write(encode_frame(request))
+                line = await reader.readline()
+                res = self._now()
+                if not line:
+                    raise LiveServiceError(
+                        f"client {self.node}: connection closed mid-operation "
+                        f"(op #{op.index})"
+                    )
+                frame = decode_frame(line)
+                if op.kind == "R":
+                    if frame["t"] != "return":
+                        raise LiveServiceError(
+                            f"client {self.node}: expected return, got "
+                            f"{frame['t']!r}"
+                        )
+                    value = frame["value"]
+                else:
+                    if frame["t"] != "ack":
+                        raise LiveServiceError(
+                            f"client {self.node}: expected ack, got "
+                            f"{frame['t']!r}"
+                        )
+                    value = op.value
+                records.append(ClientRecord(
+                    self.node, op.index, op.kind, value, inv, res
+                ))
+                if op.think_after > 0:
+                    await asyncio.sleep(op.think_after)
+        finally:
+            writer.close()
+        return records

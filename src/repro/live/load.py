@@ -1,0 +1,159 @@
+"""The load generator: seeded schedules over sockets, checked histories.
+
+:func:`run_load` is the whole pipeline in one call:
+
+1. materialize one :class:`~repro.registers.opstream.OpSchedule` per
+   node from the workload seed (the same pure generator the simulator's
+   replay-mode clients use);
+2. run one :class:`~repro.live.client.LiveLoadClient` per node
+   concurrently against the cluster — self-hosting a loopback
+   :class:`~repro.live.service.LiveCluster` when no addresses are given,
+   or connecting to an external service (``--connect``) otherwise;
+3. collect the timed history, fetch node-side measurements over the
+   stats RPC, and run the budgeted linearizability checker;
+4. package everything as a :class:`~repro.live.report.LiveReport`.
+
+:func:`sim_replay` runs the *same* schedules through the virtual-time
+clock model (:func:`~repro.registers.system.clock_register_system`), so
+one seed yields a pair of runs — simulated and live — over identical
+operation streams: the cross-validation the live backend exists for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.live.client import ClientRecord, LiveLoadClient
+from repro.live.params import LiveParams
+from repro.live.report import DEFAULT_SLACK, LiveReport
+from repro.live.service import LiveCluster, fetch_stats
+from repro.obs.metrics import NULL_METRICS
+from repro.registers.algorithm_s import theorem_bounds
+from repro.registers.opstream import OpSchedule
+from repro.registers.system import (
+    INITIAL_VALUE,
+    RegisterRun,
+    clock_register_system,
+    run_register_experiment,
+)
+from repro.registers.workload import RegisterWorkload
+from repro.sim.clock_drivers import driver_factory
+from repro.traces.linearizability import (
+    DEFAULT_NODE_BUDGET,
+    Operation,
+    analyze_linearizability,
+)
+
+
+def live_workload(
+    operations: int = 20,
+    read_fraction: float = 0.5,
+    seed: int = 0,
+    think_min: float = 0.0,
+    think_max: float = 0.02,
+) -> RegisterWorkload:
+    """A :class:`RegisterWorkload` with live-scale (wall-second) thinks."""
+    return RegisterWorkload(
+        operations=operations, read_fraction=read_fraction, seed=seed,
+        think_min=think_min, think_max=think_max,
+    )
+
+
+def build_operations(records: List[ClientRecord]) -> List[Operation]:
+    """Turn client records into checker operations, ids in real-time order."""
+    ordered = sorted(records, key=lambda r: (r.inv_time, r.node, r.index))
+    return [
+        Operation(op_id, r.node, r.kind, r.value, r.inv_time, r.res_time)
+        for op_id, r in enumerate(ordered)
+    ]
+
+
+async def _run_load_async(
+    params: LiveParams,
+    schedules: List[OpSchedule],
+    addresses: Optional[List[Tuple[str, int]]],
+    metrics,
+) -> Tuple[List[ClientRecord], List[Dict[str, object]]]:
+    cluster = None
+    if addresses is None:
+        cluster = LiveCluster(params, metrics=metrics)
+        addresses = await cluster.start()
+    try:
+        epoch = time.monotonic()
+        clients = [
+            LiveLoadClient(i, schedules[i], addresses[i], epoch)
+            for i in range(params.n)
+        ]
+        per_client = await asyncio.gather(*(c.run() for c in clients))
+        stats = await fetch_stats(addresses)
+    finally:
+        if cluster is not None:
+            await cluster.stop()
+    records = [record for batch in per_client for record in batch]
+    return records, stats
+
+
+def run_load(
+    params: LiveParams,
+    workload: RegisterWorkload,
+    addresses: Optional[List[Tuple[str, int]]] = None,
+    metrics=NULL_METRICS,
+    slack: float = DEFAULT_SLACK,
+    max_nodes: int = DEFAULT_NODE_BUDGET,
+) -> LiveReport:
+    """Run the live workload and return the checked, measured report.
+
+    ``addresses=None`` self-hosts a loopback cluster for the run (the CI
+    smoke path); a list of ``(host, port)`` pairs — usually from a
+    service manifest — drives an external cluster instead.
+    """
+    schedules = [OpSchedule.generate(i, workload) for i in range(params.n)]
+    records, stats = asyncio.run(
+        _run_load_async(params, schedules, addresses, metrics)
+    )
+    operations = build_operations(records)
+    linearization = analyze_linearizability(
+        operations, initial_value=INITIAL_VALUE, max_nodes=max_nodes
+    )
+    return LiveReport(
+        params=params,
+        operations=operations,
+        linearization=linearization,
+        node_stats=stats,
+        slack=slack,
+    )
+
+
+def replay_horizon(params: LiveParams, schedules: List[OpSchedule]) -> float:
+    """A safe simulated horizon for replaying the given schedules."""
+    bounds = theorem_bounds(
+        "clock", params.eps, params.c, params.delta, params.d2
+    )
+    per_op = max(bounds["read_real"], bounds["write_real"]) + params.delta
+    worst = 0.0
+    for schedule in schedules:
+        total = schedule.start_delay + sum(
+            op.think_after for op in schedule.ops
+        ) + len(schedule) * per_op
+        worst = max(worst, total)
+    return worst + 5.0
+
+
+def sim_replay(
+    params: LiveParams,
+    workload: RegisterWorkload,
+    horizon: Optional[float] = None,
+) -> RegisterRun:
+    """Replay the same seeded schedules in the virtual-time clock model."""
+    schedules = [OpSchedule.generate(i, workload) for i in range(params.n)]
+    drivers = driver_factory(params.driver, params.eps, seed=params.seed)
+    spec = clock_register_system(
+        n=params.n, d1=params.d1, d2=params.d2, c=params.c, eps=params.eps,
+        workload=workload, drivers=drivers, algorithm="S",
+        delta=params.delta, schedules=schedules,
+    )
+    if horizon is None:
+        horizon = replay_horizon(params, schedules)
+    return run_register_experiment(spec, horizon)

@@ -1,0 +1,299 @@
+"""One live register node: Algorithm S over sockets and a real clock.
+
+The node owns exactly the pieces the clock-model composition of
+Section 4 owns, with the transport swapped from virtual channels to TCP:
+
+- an :class:`~repro.registers.algorithm_s.AlgorithmSProcess` (the
+  Figure 3 state machine, unchanged) running on the node's *clock* time;
+- a :class:`~repro.live.clock.LiveClock` driven by a simulator
+  :class:`~repro.sim.clock_drivers.ClockDriver` within ``C_eps``;
+- one Figure 2 :class:`~repro.core.buffers.SendBuffer` per outgoing edge
+  and :class:`~repro.core.buffers.ReceiveBuffer` per incoming edge —
+  the simulator's own classes, reused as wire middleware;
+- an asyncio server accepting client invocations (``read``/``write``)
+  and peer ``msg`` frames, and a timer task that wakes at the next
+  clock deadline and fires the process's due actions.
+
+The timer uses :meth:`RegisterProcess.due_actions
+<repro.registers.algorithm_l.RegisterProcess.due_actions>` — the
+late-firing (``now >= scheduled``) twin of the simulator's exact-time
+``enabled()`` — because a real event loop wakes strictly after a
+deadline by its scheduling jitter. Self-addressed update messages (the
+algorithm updates its own copy by message) short-circuit through the
+node's own receive buffer without touching the network, exactly like
+the simulator's self-loop channels.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+
+from repro.automata.actions import Action
+from repro.components.base import ProcessContext
+from repro.constants import INFINITY
+from repro.core.buffers import ReceiveBuffer, SendBuffer
+from repro.errors import LiveServiceError
+from repro.live.clock import LiveClock
+from repro.live.params import LiveParams
+from repro.live.wire import decode_frame, encode_frame
+from repro.obs.metrics import NULL_METRICS
+from repro.registers.algorithm_s import AlgorithmSProcess
+from repro.registers.system import INITIAL_VALUE
+from repro.sim.clock_drivers import ClockDriver
+
+#: Floor on the timer sleep when a deadline is already overdue but the
+#: clock has not quite caught up to it (tolerance-edge states) — keeps
+#: the loop from busy-spinning without measurably delaying anything.
+MIN_SLEEP = 1e-4
+
+
+class LiveRegisterNode:
+    """One node of the live cluster: server, peer mesh, timer loop."""
+
+    def __init__(
+        self,
+        node: int,
+        params: LiveParams,
+        driver: ClockDriver,
+        epoch: float,
+        host: str = "127.0.0.1",
+        metrics=NULL_METRICS,
+    ):
+        peers = list(range(params.n))
+        self.node = node
+        self.params = params
+        self.host = host
+        self.process = AlgorithmSProcess(
+            node, peers, params.d2_prime, params.c, params.eps,
+            delta=params.delta, initial_value=INITIAL_VALUE,
+        )
+        self.state = self.process.initial_state()
+        self.clock = LiveClock(driver, epoch)
+        self.send_bufs: Dict[int, SendBuffer] = {
+            j: SendBuffer(node, j) for j in peers
+        }
+        self.recv_bufs: Dict[int, ReceiveBuffer] = {
+            j: ReceiveBuffer(j, node) for j in peers
+        }
+        self._peer_writers: Dict[int, asyncio.StreamWriter] = {}
+        self._responder: Optional[asyncio.StreamWriter] = None
+        self._kick = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._timer_task: Optional[asyncio.Task] = None
+        self.port: Optional[int] = None
+        # wire-delay measurement (one-way; meaningful because all nodes
+        # of a cluster share one epoch inside one process)
+        self._wire_count = 0
+        self._wire_sum = 0.0
+        self._wire_max = 0.0
+        self._msgs_sent = metrics.counter("repro.live.msgs.sent")
+        self._msgs_received = metrics.counter("repro.live.msgs.received")
+        self._wire_sketch = metrics.sketch("repro.live.wire.delay")
+        self.clock.skew_sketch = metrics.sketch("repro.live.clock.skew")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the server socket (ephemeral port) and start the timer."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._timer_task = asyncio.ensure_future(self._run_timer())
+        return self.host, self.port
+
+    async def connect_peers(self, addresses: List[Tuple[str, int]]) -> None:
+        """Dial every other node; outgoing ``msg`` frames use these links."""
+        for j, (host, port) in enumerate(addresses):
+            if j == self.node:
+                continue
+            _, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_frame({"t": "hello", "src": self.node}))
+            self._peer_writers[j] = writer
+
+    async def stop(self) -> None:
+        """Stop the timer, close the peer links and the server socket."""
+        self._stopped.set()
+        self._kick.set()
+        if self._timer_task is not None:
+            await self._timer_task
+        for writer in self._peer_writers.values():
+            writer.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                frame = decode_frame(line)
+                kind = frame["t"]
+                if kind == "hello":
+                    continue  # incoming peer link; msg frames follow
+                if kind == "msg":
+                    self._on_peer_msg(frame)
+                elif kind in ("read", "write"):
+                    self._on_invocation(kind, frame, writer)
+                elif kind == "stats":
+                    writer.write(encode_frame(self.stats()))
+                else:
+                    writer.write(encode_frame(
+                        {"t": "error", "reason": f"unexpected frame {kind!r}"}
+                    ))
+        except (ConnectionResetError, LiveServiceError):
+            pass
+        except asyncio.CancelledError:
+            pass  # event-loop teardown; the cluster is already stopping
+        finally:
+            if self._responder is writer:
+                self._responder = None
+            writer.close()
+
+    def _on_peer_msg(self, frame) -> None:
+        src = frame["src"]
+        message = frame["m"]  # (value, t), tuplified by decode_frame
+        stamp = frame["stamp"]
+        real, clk = self.clock.read()
+        delay = max(0.0, real - frame.get("sr", real))
+        self._wire_count += 1
+        self._wire_sum += delay
+        if delay > self._wire_max:
+            self._wire_max = delay
+        self._wire_sketch.observe(delay)
+        self._msgs_received.inc()
+        self.recv_bufs[src].enqueue(message, stamp, clk)
+        self._kick.set()
+
+    def _on_invocation(self, kind, frame, writer) -> None:
+        if self._responder is not None:
+            # the alternation condition: one outstanding op per node
+            writer.write(encode_frame(
+                {"t": "error", "reason": "operation already pending"}
+            ))
+            return
+        _, clk = self.clock.read()
+        if kind == "read":
+            action = Action("READ", (self.node,))
+        else:
+            action = Action("WRITE", (self.node, frame["value"]))
+        self.process.apply_input(self.state, action, ProcessContext(clk))
+        self._responder = writer
+        self._kick.set()
+
+    # -- the timer loop ------------------------------------------------------
+
+    async def _run_timer(self) -> None:
+        while not self._stopped.is_set():
+            _, clk = self.clock.read()
+            progressed = self._drain(clk)
+            deadline = self._next_deadline()
+            if deadline == INFINITY:
+                await self._kick.wait()
+                self._kick.clear()
+                continue
+            delay = self.clock.wall_delay(deadline)
+            if delay <= 0.0 and not progressed:
+                delay = MIN_SLEEP
+            if delay <= 0.0:
+                continue
+            try:
+                await asyncio.wait_for(self._kick.wait(), delay)
+                self._kick.clear()
+            except asyncio.TimeoutError:
+                pass
+
+    def _next_deadline(self) -> float:
+        deadline = self.state.mintime()
+        for buf in self.recv_bufs.values():
+            deadline = min(deadline, buf.clock_deadline())
+        return deadline
+
+    def _drain(self, clk: float) -> bool:
+        """Deliver due messages and fire due actions until quiescent.
+
+        Re-polls after every batch: a RETURN suppressed by a same-instant
+        pending update becomes due on the next round, after the update
+        fired (Figure 3's read-the-post-update-value guard).
+        """
+        progressed = False
+        while True:
+            delivered = False
+            for src, buf in self.recv_bufs.items():
+                while buf.can_deliver(clk):
+                    message, _stamp = buf.deliver(clk)
+                    self.process.apply_input(
+                        self.state,
+                        Action("RECVMSG", (self.node, src, message)),
+                        ProcessContext(clk),
+                    )
+                    delivered = True
+            actions = self.process.due_actions(self.state, clk)
+            if not actions and not delivered:
+                return progressed
+            progressed = True
+            for action in actions:
+                self.process.fire(self.state, action, ProcessContext(clk))
+                if action.name == "SENDMSG":
+                    self._send(action.params[1], action.params[2], clk)
+                elif action.name == "RETURN":
+                    self._respond({"t": "return", "value": action.params[1]})
+                elif action.name == "ACK":
+                    self._respond({"t": "ack"})
+                # UPDATE is internal: the fire already applied it
+
+    def _send(self, dst: int, payload, clk: float) -> None:
+        """Route one ``SENDMSG`` through the Figure 2 send buffer."""
+        buf = self.send_bufs[dst]
+        buf.enqueue(payload, clk)
+        message, stamp = buf.emit(clk)  # emission is urgent (Figure 2)
+        self._msgs_sent.inc()
+        real = self.clock.real_now()
+        if dst == self.node:
+            # self-loop edge: deliver locally through the receive buffer
+            self.recv_bufs[dst].enqueue(message, stamp, clk)
+            return
+        writer = self._peer_writers.get(dst)
+        if writer is None:
+            raise LiveServiceError(
+                f"node {self.node}: no peer link to {dst} "
+                f"(connect_peers not run?)"
+            )
+        writer.write(encode_frame({
+            "t": "msg", "src": self.node, "m": list(message),
+            "stamp": stamp, "sr": real,
+        }))
+
+    def _respond(self, frame) -> None:
+        if self._responder is None:
+            raise LiveServiceError(
+                f"node {self.node}: response with no pending invocation"
+            )
+        self._responder.write(encode_frame(frame))
+        self._responder = None
+
+    # -- measurement ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """The node-side measurements the load generator's report needs."""
+        real, clk = self.clock.read()
+        return {
+            "t": "stats",
+            "node": self.node,
+            "real": real,
+            "clock": clk,
+            "max_skew": self.clock.max_skew,
+            "eps": self.params.eps,
+            "wire_count": self._wire_count,
+            "wire_sum": self._wire_sum,
+            "wire_max": self._wire_max,
+        }
+
+    def __repr__(self) -> str:
+        return f"<LiveRegisterNode {self.node} @ {self.host}:{self.port}>"

@@ -1,0 +1,235 @@
+"""The load generator's report: verdicts, quantiles, Theorem 6.5 gate.
+
+Three layers, in order of authority:
+
+1. **Linearizability** — the recorded history is fed (as
+   :class:`~repro.traces.linearizability.Operation` records) to the
+   budgeted checker; the report carries the full
+   :class:`~repro.traces.linearizability.LinearizationReport` including
+   how many search nodes the verdict cost.
+2. **Theorem 6.5 bounds** — per-kind p99 latencies against the paper's
+   clock-time costs (read ``2*eps + delta + c``, write
+   ``d2 + 2*eps - c``) stretched to real time by ``2*eps_measured`` —
+   the *measured* worst clock skew substituted for the configured
+   envelope — plus a configurable ``slack`` for client RTT and event-loop
+   jitter, which the virtual-time simulator does not have.
+3. **Premises** — the theorem assumes delivery within ``[d1, d2]``; the
+   measured one-way wire delay must stay under ``d2`` or the latency
+   verdict is judging an execution outside the model.
+
+The report also exports: a version-2 metrics snapshot (counters, gauges,
+latency quantile sketches under ``repro.live.*``) and a version-2 JSONL
+trace of ``op`` span records, both conforming to the schemas
+:mod:`repro.obs.schema` enforces in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.live.params import LiveParams
+from repro.obs.sketch import QuantileSketch
+from repro.obs.trace import TRACE_FORMAT, TRACE_VERSION
+from repro.registers.algorithm_s import theorem_bounds
+from repro.traces.linearizability import LinearizationReport, Operation
+
+DEFAULT_SLACK = 0.05
+"""Default real-time allowance for client RTT and event-loop jitter."""
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """One measured quantity against one analytic limit."""
+
+    name: str
+    measured: float
+    limit: float
+    detail: str
+
+    @property
+    def ok(self) -> bool:
+        return self.measured <= self.limit
+
+    def render(self) -> str:
+        """One aligned ``measured <= limit verdict`` line."""
+        verdict = "ok" if self.ok else "VIOLATED"
+        return (
+            f"{self.name:<12} {self.measured:8.4f} <= {self.limit:8.4f}  "
+            f"{verdict}  ({self.detail})"
+        )
+
+
+@dataclass
+class LiveReport:
+    """Everything ``python -m repro load`` reports about one run."""
+
+    params: LiveParams
+    operations: List[Operation]
+    linearization: LinearizationReport
+    node_stats: List[Dict[str, object]] = field(default_factory=list)
+    slack: float = DEFAULT_SLACK
+
+    def __post_init__(self):
+        self.read_sketch = QuantileSketch("repro.live.op.read_latency")
+        self.write_sketch = QuantileSketch("repro.live.op.write_latency")
+        for op in self.operations:
+            sketch = self.read_sketch if op.kind == "R" else self.write_sketch
+            sketch.observe(op.latency)
+
+    # -- measurements --------------------------------------------------------
+
+    @property
+    def reads(self) -> List[Operation]:
+        return [op for op in self.operations if op.kind == "R"]
+
+    @property
+    def writes(self) -> List[Operation]:
+        return [op for op in self.operations if op.kind == "W"]
+
+    @property
+    def eps_measured(self) -> float:
+        """Worst observed ``|real - clock|`` across the cluster.
+
+        By construction of the drivers this is at most the configured
+        ``eps``; substituting it tightens the real-time stretch term to
+        what the clocks actually did. Falls back to the configured
+        envelope when no node stats were collected.
+        """
+        skews = [s["max_skew"] for s in self.node_stats if "max_skew" in s]
+        return max(skews) if skews else self.params.eps
+
+    @property
+    def wire_max(self) -> float:
+        """Worst observed one-way update-message delay."""
+        delays = [s["wire_max"] for s in self.node_stats if "wire_max" in s]
+        return max(delays) if delays else 0.0
+
+    # -- the Theorem 6.5 gate ------------------------------------------------
+
+    def bound_checks(self) -> List[BoundCheck]:
+        """The per-kind p99 latency gate, plus the ``d2`` premise check."""
+        p = self.params
+        bounds = theorem_bounds("clock", p.eps, p.c, p.delta, p.d2)
+        stretch = 2.0 * self.eps_measured
+        checks = []
+        if self.read_sketch.count:
+            checks.append(BoundCheck(
+                "read p99",
+                self.read_sketch.quantile(0.99),
+                bounds["read_clock"] + stretch + self.slack,
+                f"2*eps+delta+c = {bounds['read_clock']:g} clock, "
+                f"+{stretch:g} stretch, +{self.slack:g} slack",
+            ))
+        if self.write_sketch.count:
+            checks.append(BoundCheck(
+                "write p99",
+                self.write_sketch.quantile(0.99),
+                bounds["write_clock"] + stretch + self.slack,
+                f"d2+2*eps-c = {bounds['write_clock']:g} clock, "
+                f"+{stretch:g} stretch, +{self.slack:g} slack",
+            ))
+        checks.append(BoundCheck(
+            "wire delay", self.wire_max, p.d2,
+            "theorem premise: delivery within [d1, d2]",
+        ))
+        return checks
+
+    @property
+    def bounds_ok(self) -> bool:
+        return all(check.ok for check in self.bound_checks())
+
+    @property
+    def ok(self) -> bool:
+        """Linearizable — the unconditional correctness verdict."""
+        return self.linearization.ok
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, assert_bounds: bool = False) -> str:
+        """The human-readable run summary ``python -m repro load`` prints."""
+        p = self.params
+        lin = self.linearization
+        lines = [
+            f"live run: n={p.n} d2={p.d2:g} eps={p.eps:g} c={p.c:g} "
+            f"delta={p.delta:g} driver={p.driver} seed={p.seed}",
+            f"operations     : {len(self.operations)} "
+            f"({len(self.reads)} reads, {len(self.writes)} writes)",
+            f"eps measured   : {self.eps_measured:.5f} "
+            f"(envelope {p.eps:g})",
+            f"linearizable   : {lin.ok} "
+            f"({lin.visited} search nodes visited)",
+        ]
+        for kind, sketch in (("read", self.read_sketch),
+                             ("write", self.write_sketch)):
+            if not sketch.count:
+                continue
+            lines.append(
+                f"{kind:<5} latency  : p50={sketch.quantile(0.5):.4f} "
+                f"p99={sketch.quantile(0.99):.4f} "
+                f"max={sketch.maximum:.4f} (n={sketch.count})"
+            )
+        if assert_bounds:
+            lines.append("Theorem 6.5 gate (measured eps substituted):")
+            for check in self.bound_checks():
+                lines.append("  " + check.render())
+        return "\n".join(lines)
+
+    # -- exports -------------------------------------------------------------
+
+    def to_metrics(self, registry) -> None:
+        """Publish the run into a v2 metrics registry."""
+        registry.counter("repro.live.ops.completed").inc(len(self.operations))
+        registry.counter("repro.live.ops.reads").inc(len(self.reads))
+        registry.counter("repro.live.ops.writes").inc(len(self.writes))
+        registry.counter("repro.live.linearizability.visited").inc(
+            self.linearization.visited
+        )
+        registry.gauge("repro.live.eps.measured").set(self.eps_measured)
+        registry.gauge("repro.live.wire.max_delay").set(self.wire_max)
+        registry.gauge("repro.live.linearizable").set(
+            1.0 if self.linearization.ok else 0.0
+        )
+        reads = registry.sketch("repro.live.op.read_latency")
+        for op in self.reads:
+            reads.observe(op.latency)
+        writes = registry.sketch("repro.live.op.write_latency")
+        for op in self.writes:
+            writes.observe(op.latency)
+
+    def write_trace(self, path: str) -> None:
+        """Write the history as a version-2 JSONL trace of ``op`` spans."""
+        horizon = max((op.res_time for op in self.operations), default=0.0)
+        with open(path, "w") as handle:
+            def emit(record):
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+            emit({"format": TRACE_FORMAT, "version": TRACE_VERSION})
+            emit({"k": "run_start", "horizon": horizon})
+            emit({"k": "meta", "m": {
+                "workload": "live-register", **self.params.to_dict(),
+            }})
+            events = []
+            for op in self.operations:
+                sid = f"L{op.node}-{op.op_id}"
+                events.append((op.inv_time, {
+                    "k": "span", "span": "op", "sid": sid, "ph": "inv",
+                    "now": op.inv_time, "node": op.node, "kind": op.kind,
+                }))
+                events.append((op.res_time, {
+                    "k": "span", "span": "op", "sid": sid, "ph": "res",
+                    "now": op.res_time, "node": op.node, "kind": op.kind,
+                    "latency": op.latency,
+                }))
+            for _, record in sorted(events, key=lambda pair: pair[0]):
+                emit(record)
+            emit({"k": "run_end", "now": horizon,
+                  "steps": 2 * len(self.operations)})
+
+    def __repr__(self) -> str:
+        return (
+            f"<LiveReport {len(self.operations)} ops, "
+            f"linearizable={self.linearization.ok}, "
+            f"bounds_ok={self.bounds_ok}>"
+        )

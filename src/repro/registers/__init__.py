@@ -14,6 +14,8 @@
   and ``Q`` (eps-superlinearizability).
 - :mod:`repro.registers.workload` — client entities generating
   alternating invocations.
+- :mod:`repro.registers.opstream` — engine-agnostic seeded op
+  schedules, replayed identically by sim and live clients.
 - :mod:`repro.registers.system` — one-call builders for register
   systems in all three models.
 """
@@ -32,9 +34,12 @@ from repro.registers.system import (
     mmt_register_system,
     timed_register_system,
 )
+from repro.registers.opstream import OpSchedule, PlannedOp
 from repro.registers.workload import ClientEntity, RegisterWorkload
 
 __all__ = [
+    "OpSchedule",
+    "PlannedOp",
     "RegisterProcess",
     "AlgorithmLProcess",
     "AlgorithmSProcess",

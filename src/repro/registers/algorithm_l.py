@@ -232,6 +232,54 @@ class RegisterProcess(Process):
     def deadline(self, state: RegisterState, ctx: ProcessContext) -> float:
         return state.mintime()
 
+    # -- the algorithm/transport seam ----------------------------------------
+
+    def due_actions(self, state: RegisterState, now: float) -> List[Action]:
+        """Locally controlled actions *due* at or before time ``now``.
+
+        The live-backend counterpart of :meth:`enabled`. The simulator
+        advances time to exact deadlines, so :meth:`enabled` guards with
+        ``now == scheduled`` (within tolerance); a real scheduler wakes
+        *after* the deadline by some jitter, so the live service needs
+        late-firing ``now >= scheduled`` semantics — the same convention
+        crash recovery uses for overdue timetable work. State
+        transitions stay shared: callers fire the returned actions
+        through the ordinary :meth:`fire`.
+
+        Same ordering discipline as :meth:`enabled`: pending same-or-
+        earlier-instant updates suppress ``RETURN`` (the register reads
+        the post-update value), so callers must re-poll after firing a
+        batch until it comes back empty.
+        """
+        actions: List[Action] = []
+        if (
+            state.write_status == SEND
+            and state.send_time is not None
+            and state.send_time <= now + _TOLERANCE
+        ):
+            t = now + self.d2_prime
+            for j in sorted(state.send_procs):
+                actions.append(
+                    Action("SENDMSG", (self.node, j, (state.send_value, t)))
+                )
+        if (
+            state.write_status == ACK_PENDING
+            and state.ack_time is not None
+            and state.ack_time <= now + _TOLERANCE
+        ):
+            actions.append(Action("ACK", (self.node,)))
+        due_updates = sorted(t for t in state.updates if t <= now + _TOLERANCE)
+        for t in due_updates:
+            actions.append(Action("UPDATE", (self.node, t)))
+        if (
+            state.read_status == ACTIVE
+            and state.read_time is not None
+            and state.read_time <= now + _TOLERANCE
+            and not due_updates
+        ):
+            actions.append(Action("RETURN", (self.node, state.value)))
+        return actions
+
 
 class AlgorithmLProcess(RegisterProcess):
     """Algorithm L: linearizable in the timed model (Lemma 6.1)."""

@@ -1,0 +1,101 @@
+"""Engine-agnostic seeded op streams for register workloads.
+
+:class:`~repro.registers.workload.ClientEntity` historically fused
+schedule generation with entity mechanics: the read-vs-write draw
+happened inside ``enabled()`` (once per scheduling round) and the think
+draw inside ``apply_input``, so the operation sequence of a seed was a
+function of *how often the engine polled the client* — fine for a
+single engine, useless for replaying the same schedule on a different
+backend.
+
+:class:`OpSchedule` is the extraction: a pure function of
+``(node, workload)`` that fixes every operation (kind, written value,
+think time after completion) up front. The simulator's client replays
+it with ``ClientEntity(node, workload, schedule=...)``; the live
+backend's :class:`repro.live.client.LiveLoadClient` replays the *same*
+object over real sockets — which is what makes a sim run and a live run
+of one seed comparable histories.
+
+Draw order is documented and stable: for each operation, one uniform
+draw decides the kind, then one uniform draw fixes the think time that
+follows its completion. Written values are the globally unique
+``("v", node, seq)`` tuples the linearizability checker relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["PlannedOp", "OpSchedule", "client_rng"]
+
+
+def client_rng(seed: int, node: int) -> random.Random:
+    """The canonical per-client RNG derivation (shared with the sim client)."""
+    return random.Random(seed * 1_000_003 + node)
+
+
+@dataclass(frozen=True)
+class PlannedOp:
+    """One planned operation of a client's schedule."""
+
+    index: int
+    kind: str  # "R" or "W"
+    value: object  # ("v", node, seq) for writes, None for reads
+    think_after: float  # idle time between this op's response and the next inv
+
+    def __repr__(self) -> str:
+        val = "" if self.value is None else f"={self.value!r}"
+        return f"<PlannedOp #{self.index} {self.kind}{val} think={self.think_after:g}>"
+
+
+@dataclass(frozen=True)
+class OpSchedule:
+    """A fully materialized, seed-deterministic operation schedule.
+
+    ``ops`` are issued closed-loop: invocation ``k+1`` happens
+    ``ops[k].think_after`` after operation ``k``'s response (the first
+    invocation waits ``start_delay`` from the client's start).
+    """
+
+    node: int
+    start_delay: float
+    ops: Tuple[PlannedOp, ...]
+
+    @classmethod
+    def generate(cls, node: int, workload) -> "OpSchedule":
+        """Materialize the schedule for ``node`` under a ``RegisterWorkload``.
+
+        Pure in ``(node, workload.seed, workload parameters)`` — two
+        calls with equal inputs return equal schedules, on any backend.
+        """
+        rng = client_rng(workload.seed, node)
+        ops = []
+        seq = 0
+        for index in range(workload.operations):
+            if rng.random() < workload.read_fraction:
+                kind, value = "R", None
+            else:
+                kind, value = "W", ("v", node, seq)
+                seq += 1
+            think = rng.uniform(workload.think_min, workload.think_max)
+            ops.append(PlannedOp(index, kind, value, think))
+        return cls(node=node, start_delay=workload.start_delay, ops=tuple(ops))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def reads(self) -> int:
+        return sum(1 for op in self.ops if op.kind == "R")
+
+    @property
+    def writes(self) -> int:
+        return sum(1 for op in self.ops if op.kind == "W")
+
+    def __repr__(self) -> str:
+        return (
+            f"<OpSchedule node={self.node}: {len(self.ops)} ops "
+            f"({self.reads}R/{self.writes}W)>"
+        )

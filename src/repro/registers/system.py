@@ -74,9 +74,14 @@ def _register_process_factory(
 
 
 def _attach_clients(
-    spec: SystemSpec, n: int, workload: RegisterWorkload
+    spec: SystemSpec, n: int, workload: RegisterWorkload, schedules=None
 ) -> SystemSpec:
-    clients = [ClientEntity(i, workload) for i in range(n)]
+    if schedules is not None and len(schedules) != n:
+        raise ValueError(f"need {n} schedules, got {len(schedules)}")
+    clients = [
+        ClientEntity(i, workload, schedule=schedules[i] if schedules else None)
+        for i in range(n)
+    ]
     return spec.add(*clients)
 
 
@@ -91,14 +96,21 @@ def timed_register_system(
     delta: float = 0.01,
     delay_model: Optional[DelayModel] = None,
     initial_value: object = INITIAL_VALUE,
+    schedules=None,
 ) -> SystemSpec:
-    """``D_T(G, L/S, E_{[d1',d2']})`` with clients (Lemmas 6.1, 6.2)."""
+    """``D_T(G, L/S, E_{[d1',d2']})`` with clients (Lemmas 6.1, 6.2).
+
+    ``schedules`` (optional): one precomputed
+    :class:`~repro.registers.opstream.OpSchedule` per node, replayed
+    instead of the online workload draws — the sim side of sim/live
+    cross-validation.
+    """
     topology = Topology.complete(n, self_loops=True)
     factory = _register_process_factory(
         algorithm, n, d2_prime, c, eps, delta, initial_value
     )
     spec = build_timed_system(topology, factory, d1_prime, d2_prime, delay_model)
-    return _attach_clients(spec, n, workload)
+    return _attach_clients(spec, n, workload, schedules)
 
 
 def clock_register_system(
@@ -113,12 +125,15 @@ def clock_register_system(
     delta: float = 0.01,
     delay_model: Optional[DelayModel] = None,
     initial_value: object = INITIAL_VALUE,
+    schedules=None,
 ) -> SystemSpec:
     """``D_C(G, S^c_eps, E^c_{[d1,d2]})`` with clients (Theorem 6.5).
 
     The process is parameterized for the *design* bounds
     ``[d1', d2'] = [max(d1 - 2*eps, 0), d2 + 2*eps]``; the physical
-    channels run at ``[d1, d2]``.
+    channels run at ``[d1, d2]``. ``schedules`` (optional) replays
+    precomputed per-node op schedules — the sim side of sim/live
+    cross-validation (see :mod:`repro.live`).
     """
     _, d2_prime = simulation1_delay_bounds(d1, d2, eps)
     topology = Topology.complete(n, self_loops=True)
@@ -128,7 +143,7 @@ def clock_register_system(
     spec = build_clock_system(
         topology, factory, eps, d1, d2, drivers, delay_model
     )
-    return _attach_clients(spec, n, workload)
+    return _attach_clients(spec, n, workload, schedules)
 
 
 def baseline_register_system(

@@ -9,11 +9,21 @@ checking unambiguous.
 
 Clients record every completed operation with invocation and response
 times, so latency analysis does not have to re-parse the trace.
+
+Two modes of schedule generation:
+
+- **online** (default, historical behavior): the read-vs-write choice is
+  drawn inside ``enabled()`` and the think time inside ``apply_input``,
+  so the sequence depends on engine polling. Kept byte-identical for
+  every existing seeded experiment.
+- **replay**: pass a precomputed
+  :class:`~repro.registers.opstream.OpSchedule` and the client follows
+  it exactly — the mode the live backend shares, so a sim run and a
+  live run of the same seed issue identical operation streams.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -22,6 +32,7 @@ from repro.automata.signature import Signature
 from repro.components.base import Entity
 from repro.errors import TransitionError
 from repro.obs.metrics import NULL_SKETCH
+from repro.registers.opstream import OpSchedule, client_rng
 
 from repro.constants import INFINITY, TOLERANCE as _TOLERANCE
 
@@ -67,14 +78,27 @@ class ClientState:
 
 
 class ClientEntity(Entity):
-    """Closed-loop client for node ``i``."""
+    """Closed-loop client for node ``i``.
 
-    # enabled() draws from the workload RNG (read-vs-write choice), so
-    # the engine must re-evaluate it every round to keep the draw
-    # sequence identical across execution strategies.
+    With ``schedule=None`` (the default), operations are drawn online
+    from the workload RNG — the historical mode. With a precomputed
+    :class:`~repro.registers.opstream.OpSchedule`, the client replays it
+    deterministically; ``enabled`` then becomes a pure function of
+    ``(state, now)``, which the instance advertises to the engine.
+    """
+
+    # In online mode enabled() draws from the workload RNG (read-vs-write
+    # choice), so the engine must re-evaluate it every round to keep the
+    # draw sequence identical across execution strategies. Replay mode
+    # overrides this per instance (see __init__).
     pure_enabled = False
 
-    def __init__(self, node: int, workload: RegisterWorkload):
+    def __init__(
+        self,
+        node: int,
+        workload: RegisterWorkload,
+        schedule: Optional[OpSchedule] = None,
+    ):
         signature = Signature(
             inputs=PatternActionSet(
                 [ActionPattern("RETURN", (node,)), ActionPattern("ACK", (node,))]
@@ -86,7 +110,15 @@ class ClientEntity(Entity):
         super().__init__(f"client({node})", signature)
         self.node = node
         self.workload = workload
-        self._rng = random.Random(workload.seed * 1_000_003 + node)
+        if schedule is not None and schedule.node != node:
+            raise ValueError(
+                f"schedule is for node {schedule.node}, client is node {node}"
+            )
+        self.schedule = schedule
+        if schedule is not None:
+            # replay mode: no RNG inside enabled(), so it is pure
+            self.pure_enabled = True
+        self._rng = client_rng(workload.seed, node)
         self._seq = 0
         self._read_lat = NULL_SKETCH
         self._write_lat = NULL_SKETCH
@@ -97,18 +129,36 @@ class ClientEntity(Entity):
         self._write_lat = metrics.sketch("repro.op.write_latency")
 
     def initial_state(self) -> ClientState:
-        return ClientState(next_inv_time=self.workload.start_delay)
+        start = (
+            self.schedule.start_delay
+            if self.schedule is not None
+            else self.workload.start_delay
+        )
+        return ClientState(next_inv_time=start)
 
-    def _think(self) -> float:
+    def _operation_budget(self) -> int:
+        if self.schedule is not None:
+            return len(self.schedule)
+        return self.workload.operations
+
+    def _think(self, state: ClientState) -> float:
+        if self.schedule is not None:
+            # think time planned after the operation that just completed
+            return self.schedule.ops[state.issued - 1].think_after
         return self._rng.uniform(self.workload.think_min, self.workload.think_max)
 
     def enabled(self, state: ClientState, now: float) -> List[Action]:
         if state.pending is not None:
             return []
-        if state.issued >= self.workload.operations:
+        if state.issued >= self._operation_budget():
             return []
         if now + _TOLERANCE < state.next_inv_time:
             return []
+        if self.schedule is not None:
+            planned = self.schedule.ops[state.issued]
+            if planned.kind == "R":
+                return [Action("READ", (self.node,))]
+            return [Action("WRITE", (self.node, planned.value))]
         if self._rng.random() < self.workload.read_fraction:
             return [Action("READ", (self.node,))]
         value = ("v", self.node, self._seq)
@@ -145,11 +195,11 @@ class ClientEntity(Entity):
         else:
             raise TransitionError(f"{self.name}: unexpected input {action}")
         state.pending = None
-        state.next_inv_time = now + self._think()
+        state.next_inv_time = now + self._think(state)
 
     def deadline(self, state: ClientState, now: float) -> float:
         if state.pending is not None:
             return INFINITY
-        if state.issued >= self.workload.operations:
+        if state.issued >= self._operation_budget():
             return INFINITY
         return max(state.next_inv_time, now)

@@ -9,7 +9,11 @@
 """
 
 from repro.traces.linearizability import (
+    DEFAULT_NODE_BUDGET,
+    LinearizationReport,
     Operation,
+    SearchBudgetExceeded,
+    analyze_linearizability,
     check_alternation,
     extract_operations,
     is_linearizable,
@@ -32,6 +36,10 @@ from repro.traces.relations import (
 
 __all__ = [
     "Operation",
+    "LinearizationReport",
+    "SearchBudgetExceeded",
+    "DEFAULT_NODE_BUDGET",
+    "analyze_linearizability",
     "check_alternation",
     "extract_operations",
     "is_linearizable",

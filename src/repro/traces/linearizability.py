@@ -20,6 +20,15 @@ order makes every read legal? This is decided by a depth-first search over
 step are restricted to operations whose window opens before every other
 remaining operation's window closes, which keeps the search shallow for
 realistic histories.
+
+Long *live* histories (tens of thousands of operations recorded off a
+real service, see :mod:`repro.live`) need the search bounded: a
+pathological history could make the DFS visit exponentially many
+(remaining, value) states. Every entry point therefore accepts a
+``max_nodes`` budget on visited search nodes; exceeding it raises
+:class:`SearchBudgetExceeded` (a :class:`SpecificationError`) rather
+than spinning, and :func:`analyze_linearizability` reports the visited
+count either way so reports can show how hard the check worked.
 """
 
 from __future__ import annotations
@@ -29,6 +38,31 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.automata.executions import TimedSequence
 from repro.errors import SpecificationError
+
+DEFAULT_NODE_BUDGET = 2_000_000
+"""Default visited-node budget of :func:`analyze_linearizability`.
+
+Realistic histories visit roughly one node per operation; the default
+leaves orders of magnitude of slack while still guaranteeing the check
+terminates in seconds rather than never.
+"""
+
+
+class SearchBudgetExceeded(SpecificationError):
+    """The linearization DFS exceeded its visited-node budget.
+
+    Not a verdict: the history may or may not be linearizable; the
+    search was cut off after ``visited`` nodes (budget ``max_nodes``).
+    """
+
+    def __init__(self, visited: int, max_nodes: int):
+        super().__init__(
+            f"linearizability search exceeded its node budget: visited "
+            f"{visited} search nodes (budget {max_nodes}); the history is "
+            f"too adversarial for an exact verdict at this budget"
+        )
+        self.visited = visited
+        self.max_nodes = max_nodes
 
 READ = "READ"
 WRITE = "WRITE"
@@ -157,6 +191,8 @@ def _search_linearization(
     windows: Dict[int, Tuple[float, float]],
     initial_value: object,
     tolerance: float,
+    max_nodes: Optional[int] = None,
+    counter: Optional[List[int]] = None,
 ) -> Optional[List[Tuple[int, float]]]:
     """Find increasing points, one per op window, making reads legal.
 
@@ -164,16 +200,25 @@ def _search_linearization(
     pair; the current time floor is implied by the chosen prefix and is
     folded into the memo key. Returns the linearization as a list of
     ``(op_id, point)`` pairs or ``None``.
+
+    ``max_nodes`` bounds the visited search nodes (each ``recurse`` call
+    counts one); exceeding it raises :class:`SearchBudgetExceeded`.
+    ``counter``, when given, is a one-element list the visited count is
+    accumulated into, so callers can report it.
     """
     by_id = {op.op_id: op for op in ops}
     all_ids = frozenset(by_id)
     memo: Dict[Tuple[FrozenSet[int], object, float], bool] = {}
+    visited = counter if counter is not None else [0]
 
     order: List[Tuple[int, float]] = []
 
     def recurse(remaining: FrozenSet[int], value: object, floor: float) -> bool:
         if not remaining:
             return True
+        visited[0] += 1
+        if max_nodes is not None and visited[0] > max_nodes:
+            raise SearchBudgetExceeded(visited[0], max_nodes)
         key = (remaining, value, round(floor, 9))
         if key in memo:
             return False  # memo only stores failures; successes return early
@@ -214,24 +259,81 @@ def find_linearization(
     initial_value: object = None,
     min_after_inv: float = 0.0,
     tolerance: float = 1e-9,
+    max_nodes: Optional[int] = None,
 ) -> Optional[List[Tuple[int, float]]]:
     """Find a (super)linearization of complete operations.
 
     ``min_after_inv`` is ``0`` for plain linearizability and ``2*eps``
     for eps-superlinearizability (Section 6.2). Returns ``(op_id, point)``
-    pairs in linearization order, or ``None``.
+    pairs in linearization order, or ``None``. ``max_nodes`` (optional)
+    bounds the search; see :class:`SearchBudgetExceeded`.
     """
     windows = {op.op_id: op.window(min_after_inv) for op in ops}
     for op_id, (lo, hi) in windows.items():
         if lo > hi + tolerance:
             return None
-    return _search_linearization(ops, windows, initial_value, tolerance)
+    return _search_linearization(
+        ops, windows, initial_value, tolerance, max_nodes=max_nodes
+    )
+
+
+@dataclass(frozen=True)
+class LinearizationReport:
+    """Outcome of a budgeted linearizability check, with search stats."""
+
+    ok: bool
+    linearization: Optional[List[Tuple[int, float]]]
+    operations: int
+    visited: int
+    max_nodes: Optional[int]
+
+    def __repr__(self) -> str:
+        verdict = "linearizable" if self.ok else "NOT linearizable"
+        return (
+            f"<LinearizationReport {verdict}: {self.operations} ops, "
+            f"{self.visited} search nodes visited>"
+        )
+
+
+def analyze_linearizability(
+    history: Iterable,
+    initial_value: object = None,
+    min_after_inv: float = 0.0,
+    tolerance: float = 1e-9,
+    max_nodes: Optional[int] = DEFAULT_NODE_BUDGET,
+) -> LinearizationReport:
+    """Budgeted linearizability check with visited-node statistics.
+
+    The entry point for long live histories: the DFS is bounded by
+    ``max_nodes`` (default :data:`DEFAULT_NODE_BUDGET`; ``None``
+    disables the guard) and the report carries the visited count, so a
+    latency report can state how much work the verdict cost. Raises
+    :class:`SearchBudgetExceeded` when the budget is exhausted.
+    """
+    ops = _coerce_operations(history)
+    if ops is None:
+        return LinearizationReport(True, None, 0, 0, max_nodes)
+    windows = {op.op_id: op.window(min_after_inv) for op in ops}
+    counter = [0]
+    for op_id, (lo, hi) in windows.items():
+        if lo > hi + tolerance:
+            return LinearizationReport(
+                False, None, len(ops), counter[0], max_nodes
+            )
+    order = _search_linearization(
+        ops, windows, initial_value, tolerance,
+        max_nodes=max_nodes, counter=counter,
+    )
+    return LinearizationReport(
+        order is not None, order, len(ops), counter[0], max_nodes
+    )
 
 
 def is_linearizable(
     history: Iterable,
     initial_value: object = None,
     tolerance: float = 1e-9,
+    max_nodes: Optional[int] = None,
 ) -> bool:
     """Whether a history is linearizable (Section 6.1).
 
@@ -243,7 +345,10 @@ def is_linearizable(
     ops = _coerce_operations(history)
     if ops is None:
         return True
-    return find_linearization(ops, initial_value, 0.0, tolerance) is not None
+    return (
+        find_linearization(ops, initial_value, 0.0, tolerance, max_nodes)
+        is not None
+    )
 
 
 def is_superlinearizable(
@@ -251,6 +356,7 @@ def is_superlinearizable(
     eps: float,
     initial_value: object = None,
     tolerance: float = 1e-9,
+    max_nodes: Optional[int] = None,
 ) -> bool:
     """Whether a history is eps-superlinearizable (Section 6.2).
 
@@ -261,7 +367,8 @@ def is_superlinearizable(
     if ops is None:
         return True
     return (
-        find_linearization(ops, initial_value, 2.0 * eps, tolerance) is not None
+        find_linearization(ops, initial_value, 2.0 * eps, tolerance, max_nodes)
+        is not None
     )
 
 

@@ -6,7 +6,10 @@ from repro.automata.actions import Action
 from repro.automata.executions import timed_sequence
 from repro.traces.linearizability import (
     AlternationViolation,
+    DEFAULT_NODE_BUDGET,
     Operation,
+    SearchBudgetExceeded,
+    analyze_linearizability,
     check_alternation,
     extract_operations,
     find_linearization,
@@ -190,6 +193,78 @@ class TestSuperlinearizability:
         ops = [op(0, 0, "R", "init", 0.0, 1.0)]
         assert is_superlinearizable(ops, 0.0, initial_value="init") == \
             is_linearizable(ops, initial_value="init")
+
+
+def _adversarial_ops(k):
+    """``k`` overlapping writes + reads sharing one window: a worst case
+    for the DFS (every interleaving must be tried before giving up)."""
+    ops = []
+    for i in range(k):
+        ops.append(op(2 * i, i, "W", f"w{i}", 0.0, 100.0))
+        ops.append(op(2 * i + 1, k + i, "R", "never-written", 0.0, 100.0))
+    return ops
+
+
+class TestSearchBudget:
+    def test_report_carries_visited_count(self):
+        ops = [
+            op(0, 0, "W", "a", 0.0, 1.0),
+            op(1, 1, "R", "a", 2.0, 3.0),
+        ]
+        report = analyze_linearizability(ops)
+        assert report.ok
+        assert report.operations == 2
+        assert report.visited >= 1
+        assert report.max_nodes == DEFAULT_NODE_BUDGET
+        assert report.linearization is not None
+
+    def test_not_linearizable_report(self):
+        ops = [
+            op(0, 0, "W", "new", 0.0, 1.0),
+            op(1, 1, "R", "old", 2.0, 3.0),
+        ]
+        report = analyze_linearizability(ops, initial_value="old")
+        assert not report.ok
+        assert report.linearization is None
+        assert report.visited >= 1
+
+    def test_budget_exceeded_raises_not_a_verdict(self):
+        with pytest.raises(SearchBudgetExceeded) as err:
+            analyze_linearizability(_adversarial_ops(6), max_nodes=50)
+        assert err.value.visited > 50
+        assert err.value.max_nodes == 50
+
+    def test_budget_exceeded_is_specification_error(self):
+        from repro.errors import SpecificationError
+
+        assert issubclass(SearchBudgetExceeded, SpecificationError)
+
+    def test_find_linearization_honors_budget(self):
+        with pytest.raises(SearchBudgetExceeded):
+            find_linearization(_adversarial_ops(6), max_nodes=50)
+
+    def test_unlimited_budget_still_terminates(self):
+        # max_nodes=None disables the guard entirely
+        report = analyze_linearizability(
+            [op(0, 0, "R", "init", 0.0, 1.0)],
+            initial_value="init", max_nodes=None,
+        )
+        assert report.ok and report.max_nodes is None
+
+    def test_infeasible_window_reported_without_search(self):
+        report = analyze_linearizability(
+            [op(0, 0, "R", None, 0.0, 0.1)], min_after_inv=0.5
+        )
+        assert not report.ok
+        assert report.visited == 0
+
+    def test_vacuous_environment_violation(self):
+        trace = timed_sequence(
+            (Action("READ", (0,)), 0.0),
+            (Action("READ", (0,)), 1.0),
+        )
+        report = analyze_linearizability(trace)
+        assert report.ok and report.operations == 0
 
 
 class TestLinearizationPoints:

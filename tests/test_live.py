@@ -1,0 +1,259 @@
+"""Tests for the live register service (repro.live).
+
+The end-to-end tests run a real loopback cluster inside ``asyncio.run``
+with small workloads and generous timing slack: CI machines jitter, and
+the *unconditional* claims here are linearizability and schema
+conformance, not tight latency. The Theorem 6.5 gate itself is checked
+with slack large enough that only a broken implementation trips it.
+"""
+
+import json
+
+import pytest
+
+from repro.constants import INFINITY
+from repro.errors import LiveServiceError
+from repro.live import (
+    LiveParams,
+    LiveReport,
+    build_operations,
+    run_load,
+    sim_replay,
+)
+from repro.live.client import ClientRecord
+from repro.live.clock import LiveClock
+from repro.live.load import live_workload
+from repro.live.params import read_manifest, write_manifest
+from repro.live.wire import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    tuplify,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate_metrics, validate_trace_lines
+from repro.sim.clock_drivers import driver_factory
+
+
+class TestLiveClock:
+    def make(self, kind, eps=0.01, node=0):
+        import time
+
+        driver = driver_factory(kind, eps, seed=3)(node)
+        return LiveClock(driver, time.monotonic())
+
+    @pytest.mark.parametrize("kind", ["perfect", "fast", "slow", "mixed"])
+    def test_clock_stays_inside_envelope(self, kind):
+        eps = 0.05
+        clk = self.make(kind, eps=eps)
+        for _ in range(200):
+            real, clock = clk.read()
+            assert abs(real - clock) <= eps + 1e-9
+        assert clk.max_skew <= eps + 1e-9
+
+    def test_clock_is_monotone(self):
+        clk = self.make("random", eps=0.02)
+        last = -1.0
+        for _ in range(100):
+            _, clock = clk.read()
+            assert clock >= last
+            last = clock
+
+    def test_wall_delay_infinity_passthrough(self):
+        assert self.make("perfect").wall_delay(INFINITY) == INFINITY
+
+    def test_wall_delay_for_reached_deadline_is_zero(self):
+        clk = self.make("perfect")
+        _, clock = clk.read()
+        assert clk.wall_delay(clock - 1.0) == 0.0
+        assert clk.wall_delay(clock) == 0.0
+
+    def test_wall_delay_future_deadline_is_positive_and_bounded(self):
+        eps = 0.01
+        clk = self.make("slow", eps=eps)
+        _, clock = clk.read()
+        delay = clk.wall_delay(clock + 0.5)
+        # at least the clock distance minus jitter, at most + 2*eps worth
+        # of driver pessimism
+        assert 0.0 < delay <= 0.5 + 2 * eps + 1e-9
+
+
+class TestWire:
+    def test_tuplify_nested_lists(self):
+        assert tuplify(["v", 2, 0]) == ("v", 2, 0)
+        assert tuplify([["v", 1, 0], 3.5]) == (("v", 1, 0), 3.5)
+        assert tuplify({"m": [["v", 0, 1], 2.0]}) == {"m": (("v", 0, 1), 2.0)}
+        assert tuplify("scalar") == "scalar"
+
+    def test_round_trip_preserves_register_values(self):
+        frame = {"t": "msg", "src": 1, "m": [["v", 1, 4], 3.25], "stamp": 3.25}
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded["m"] == (("v", 1, 4), 3.25)
+        assert decoded["m"][0] == ("v", 1, 4)  # checker compares by equality
+
+    def test_frames_are_newline_delimited_json(self):
+        raw = encode_frame({"t": "ack"})
+        assert raw.endswith(b"\n")
+        assert json.loads(raw) == {"t": "ack"}
+
+    def test_malformed_frame_rejected(self):
+        with pytest.raises(LiveServiceError):
+            decode_frame(b"not json\n")
+
+    def test_untagged_frame_rejected(self):
+        with pytest.raises(LiveServiceError):
+            decode_frame(b'{"src": 1}\n')
+
+    def test_oversize_frame_rejected(self):
+        huge = b'{"t": "msg", "pad": "' + b"x" * MAX_FRAME_BYTES + b'"}\n'
+        with pytest.raises(LiveServiceError):
+            decode_frame(huge)
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        params = LiveParams(n=2, d2=0.1, eps=0.02, c=0.05, seed=9)
+        write_manifest(path, params, [("127.0.0.1", 4001), ("127.0.0.1", 4002)])
+        loaded, addresses = read_manifest(path)
+        assert loaded == params
+        assert addresses == [("127.0.0.1", 4001), ("127.0.0.1", 4002)]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(LiveServiceError):
+            read_manifest(str(tmp_path / "absent.json"))
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else", "version": 1}\n')
+        with pytest.raises(LiveServiceError):
+            read_manifest(str(path))
+
+    def test_address_count_mismatch_raises(self, tmp_path):
+        path = str(tmp_path / "short.json")
+        write_manifest(path, LiveParams(n=3), [("127.0.0.1", 4001)])
+        with pytest.raises(LiveServiceError):
+            read_manifest(path)
+
+
+class TestParams:
+    def test_d2_prime(self):
+        assert LiveParams(d2=0.05, eps=0.01).d2_prime == pytest.approx(0.07)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            LiveParams(n=0)
+        with pytest.raises(ValueError):
+            LiveParams(d1=0.2, d2=0.1)
+        with pytest.raises(ValueError):
+            LiveParams(eps=-0.1)
+
+    def test_dict_round_trip(self):
+        params = LiveParams(n=4, driver="slow", seed=5)
+        assert LiveParams.from_dict(params.to_dict()) == params
+
+
+class TestBuildOperations:
+    def test_ids_assigned_in_invocation_order(self):
+        records = [
+            ClientRecord(1, 0, "W", ("v", 1, 0), 0.5, 0.9),
+            ClientRecord(0, 0, "R", ("v", -1, 0), 0.1, 0.4),
+        ]
+        ops = build_operations(records)
+        assert [op.op_id for op in ops] == [0, 1]
+        assert ops[0].node == 0 and ops[1].node == 1
+        assert ops[0].latency == pytest.approx(0.3)
+
+
+class TestEndToEnd:
+    """One real loopback run, shared across assertions (clusters are the
+    expensive part; one run can answer every question)."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        params = LiveParams(n=3, seed=4)
+        workload = live_workload(
+            operations=10, read_fraction=0.5, seed=4,
+            think_min=0.0, think_max=0.01,
+        )
+        return run_load(params, workload, slack=1.0)
+
+    def test_history_is_linearizable(self, report):
+        assert report.linearization.ok
+        assert report.linearization.visited > 0
+
+    def test_all_operations_completed(self, report):
+        assert len(report.operations) == 30
+        assert len(report.reads) + len(report.writes) == 30
+
+    def test_eps_measured_within_envelope(self, report):
+        assert 0.0 <= report.eps_measured <= report.params.eps + 1e-9
+
+    def test_node_stats_collected(self, report):
+        assert len(report.node_stats) == 3
+        assert {s["node"] for s in report.node_stats} == {0, 1, 2}
+        # updates flowed: every op broadcasts to all peers
+        assert all(s["wire_count"] > 0 for s in report.node_stats)
+
+    def test_bounds_pass_with_generous_slack(self, report):
+        # slack=1.0 makes the gate insensitive to CI jitter; a failure
+        # here means the implementation, not the machine, is wrong
+        assert report.bounds_ok, "\n".join(
+            check.render() for check in report.bound_checks()
+        )
+
+    def test_render_mentions_the_verdict(self, report):
+        text = report.render(assert_bounds=True)
+        assert "linearizable   : True" in text
+        assert "Theorem 6.5 gate" in text
+
+    def test_metrics_snapshot_conforms_to_schema(self, report):
+        registry = MetricsRegistry()
+        report.to_metrics(registry)
+        snapshot = registry.snapshot()
+        assert validate_metrics(snapshot) == []
+        assert snapshot["counters"]["repro.live.ops.completed"] == 30
+
+    def test_trace_export_conforms_to_schema(self, report, tmp_path):
+        path = tmp_path / "live-trace.jsonl"
+        report.write_trace(str(path))
+        lines = path.read_text().splitlines()
+        assert validate_trace_lines(lines) == []
+        spans = [json.loads(l) for l in lines if '"span"' in l]
+        assert len(spans) == 60  # inv + res per operation
+
+    def test_sim_replay_of_same_seed_linearizes(self, report):
+        workload = live_workload(
+            operations=10, read_fraction=0.5, seed=4,
+            think_min=0.0, think_max=0.01,
+        )
+        run = sim_replay(report.params, workload)
+        assert run.linearizable()
+        assert len(run.operations) == len(report.operations)
+
+
+class TestReportWithoutRun:
+    """Report mechanics that need no cluster."""
+
+    def make_report(self, ops, stats=()):
+        from repro.traces.linearizability import analyze_linearizability
+
+        lin = analyze_linearizability(ops, initial_value=("v", -1, 0))
+        return LiveReport(
+            params=LiveParams(), operations=ops, linearization=lin,
+            node_stats=list(stats),
+        )
+
+    def test_empty_history_is_ok(self):
+        report = self.make_report([])
+        assert report.ok
+        assert report.eps_measured == LiveParams().eps  # fallback
+        # only the premise check exists without latencies
+        assert [c.name for c in report.bound_checks()] == ["wire delay"]
+
+    def test_wire_premise_violation_detected(self):
+        report = self.make_report([], stats=[
+            {"node": 0, "max_skew": 0.005, "wire_max": 9.0},
+        ])
+        assert not report.bounds_ok
+        assert report.eps_measured == 0.005

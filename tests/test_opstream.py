@@ -1,0 +1,112 @@
+"""Tests for the engine-agnostic seeded op-stream generator."""
+
+import pytest
+
+from repro.registers.opstream import OpSchedule, PlannedOp, client_rng
+from repro.registers.system import (
+    clock_register_system,
+    run_register_experiment,
+)
+from repro.registers.workload import ClientEntity, RegisterWorkload
+from repro.sim.clock_drivers import driver_factory
+
+
+def workload(**overrides):
+    base = dict(
+        operations=8, read_fraction=0.5, seed=7,
+        think_min=0.1, think_max=0.5,
+    )
+    base.update(overrides)
+    return RegisterWorkload(**base)
+
+
+class TestGeneration:
+    def test_same_seed_same_schedule(self):
+        a = OpSchedule.generate(2, workload())
+        b = OpSchedule.generate(2, workload())
+        assert a == b
+
+    def test_different_nodes_differ(self):
+        a = OpSchedule.generate(0, workload())
+        b = OpSchedule.generate(1, workload())
+        assert a.ops != b.ops
+
+    def test_different_seeds_differ(self):
+        a = OpSchedule.generate(0, workload(seed=1))
+        b = OpSchedule.generate(0, workload(seed=2))
+        assert a.ops != b.ops
+
+    def test_counts_add_up(self):
+        schedule = OpSchedule.generate(3, workload(operations=40))
+        assert len(schedule) == 40
+        assert schedule.reads + schedule.writes == 40
+
+    def test_read_fraction_extremes(self):
+        all_reads = OpSchedule.generate(0, workload(read_fraction=1.0))
+        all_writes = OpSchedule.generate(0, workload(read_fraction=0.0))
+        assert all_reads.writes == 0
+        assert all_writes.reads == 0
+
+    def test_write_values_unique_and_tagged(self):
+        schedule = OpSchedule.generate(5, workload(read_fraction=0.0))
+        values = [op.value for op in schedule.ops]
+        assert values == [("v", 5, seq) for seq in range(len(values))]
+
+    def test_reads_carry_no_value(self):
+        schedule = OpSchedule.generate(0, workload(read_fraction=1.0))
+        assert all(op.value is None for op in schedule.ops)
+
+    def test_think_times_in_range(self):
+        schedule = OpSchedule.generate(1, workload(operations=50))
+        for op in schedule.ops:
+            assert 0.1 <= op.think_after <= 0.5
+
+    def test_start_delay_propagated(self):
+        schedule = OpSchedule.generate(0, workload(start_delay=2.5))
+        assert schedule.start_delay == 2.5
+
+    def test_client_rng_matches_legacy_derivation(self):
+        # the sim client and the schedule must share one RNG stream
+        import random
+
+        assert client_rng(7, 3).random() == \
+            random.Random(7 * 1_000_003 + 3).random()
+
+
+class TestReplayClient:
+    def test_replay_mode_is_pure(self):
+        w = workload()
+        schedule = OpSchedule.generate(0, w)
+        assert ClientEntity(0, w, schedule=schedule).pure_enabled
+        assert not ClientEntity(0, w).pure_enabled
+
+    def test_wrong_node_schedule_rejected(self):
+        w = workload()
+        with pytest.raises(ValueError):
+            ClientEntity(0, w, schedule=OpSchedule.generate(1, w))
+
+    def test_sim_replay_runs_exact_schedule(self):
+        w = workload(operations=4, think_min=0.0, think_max=0.3, seed=11)
+        schedules = [OpSchedule.generate(i, w) for i in range(3)]
+        spec = clock_register_system(
+            n=3, d1=0.1, d2=1.0, c=0.3, eps=0.1, workload=w,
+            drivers=driver_factory("mixed", 0.1, seed=11),
+            algorithm="S", delta=0.01, schedules=schedules,
+        )
+        run = run_register_experiment(spec, 60.0)
+        assert len(run.operations) == 12
+        assert run.linearizable()
+        # the completed history matches the planned kinds, per node, in order
+        for i, schedule in enumerate(schedules):
+            completed = run.result.final_states[f"client({i})"].completed
+            assert [op.kind for op in completed] == \
+                [planned.kind for planned in schedule.ops]
+            planned_writes = [p.value for p in schedule.ops if p.kind == "W"]
+            completed_writes = [o.value for o in completed if o.kind == "W"]
+            assert completed_writes == planned_writes
+
+    def test_repr_is_informative(self):
+        schedule = OpSchedule.generate(2, workload())
+        assert "node=2" in repr(schedule)
+        assert isinstance(schedule.ops[0], PlannedOp)
+        assert schedule.ops[0].kind in repr(schedule.ops[0])

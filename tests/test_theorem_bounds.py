@@ -1,0 +1,104 @@
+"""Edge cases for the Theorem 6.5 latency-bound table.
+
+``theorem_bounds(model, eps, c, delta, d2)`` states the paper's
+per-operation costs: Lemma 6.1 for the timed model (read ``c + delta``,
+write ``d2 - c``, exact in real time) and Theorem 6.5 for the clock
+model (read ``2*eps + delta + c``, write ``d2 + 2*eps - c`` in clock
+time, each stretched by up to ``2*eps`` more in real time).
+"""
+
+import pytest
+
+from repro.core.pipeline import simulation1_delay_bounds
+from repro.registers.algorithm_s import theorem_bounds
+
+D2, DELTA = 1.0, 0.01
+
+
+class TestClockModel:
+    def test_zero_eps_collapses_to_timed(self):
+        """With perfect clocks Algorithm S *is* Algorithm L: clock and
+        real bounds coincide and match the timed-model table."""
+        clock = theorem_bounds("clock", 0.0, 0.3, DELTA, D2)
+        timed = theorem_bounds("timed", 0.0, 0.3, DELTA, D2)
+        assert clock == timed
+        assert clock["read_real"] == clock["read_clock"] == 0.3 + DELTA
+        assert clock["write_real"] == clock["write_clock"] == D2 - 0.3
+
+    def test_real_bounds_stretch_by_two_eps(self):
+        eps = 0.2
+        bounds = theorem_bounds("clock", eps, 0.3, DELTA, D2)
+        assert bounds["read_real"] == bounds["read_clock"] + 2 * eps
+        assert bounds["write_real"] == bounds["write_clock"] + 2 * eps
+
+    def test_c_at_zero(self):
+        """c = 0: reads are as fast as the model allows, writes pay the
+        full d2 + 2*eps."""
+        eps = 0.1
+        bounds = theorem_bounds("clock", eps, 0.0, DELTA, D2)
+        assert bounds["read_clock"] == pytest.approx(2 * eps + DELTA)
+        assert bounds["write_clock"] == pytest.approx(D2 + 2 * eps)
+
+    def test_c_at_upper_admissible_end(self):
+        """c = d2' = d2 + 2*eps, the largest value RegisterProcess
+        admits: writes become free in clock time."""
+        eps = 0.1
+        _, d2_prime = simulation1_delay_bounds(0.0, D2, eps)
+        bounds = theorem_bounds("clock", eps, d2_prime, DELTA, D2)
+        assert bounds["write_clock"] == pytest.approx(0.0)
+        assert bounds["read_clock"] == pytest.approx(2 * eps + DELTA + d2_prime)
+
+    def test_read_write_tradeoff_is_conserved(self):
+        """Sliding c moves cost between reads and writes; the sum is the
+        c-independent constant d2 + 4*eps + delta."""
+        eps = 0.15
+        total = D2 + 4 * eps + DELTA
+        for c in (0.0, 0.2, 0.7, D2 + 2 * eps):
+            bounds = theorem_bounds("clock", eps, c, DELTA, D2)
+            assert bounds["read_clock"] + bounds["write_clock"] == \
+                pytest.approx(total)
+
+    def test_mmt_alias(self):
+        assert theorem_bounds("mmt", 0.1, 0.3, DELTA, D2) == \
+            theorem_bounds("clock", 0.1, 0.3, DELTA, D2)
+
+
+class TestTimedModel:
+    def test_real_equals_clock(self):
+        bounds = theorem_bounds("timed", 0.0, 0.3, DELTA, D2)
+        assert bounds["read_real"] == bounds["read_clock"]
+        assert bounds["write_real"] == bounds["write_clock"]
+
+    def test_eps_is_ignored(self):
+        """The timed model has no clocks; eps cannot enter its bounds."""
+        assert theorem_bounds("timed", 0.0, 0.3, DELTA, D2) == \
+            theorem_bounds("timed", 0.5, 0.3, DELTA, D2)
+
+    def test_c_equals_d2_makes_writes_free(self):
+        bounds = theorem_bounds("timed", 0.0, D2, DELTA, D2)
+        assert bounds["write_real"] == pytest.approx(0.0)
+
+
+class TestDegenerateDelays:
+    def test_d1_equals_d2(self):
+        """A fixed-delay network (d1 = d2) changes nothing in the table:
+        only the upper bound d2 appears in the costs."""
+        bounds = theorem_bounds("clock", 0.1, 0.3, DELTA, 0.5)
+        assert bounds["write_clock"] == pytest.approx(0.5 + 0.2 - 0.3)
+        d1p, d2p = simulation1_delay_bounds(0.5, 0.5, 0.1)
+        assert d1p == pytest.approx(0.3)
+        assert d2p == pytest.approx(0.7)
+
+    def test_zero_delta(self):
+        bounds = theorem_bounds("clock", 0.1, 0.3, 0.0, D2)
+        assert bounds["read_clock"] == pytest.approx(0.2 + 0.3)
+
+
+class TestBaseline:
+    def test_baseline_has_no_bounds(self):
+        with pytest.raises(ValueError):
+            theorem_bounds("baseline", 0.1, 0.3, DELTA, D2)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            theorem_bounds("quantum", 0.1, 0.3, DELTA, D2)
