@@ -161,12 +161,15 @@ class LeaderElectProcess(Process):
         source = action.params[1]
         if message in state.seen:
             return
+        # repro: lint-ignore[ISO003] -- messages are ("id", int) tuples:
+        # immutable, so the flood's re-forwarding cannot alias mutably
         state.seen.add(message)
         _, identifier = message
         if identifier < state.minimum:
             state.minimum = identifier
         for neighbor in self.neighbors:
             if neighbor != source:
+                # repro: lint-ignore[ISO003] -- immutable ("id", int) tuple
                 state.outbox.append((neighbor, message))
 
     def enabled(self, state: LeaderState, ctx) -> List[Action]:

@@ -82,7 +82,7 @@ def apply_plan(
     """A new spec with the plan's faults injected (see module docs)."""
     compiled = compiled or plan.compile()
     known_nodes = set(spec.node_entities)
-    for node in set(compiled.recovery) | set(compiled.clock_windows):
+    for node in sorted(set(compiled.recovery) | set(compiled.clock_windows)):
         if known_nodes and node not in known_nodes:
             raise SpecificationError(
                 f"plan {plan.name!r} targets node {node}, but the system "

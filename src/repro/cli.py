@@ -35,6 +35,10 @@ Commands:
     external one via ``--connect``, or a self-hosted loopback cluster),
     check the recorded history for linearizability, and gate latency
     percentiles on the Theorem 6.5 bounds.
+``lint``
+    Statically check the determinism discipline, the scheduling-contract
+    declarations, and shard isolation across the source tree; exits
+    non-zero on new findings.
 
 Every command is seeded and deterministic; exit status is non-zero when
 a correctness check fails, so the CLI doubles as a smoke harness.
@@ -947,6 +951,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="FILE", default=None,
                    help="JSONL trace written by --trace-out")
     p.set_defaults(func=_report)
+
+    from repro.lint.cli import add_lint_arguments, run as _lint
+
+    p = sub.add_parser(
+        "lint",
+        help="statically check determinism, scheduling-contract, and "
+             "shard-isolation invariants",
+    )
+    add_lint_arguments(p)
+    p.set_defaults(func=_lint)
 
     return parser
 

@@ -73,6 +73,7 @@ class TimeServerProcess(Process):
         kind, client, nonce = action.params[2]
         if kind != "timereq":
             raise TransitionError(f"{self.name}: unexpected {action}")
+        # repro: lint-ignore[ISO003] -- client/nonce are immutable ints
         state.pending.append((client, nonce))
 
     def enabled(self, state: ServerState, ctx) -> List[Action]:

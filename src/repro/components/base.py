@@ -61,12 +61,18 @@ class Process:
     Section 3.1: outputs include ``SENDMSG_i(j, m)`` for each outgoing
     edge, inputs include ``RECVMSG_i(j, m)`` for each incoming edge.
 
-    The two class-level scheduling hints mirror the :class:`Entity`
+    The three class-level scheduling hints mirror the :class:`Entity`
     contract (see there for the precise promises); a process wrapped by
-    :class:`TimedNodeEntity` hands them to the engine's incremental
-    scheduler. Both default to the conservative ``False``.
+    :class:`TimedNodeEntity` (or the clock/MMT node entities) hands them
+    to the engine's incremental scheduler. The deadline hints default to
+    the conservative ``False``; ``pure_enabled`` defaults to ``True``
+    like the entity contract — a process drawing from an RNG inside
+    ``enabled`` must override it.
     """
 
+    #: Promise: ``enabled(state, ctx)`` is a pure function of
+    #: ``(state, ctx.time)`` — no randomness, no observable mutation.
+    pure_enabled: bool = True
     #: Promise: ``deadline(state, ctx)`` depends only on state mutated by
     #: ``fire``/``apply_input`` — never on the current time itself.
     static_deadline: bool = False
@@ -212,7 +218,10 @@ class TimedNodeEntity(Entity):
     def __init__(self, process: Process):
         super().__init__(process.name, process.signature)
         self.process = process
-        # The node's scheduling contract is exactly its process's.
+        # The node's scheduling contract is exactly its process's — all
+        # three flags. (Dropping one here once silently pinned every
+        # timed node to the Entity default; CON004 now guards this.)
+        self.pure_enabled = getattr(process, "pure_enabled", True)
         self.static_deadline = getattr(process, "static_deadline", False)
         self.wakes_at_deadline = getattr(process, "wakes_at_deadline", False)
 

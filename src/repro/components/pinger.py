@@ -85,7 +85,7 @@ class PingerProcess(Process):
         kind, k = payload
         if kind != "pong":
             raise TransitionError(f"{self.name}: unexpected payload {payload!r}")
-        state.pending_pongs.append(k)
+        state.pending_pongs.append(k)  # repro: lint-ignore[ISO003] -- k is an immutable int
 
     def enabled(self, state: PingerState, ctx: ProcessContext) -> List[Action]:
         actions: List[Action] = []
@@ -110,17 +110,21 @@ class PingerProcess(Process):
             state.next_index += 1
         elif action.name == "SENDMSG":
             payload = action.params[2]
-            state.sent.add(payload[1])
+            state.sent.add(payload[1])  # repro: lint-ignore[ISO003] -- ping index is an immutable int
             state.pending_send = None
         elif action.name == "GOTPONG":
             k = action.params[1]
             state.pending_pongs.remove(k)
-            state.got.add(k)
+            state.got.add(k)  # repro: lint-ignore[ISO003] -- k is an immutable int
         else:
             raise TransitionError(f"{self.name}: cannot fire {action}")
 
     def deadline(self, state: PingerState, ctx: ProcessContext) -> float:
         if state.pending_send is not None or state.pending_pongs:
+            # repro: lint-ignore[CON002] -- ctx.time is returned only
+            # while actions are enabled ("fire now"): the engine fires
+            # before advancing time, so this branch is never cached
+            # across an advance; the idle branch is state-only
             return ctx.time
         return self._next_ping_time(state)
 
@@ -158,7 +162,7 @@ class EchoProcess(Process):
         kind, k = action.params[2]
         if kind != "ping":
             raise TransitionError(f"{self.name}: unexpected payload {(kind, k)!r}")
-        state.pending.append(k)
+        state.pending.append(k)  # repro: lint-ignore[ISO003] -- k is an immutable int
 
     def enabled(self, state: EchoState, ctx: ProcessContext) -> List[Action]:
         return [
@@ -172,6 +176,8 @@ class EchoProcess(Process):
         state.answered += 1
 
     def deadline(self, state: EchoState, ctx: ProcessContext) -> float:
+        # repro: lint-ignore[CON002] -- ctx.time is returned only while
+        # replies are enabled (fired before time advances); idle is INFINITY
         return ctx.time if state.pending else INFINITY
 
 

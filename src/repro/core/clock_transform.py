@@ -211,6 +211,12 @@ class ClockNodeEntity(Entity):
     :meth:`~repro.sim.clock_drivers.ClockDriver.max_now`.
     """
 
+    # The deadline is driver-mediated (it reads ``now`` through
+    # target_now), so the deadline promises stay the conservative
+    # defaults regardless of the wrapped process's.
+    static_deadline = False
+    wakes_at_deadline = False
+
     def __init__(
         self,
         process: Process,
@@ -221,6 +227,9 @@ class ClockNodeEntity(Entity):
         super().__init__(
             f"{process.name}^c", _node_signature(process, process.node)
         )
+        # enabled() delegates straight to the wrapped process, so its
+        # purity promise is the process's.
+        self.pure_enabled = getattr(process, "pure_enabled", True)
         self.machine = ClockMachine(process, out_edges, in_edges)
         self.driver = driver
         self.node = process.node
@@ -308,9 +317,16 @@ class NativeClockNodeEntity(Entity):
     were hand-built for inaccurate clocks rather than transformed.
     """
 
+    # Deadlines are driver-mediated real-time values; keep the
+    # conservative defaults independent of the wrapped process.
+    static_deadline = False
+    wakes_at_deadline = False
+
     def __init__(self, process: Process, driver: ClockDriver):
         super().__init__(f"{process.name}@clock", process.signature)
         self.process = process
+        # enabled() delegates to the process at the node's clock time.
+        self.pure_enabled = getattr(process, "pure_enabled", True)
         self.driver = driver
         self.node = process.node
         self._skew_hist = NULL_HISTOGRAM

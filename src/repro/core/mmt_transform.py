@@ -132,6 +132,9 @@ class MMTNodeEntity(Entity):
             internals=UnionActionSet([base.internals, tau]),
         )
         super().__init__(f"{process.name}^m", signature)
+        # enabled() queries the wrapped machine (and through it the
+        # process), so the purity promise is the process's.
+        self.pure_enabled = getattr(process, "pure_enabled", True)
         self.machine = machine
         self.node = node
         self.step_bound = step_bound

@@ -137,7 +137,7 @@ class DeadlineMonitor(Process):
 
     def apply_input(self, state: MonitorState, action: Action, ctx) -> None:
         _, k = action.params[2]
-        state.received.add(k)
+        state.received.add(k)  # repro: lint-ignore[ISO003] -- k is an immutable int
         self._advance_expected(state)
 
     def enabled(self, state: MonitorState, ctx) -> List[Action]:
@@ -149,8 +149,10 @@ class DeadlineMonitor(Process):
 
     def fire(self, state: MonitorState, action: Action, ctx) -> None:
         k = action.params[1]
-        state.suspicions.append(k)
-        state.received.add(k)  # give up on k, move on
+        state.suspicions.append(k)  # repro: lint-ignore[ISO003] -- k is an immutable int
+        # give up on k, move on
+        # repro: lint-ignore[ISO003] -- k is an immutable int
+        state.received.add(k)
         self._advance_expected(state)
 
     def deadline(self, state: MonitorState, ctx) -> float:

@@ -79,9 +79,11 @@ def run_experiment(exp_id: str) -> Dict[str, object]:
         raise CampaignError(
             f"unknown experiment {exp_id!r}; known: {sorted(ALL_EXPERIMENTS)}"
         )
+    # repro: lint-ignore[DET002] -- wall-time bracket around the experiment;
+    # the wall figure is reported separately from the deterministic table
     start = time.perf_counter()
     table, shapes = ALL_EXPERIMENTS[exp_id]()
-    wall = time.perf_counter() - start
+    wall = time.perf_counter() - start  # repro: lint-ignore[DET002] -- volatile wall-time figure
     return {
         "format": RESULT_FORMAT,
         "version": RESULT_VERSION,

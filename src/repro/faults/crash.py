@@ -42,6 +42,13 @@ class CrashableState:
 class CrashableEntity(Entity):
     """An entity that stops dead at ``schedule.crash_time``."""
 
+    # The crash check makes the deadline a function of ``now`` (the
+    # schedule's crash time caps it), so the deadline promises are
+    # pinned to the conservative False no matter what the inner entity
+    # declares; only pure_enabled carries over (see __init__).
+    static_deadline = False
+    wakes_at_deadline = False
+
     def __init__(self, inner: Entity, schedule: CrashSchedule):
         super().__init__(inner.name, inner.signature)
         self.inner = inner

@@ -74,6 +74,9 @@ class LossyChannelEntity(ChannelEntity):
             # aliased across InTransit records would let the receiver's
             # mutation of one delivery corrupt the copy still in flight.
             payload = message if k == 0 else copy.deepcopy(message)
+            # repro: lint-ignore[ISO003] -- ownership transfer: k==0 keeps
+            # the single in-flight alias (the sender never touches the
+            # message again); every duplicate is a fresh deepcopy
             state.buffer.append(InTransit(payload, now, now + delay))
         depth = float(len(state.buffer))
         self._occupancy.observe(depth)

@@ -183,7 +183,7 @@ class ReliableAdapter(Process):
             raise TransitionError(f"{self.name}: unframed message {frame!r}")
         if frame[0] == "DATA":
             _, seq, message = frame
-            state.pending_acks.append((sender, seq))
+            state.pending_acks.append((sender, seq))  # repro: lint-ignore[ISO003] -- sender/seq are immutable ints
             seen = state.delivered.setdefault(sender, set())
             if seq not in seen:
                 seen.add(seq)
@@ -245,6 +245,9 @@ class ReliableAdapter(Process):
                 state.inner, Action("SENDMSG", (self.node, dst, message)), ctx
             )
             state.next_seq[dst] = seq + 1
+            # repro: lint-ignore[ISO003] -- the outbox must retain the
+            # exact message for retransmission; it is the sole owner
+            # until the ack (frames carry it by value through channels)
             state.outbox[(dst, seq)] = _OutboxEntry(
                 dst, seq, message, now + self._gap(1, dst, seq), attempts=1
             )

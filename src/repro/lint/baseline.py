@@ -1,0 +1,111 @@
+"""Baseline files: grandfathered findings with written justifications.
+
+A baseline lets a finding stand without an inline comment — useful for
+third-party-shaped code or bulk adoption — while keeping the repo's
+bare ``python -m repro lint`` exit green. Entries match findings by
+line-independent fingerprint (rule + path + scope + message), so they
+survive unrelated edits; an entry whose finding disappeared is *stale*
+and fails the run until removed (``--write-baseline`` regenerates).
+
+The committed repo baseline (``lint-baseline.json``) is intentionally
+empty: every true positive in ``src/`` is either fixed or carries an
+inline suppression with its justification next to the code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.lint.core import AssessedFinding, LintConfigError, LintResult
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    entries: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read and validate a baseline file."""
+        if not os.path.exists(path):
+            raise LintConfigError(f"baseline file not found: {path}")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise LintConfigError(f"cannot read baseline {path}: {exc}")
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise LintConfigError(
+                f"baseline {path} is not a {{version, entries}} object"
+            )
+        entries: Dict[str, Dict[str, Any]] = {}
+        for entry in payload["entries"]:
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise LintConfigError(
+                    f"baseline {path}: each entry needs a 'fingerprint'"
+                )
+            entries[entry["fingerprint"]] = entry
+        return cls(entries=entries)
+
+    @classmethod
+    def from_result(
+        cls, result: LintResult, justification: str = "grandfathered"
+    ) -> "Baseline":
+        """A baseline covering every currently-new finding."""
+        entries: Dict[str, Dict[str, Any]] = {}
+        for assessed in result.new:
+            finding = assessed.finding
+            entries[finding.fingerprint] = {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "scope": finding.scope,
+                "message": finding.message,
+                "justification": justification,
+            }
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        """Write the baseline, entries sorted by fingerprint."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                self.entries[key] for key in sorted(self.entries)
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def apply_baseline(
+    result: LintResult, baseline: Baseline
+) -> LintResult:
+    """Fold ``baseline`` into ``result`` (in place, returned for chaining).
+
+    New findings whose fingerprint appears in the baseline become
+    ``baselined``; baseline entries matching no finding at all are
+    reported as stale (the code they excused is gone — remove them).
+    """
+    matched: set = set()
+    for assessed in result.assessed:
+        fingerprint = assessed.finding.fingerprint
+        entry = baseline.entries.get(fingerprint)
+        if entry is None:
+            continue
+        matched.add(fingerprint)
+        if assessed.status == "new":
+            assessed.status = "baselined"
+            assessed.justification = str(entry.get("justification", ""))
+    result.stale_baseline = [
+        baseline.entries[key]
+        for key in sorted(baseline.entries)
+        if key not in matched
+    ]
+    return result

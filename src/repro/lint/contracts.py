@@ -1,0 +1,349 @@
+"""Scheduling-contract checker (``CON001``–``CON004``).
+
+The incremental engine core caches enabled sets and deadlines between
+events, trusting three class-level promises
+(:mod:`repro.components.base`): ``pure_enabled``, ``static_deadline``,
+``wakes_at_deadline``. A promise the method bodies don't keep silently
+desynchronizes the incremental path from the full-scan reference — the
+exact failure class the conformance suite exists to catch, detected
+here *before* a run:
+
+``CON001``
+    A class whose effective ``pure_enabled`` is ``True`` but whose
+    ``enabled()`` mutates state (writes/mutator calls on the state
+    argument or ``self``) or draws from an RNG. Cached enabled sets
+    would then skip draws/mutations the reference engine performs.
+``CON002``
+    ``static_deadline=True`` but ``deadline()`` reads its current-time
+    parameter — the deadline then moves with ``now`` while the engine
+    keeps a stale value in its min-heap.
+``CON003``
+    ``static_deadline=True`` but ``advance()`` writes a state attribute
+    that ``deadline()`` reads — the promise says deadlines depend only
+    on state mutated by ``fire``/``apply_input``.
+``CON004``
+    A wrapper whose ``__init__`` forwards *some* contract flags from
+    the wrapped automaton (``getattr(process, "static_deadline", ...)``)
+    but drops others, which then silently fall back to class defaults —
+    the ``TimedNodeEntity`` bug this PR fixed.
+
+Flags assigned non-constant expressions (forwarded wrappers) are
+statically unknowable and exempt from CON001–CON003; CON004 is the rule
+that keeps such forwarding complete.
+
+Helper-method indirection is followed one level: ``enabled()`` calling
+``self._sync(state, now)`` is charged with ``_sync``'s writes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.core import (
+    CONTRACT_FLAGS,
+    DYNAMIC,
+    ClassDecl,
+    Finding,
+    MUTATOR_METHODS,
+    ProjectIndex,
+    RNG_METHODS,
+    attribute_root,
+    dotted_name,
+)
+
+_RNG_NAME_HINTS = ("rng", "random")
+
+
+def _positional_params(func: ast.FunctionDef) -> List[str]:
+    return [arg.arg for arg in func.args.args]
+
+
+def _state_and_time_params(func: ast.FunctionDef) -> Tuple[Optional[str], Optional[str]]:
+    """``(state, now-or-ctx)`` parameter names of an entity/process method.
+
+    Convention across the codebase: ``(self, state, [action,] now|ctx)``
+    — state is the first argument after ``self``, time the last.
+    """
+    params = _positional_params(func)
+    if params and params[0] == "self":
+        params = params[1:]
+    if not params:
+        return None, None
+    state = params[0]
+    time = params[-1] if len(params) > 1 else None
+    return state, time
+
+
+def _attr_writes(func: ast.FunctionDef, roots: Set[str]) -> List[Tuple[str, ast.AST]]:
+    """(description, node) for each write rooted at one of ``roots``."""
+    writes: List[Tuple[str, ast.AST]] = []
+    for node in ast.walk(func):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                root = attribute_root(target)
+                if root in roots:
+                    writes.append((_describe(target), target))
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATOR_METHODS:
+                root = attribute_root(node.func.value)
+                if root in roots:
+                    writes.append(
+                        (f"{_describe(node.func.value)}.{node.func.attr}()", node)
+                    )
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    root = attribute_root(target)
+                    if root in roots:
+                        writes.append((f"del {_describe(target)}", target))
+    return writes
+
+
+def _describe(node: ast.expr) -> str:
+    name = dotted_name(node)
+    if name is not None:
+        return name
+    root = attribute_root(node)
+    return f"{root}[...]" if root is not None else "<expr>"
+
+
+def _rng_draws(func: ast.FunctionDef) -> List[Tuple[str, ast.AST]]:
+    """RNG draws inside ``func``: ``self._rng.random()`` or ``random.x()``."""
+    draws: List[Tuple[str, ast.AST]] = []
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in RNG_METHODS:
+            continue
+        receiver = dotted_name(node.func.value)
+        if receiver is None:
+            continue
+        if receiver == "random" or any(
+            hint in part.lower()
+            for part in receiver.split(".")
+            for hint in _RNG_NAME_HINTS
+        ):
+            draws.append((f"{receiver}.{node.func.attr}()", node))
+    return draws
+
+
+def _self_helper_calls(
+    func: ast.FunctionDef, state_param: Optional[str]
+) -> List[Tuple[str, Optional[int], ast.Call]]:
+    """``self._helper(...)`` calls, with the arg index carrying the state."""
+    calls: List[Tuple[str, Optional[int], ast.Call]] = []
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if not (
+            isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            continue
+        state_pos: Optional[int] = None
+        if state_param is not None:
+            for idx, arg in enumerate(node.args):
+                if isinstance(arg, ast.Name) and arg.id == state_param:
+                    state_pos = idx
+                    break
+        calls.append((node.func.attr, state_pos, node))
+    return calls
+
+
+def _param_reads(func: ast.FunctionDef, name: str) -> List[ast.AST]:
+    """Load-context uses of parameter ``name`` in the body."""
+    reads = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and node.id == name:
+            if isinstance(node.ctx, ast.Load):
+                reads.append(node)
+    return reads
+
+
+def _state_attr_reads(func: ast.FunctionDef, state_param: str) -> Set[str]:
+    """Attribute names read off the state parameter."""
+    reads: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == state_param
+        ):
+            reads.add(node.attr)
+    return reads
+
+
+def _state_attr_writes(func: ast.FunctionDef, state_param: str) -> Set[str]:
+    """Attribute names written (assigned or mutated) on the state param."""
+    writes: Set[str] = set()
+    for node in ast.walk(func):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            attr = _first_attr_off(target, state_param)
+            if attr is not None:
+                writes.add(attr)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATOR_METHODS:
+                attr = _first_attr_off(node.func.value, state_param)
+                if attr is not None:
+                    writes.add(attr)
+    return writes
+
+
+def _first_attr_off(node: ast.expr, root_name: str) -> Optional[str]:
+    """For ``state.x.y[0]``-shaped chains, the first attribute (``x``)."""
+    chain: List[ast.expr] = []
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        chain.append(current)
+        current = current.value
+    if not (isinstance(current, ast.Name) and current.id == root_name):
+        return None
+    for link in reversed(chain):
+        if isinstance(link, ast.Attribute):
+            return link.attr
+    return None
+
+
+def _finding(
+    decl: ClassDecl, node: ast.AST, rule: str, scope_suffix: str, message: str
+) -> Finding:
+    return Finding(
+        rule=rule,
+        path=decl.module.relpath,
+        line=getattr(node, "lineno", decl.node.lineno),
+        col=getattr(node, "col_offset", 0) + 1,
+        scope=f"{decl.name}.{scope_suffix}" if scope_suffix else decl.name,
+        message=message,
+    )
+
+
+def _impurity_reasons(
+    decl: ClassDecl, func: ast.FunctionDef
+) -> List[Tuple[str, ast.AST]]:
+    """Why ``func`` is not a pure function of ``(state, now)``."""
+    state_param, _ = _state_and_time_params(func)
+    roots = {"self"}
+    if state_param is not None:
+        roots.add(state_param)
+    reasons: List[Tuple[str, ast.AST]] = []
+    for description, node in _attr_writes(func, roots):
+        reasons.append((f"mutates {description}", node))
+    for description, node in _rng_draws(func):
+        reasons.append((f"draws from RNG {description}", node))
+    for helper_name, state_pos, node in _self_helper_calls(func, state_param):
+        helper = decl.methods.get(helper_name)
+        if helper is None:
+            continue
+        helper_params = _positional_params(helper)
+        if helper_params and helper_params[0] == "self":
+            helper_params = helper_params[1:]
+        helper_roots: Set[str] = set()
+        if state_pos is not None and state_pos < len(helper_params):
+            helper_roots.add(helper_params[state_pos])
+        helper_writes = _attr_writes(helper, helper_roots | {"self"})
+        helper_draws = _rng_draws(helper)
+        if helper_writes or helper_draws:
+            what = (helper_writes or helper_draws)[0][0]
+            reasons.append(
+                (f"calls self.{helper_name}() which {('mutates ' + what) if helper_writes else ('draws from RNG ' + what)}",
+                 node)
+            )
+    return reasons
+
+
+def check_project(index: ProjectIndex) -> List[Finding]:
+    """All contract findings (``CON*``) for the project's entity classes."""
+    findings: List[Finding] = []
+    for decl in index.classes:
+        kind = index.kind_of(decl)
+        if kind is None:
+            continue
+        findings.extend(_check_class(index, decl))
+    return findings
+
+
+def _check_class(index: ProjectIndex, decl: ClassDecl) -> List[Finding]:
+    findings: List[Finding] = []
+
+    # CON001 — impure enabled() under pure_enabled=True.
+    enabled = decl.methods.get("enabled")
+    if enabled is not None and index.effective_flag(decl, "pure_enabled") is True:
+        reasons = _impurity_reasons(decl, enabled)
+        if reasons:
+            reason, node = reasons[0]
+            findings.append(
+                _finding(
+                    decl, node, "CON001", "enabled",
+                    f"pure_enabled=True but enabled() {reason}",
+                )
+            )
+
+    static = index.effective_flag(decl, "static_deadline")
+
+    # CON002 — deadline() reads its time parameter under static_deadline.
+    deadline = decl.methods.get("deadline")
+    if deadline is not None and static is True:
+        _, time_param = _state_and_time_params(deadline)
+        if time_param is not None:
+            reads = _param_reads(deadline, time_param)
+            if reads:
+                findings.append(
+                    _finding(
+                        decl, reads[0], "CON002", "deadline",
+                        f"static_deadline=True but deadline() reads its "
+                        f"current-time parameter {time_param!r}",
+                    )
+                )
+
+    # CON003 — advance() writes state that deadline() reads.
+    advance = decl.methods.get("advance")
+    if advance is not None and static is True:
+        adv_state, _ = _state_and_time_params(advance)
+        deadline_def = index.find_method(decl, "deadline")
+        if adv_state is not None and deadline_def is not None:
+            _, deadline_func = deadline_def
+            dl_state, _ = _state_and_time_params(deadline_func)
+            if dl_state is not None:
+                written = _state_attr_writes(advance, adv_state)
+                read = _state_attr_reads(deadline_func, dl_state)
+                overlap = sorted(written & read)
+                if overlap:
+                    findings.append(
+                        _finding(
+                            decl, advance, "CON003", "advance",
+                            f"static_deadline=True but advance() writes "
+                            f"state attribute(s) {', '.join(overlap)} read "
+                            f"by deadline()",
+                        )
+                    )
+
+    # CON004 — partial contract forwarding in wrapper __init__.
+    if decl.forwarded_flags:
+        declared = set(decl.forwarded_flags)
+        declared.update(decl.init_flag_values)
+        declared.update(decl.class_flag_values)
+        missing = [flag for flag in CONTRACT_FLAGS if flag not in declared]
+        if missing:
+            init = decl.methods.get("__init__", decl.node)
+            forwarded = sorted(decl.forwarded_flags)
+            findings.append(
+                _finding(
+                    decl, init, "CON004", "__init__",
+                    f"wrapper forwards {', '.join(forwarded)} from the "
+                    f"wrapped automaton but not {', '.join(missing)} "
+                    f"(which fall back to class defaults)",
+                )
+            )
+
+    return findings

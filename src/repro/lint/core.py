@@ -1,0 +1,550 @@
+"""Analyzer core: source loading, the project index, and the driver.
+
+The framework is deliberately small: each analysis family exposes a
+``check_module(module)`` or ``check_project(index)`` function returning
+:class:`Finding` objects; :func:`run_lint` loads the sources once, runs
+every pass, applies inline suppressions, and returns a
+:class:`LintResult` whose ordering is fully deterministic (findings sort
+by ``(path, line, col, rule)``, files are walked in sorted order) so two
+runs over the same tree produce byte-identical reports.
+
+Cross-file knowledge lives in :class:`ProjectIndex`: a name-based class
+graph good enough to answer "is this class an Entity/Process subclass?"
+and "what is its effective ``pure_enabled``?" without imports or a real
+type checker. Name resolution is heuristic — a base name is looked up
+among all project classes — which is exactly right for a codebase lint
+(false negatives on exotic metaprogramming are acceptable; determinism
+of the answer is not).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.lint.rules import is_known_rule
+
+#: Sentinel for a contract flag assigned a non-constant expression
+#: (e.g. forwarded via ``getattr``): statically unknowable, so contract
+#: rules that require a definite ``True`` skip the class.
+DYNAMIC = "dynamic"
+
+CONTRACT_FLAGS = ("pure_enabled", "static_deadline", "wakes_at_deadline")
+
+#: Root-class defaults, per kind (mirrors ``repro/components/base.py``).
+FLAG_DEFAULTS = {
+    "entity": {"pure_enabled": True, "static_deadline": False,
+               "wakes_at_deadline": False},
+    "process": {"pure_enabled": True, "static_deadline": False,
+                "wakes_at_deadline": False},
+}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*lint-ignore\[([A-Za-z0-9_,\s]*)\]\s*(?:--\s*|:\s*)?(.*)$"
+)
+
+
+class LintConfigError(ReproError):
+    """Unusable lint input: missing path, unparseable file, bad baseline."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic, position-stable and fingerprint-stable.
+
+    The fingerprint deliberately excludes the line number so baselines
+    survive unrelated edits above the finding; ``scope`` (the enclosing
+    ``Class.method`` or ``module``) disambiguates repeated messages.
+    """
+
+    rule: str
+    path: str  # posix-style path relative to the scan root
+    line: int
+    col: int
+    scope: str
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        blob = f"{self.rule}|{self.path}|{self.scope}|{self.message}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        """The deterministic report ordering."""
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def location(self) -> str:
+        """``path:line:col`` for compiler-style output."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class AssessedFinding:
+    """A finding plus its disposition after suppressions and baseline."""
+
+    finding: Finding
+    status: str  # "new" | "suppressed" | "baselined"
+    justification: str = ""
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, in deterministic order."""
+
+    root: str
+    files_scanned: int
+    assessed: List[AssessedFinding]
+    stale_baseline: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def new(self) -> List[AssessedFinding]:
+        return [a for a in self.assessed if a.status == "new"]
+
+    @property
+    def suppressed(self) -> List[AssessedFinding]:
+        return [a for a in self.assessed if a.status == "suppressed"]
+
+    @property
+    def baselined(self) -> List[AssessedFinding]:
+        return [a for a in self.assessed if a.status == "baselined"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.stale_baseline
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: lint-ignore[...]`` comment."""
+
+    rules: Tuple[str, ...]
+    justification: str
+    line: int
+
+    def covers(self, rule: str) -> bool:
+        """Whether this comment suppresses ``rule``."""
+        return rule in self.rules
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus its suppression comments."""
+
+    path: str
+    relpath: str
+    text: str
+    lines: List[str]
+    tree: ast.Module
+    suppressions: Dict[int, Suppression]
+
+    @classmethod
+    def load(cls, path: str, relpath: str) -> "SourceModule":
+        """Read and parse one file, collecting its suppression comments."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise LintConfigError(f"cannot read {path}: {exc}")
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError as exc:
+            raise LintConfigError(f"cannot parse {relpath}: {exc}")
+        lines = text.splitlines()
+        suppressions: Dict[int, Suppression] = {}
+        for lineno, raw in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(raw)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            suppressions[lineno] = Suppression(
+                rules=rules,
+                justification=match.group(2).strip(),
+                line=lineno,
+            )
+        return cls(
+            path=path, relpath=relpath, text=text, lines=lines, tree=tree,
+            suppressions=suppressions,
+        )
+
+    def _is_standalone_comment(self, lineno: int) -> bool:
+        if not 1 <= lineno <= len(self.lines):
+            return False
+        return self.lines[lineno - 1].lstrip().startswith("#")
+
+    def suppression_for(self, lineno: int, rule: str) -> Optional[Suppression]:
+        """The suppression covering ``rule`` at ``lineno``, if any.
+
+        A suppression applies on its own line, or — when written as a
+        standalone comment — to the next non-comment line below it
+        (stacked standalone suppressions all apply).
+        """
+        found = self.suppressions.get(lineno)
+        if found is not None and found.covers(rule):
+            return found
+        above = lineno - 1
+        while above >= 1 and self._is_standalone_comment(above):
+            found = self.suppressions.get(above)
+            if found is not None and found.covers(rule):
+                return found
+            above -= 1
+        return None
+
+
+# -- project class graph ------------------------------------------------------
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    """The usable name of one base-class expression (``Bar`` of ``x.Bar``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+_MUTABLE_CTORS = {"list", "dict", "set", "deque", "defaultdict",
+                  "OrderedDict", "Counter"}
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        name = _base_name(node.func)
+        return name in _MUTABLE_CTORS
+    return False
+
+
+@dataclass
+class ClassDecl:
+    """One class definition with the facts the contract/ISO passes need."""
+
+    name: str
+    module: SourceModule
+    node: ast.ClassDef
+    base_names: List[str]
+    methods: Dict[str, ast.FunctionDef]
+    class_flag_values: Dict[str, Any]      # flag -> True/False/DYNAMIC
+    init_flag_values: Dict[str, Any]       # flag -> True/False/DYNAMIC
+    forwarded_flags: Set[str]              # flags assigned from the wrapped obj
+    class_mutable_attrs: Set[str]          # class-level mutable-literal attrs
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module.relpath}:{self.name}"
+
+
+def _value_forwards_flag(value: ast.expr, flag: str) -> bool:
+    """Whether ``value`` reads ``flag`` off another object.
+
+    Matches ``getattr(x, "flag", ...)`` and ``x.flag`` anywhere inside
+    the assigned expression.
+    """
+    for sub in ast.walk(value):
+        if isinstance(sub, ast.Call) and _base_name(sub.func) == "getattr":
+            if len(sub.args) >= 2 and isinstance(sub.args[1], ast.Constant):
+                if sub.args[1].value == flag:
+                    return True
+        if isinstance(sub, ast.Attribute) and sub.attr == flag:
+            return True
+    return False
+
+
+def _collect_class(module: SourceModule, node: ast.ClassDef) -> ClassDecl:
+    methods: Dict[str, ast.FunctionDef] = {}
+    class_flags: Dict[str, Any] = {}
+    class_mutable: Set[str] = set()
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if isinstance(stmt, ast.FunctionDef):
+                methods[stmt.name] = stmt
+            continue
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id in CONTRACT_FLAGS:
+                if isinstance(value, ast.Constant):
+                    class_flags[target.id] = bool(value.value)
+                else:
+                    class_flags[target.id] = DYNAMIC
+            if value is not None and _is_mutable_literal(value):
+                class_mutable.add(target.id)
+
+    init_flags: Dict[str, Any] = {}
+    forwarded: Set[str] = set()
+    init = methods.get("__init__")
+    if init is not None:
+        for stmt in ast.walk(init):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr in CONTRACT_FLAGS
+                ):
+                    if isinstance(stmt.value, ast.Constant):
+                        init_flags[target.attr] = bool(stmt.value.value)
+                    else:
+                        init_flags[target.attr] = DYNAMIC
+                    if _value_forwards_flag(stmt.value, target.attr):
+                        forwarded.add(target.attr)
+
+    return ClassDecl(
+        name=node.name,
+        module=module,
+        node=node,
+        base_names=[
+            name for name in (_base_name(b) for b in node.bases)
+            if name is not None
+        ],
+        methods=methods,
+        class_flag_values=class_flags,
+        init_flag_values=init_flags,
+        forwarded_flags=forwarded,
+        class_mutable_attrs=class_mutable,
+    )
+
+
+class ProjectIndex:
+    """All classes in the scanned tree, linked by (heuristic) base names."""
+
+    def __init__(self, modules: Sequence[SourceModule]):
+        self.modules = list(modules)
+        self.classes: List[ClassDecl] = []
+        self.by_name: Dict[str, List[ClassDecl]] = {}
+        for module in self.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    decl = _collect_class(module, node)
+                    self.classes.append(decl)
+                    self.by_name.setdefault(decl.name, []).append(decl)
+        self.classes.sort(key=lambda d: (d.module.relpath, d.node.lineno))
+        self._kind_memo: Dict[int, Optional[str]] = {}
+
+    # -- hierarchy ---------------------------------------------------------
+
+    def ancestors(self, decl: ClassDecl) -> List[ClassDecl]:
+        """Project-resolvable ancestors, nearest first (DFS, de-duplicated)."""
+        out: List[ClassDecl] = []
+        seen: Set[int] = {id(decl)}
+        stack: List[ClassDecl] = [decl]
+        while stack:
+            current = stack.pop(0)
+            for base in current.base_names:
+                for candidate in self.by_name.get(base, []):
+                    if id(candidate) in seen:
+                        continue
+                    seen.add(id(candidate))
+                    out.append(candidate)
+                    stack.append(candidate)
+        return out
+
+    def kind_of(self, decl: ClassDecl) -> Optional[str]:
+        """``"entity"``/``"process"`` if the class descends from one."""
+        memo = self._kind_memo.get(id(decl))
+        if memo is not None or id(decl) in self._kind_memo:
+            return memo
+        names = {decl.name} | {a.name for a in self.ancestors(decl)}
+        base_reach = set(decl.base_names)
+        for ancestor in self.ancestors(decl):
+            base_reach.update(ancestor.base_names)
+        kind: Optional[str] = None
+        if decl.name != "Entity" and ("Entity" in names or "Entity" in base_reach):
+            kind = "entity"
+        elif decl.name != "Process" and (
+            "Process" in names or "Process" in base_reach
+        ):
+            kind = "process"
+        self._kind_memo[id(decl)] = kind
+        return kind
+
+    # -- contract flags ----------------------------------------------------
+
+    def effective_flag(self, decl: ClassDecl, flag: str) -> Any:
+        """The statically-resolved flag value (or :data:`DYNAMIC`).
+
+        ``__init__`` assignments shadow class attributes, nearer classes
+        shadow ancestors, and the kind default closes the walk.
+        """
+        chain = [decl] + self.ancestors(decl)
+        for current in chain:
+            if flag in current.init_flag_values:
+                return current.init_flag_values[flag]
+            if flag in current.class_flag_values:
+                return current.class_flag_values[flag]
+        kind = self.kind_of(decl) or "entity"
+        return FLAG_DEFAULTS[kind][flag]
+
+    def find_method(
+        self, decl: ClassDecl, name: str
+    ) -> Optional[Tuple[ClassDecl, ast.FunctionDef]]:
+        """The nearest project definition of ``name`` in the MRO chain."""
+        for current in [decl] + self.ancestors(decl):
+            if name in current.methods:
+                return current, current.methods[name]
+        return None
+
+
+# -- shared AST helpers -------------------------------------------------------
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def attribute_root(node: ast.expr) -> Optional[str]:
+    """The base Name of an attribute/subscript chain (``state`` of
+    ``state.buffer[0].x``)."""
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = {
+    "append", "appendleft", "add", "insert", "extend", "extendleft",
+    "remove", "discard", "pop", "popleft", "popitem", "clear", "update",
+    "setdefault", "sort", "reverse", "rotate",
+}
+
+#: ``random.Random`` draw methods (and the module-level twins).
+RNG_METHODS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "expovariate",
+    "betavariate", "triangular", "getrandbits", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "lognormvariate", "seed",
+}
+
+
+def scope_name(stack: Sequence[str]) -> str:
+    """``Class.method`` from a visitor scope stack (``module`` at top level)."""
+    return ".".join(stack) if stack else "module"
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def _iter_python_files(path: str) -> Iterable[str]:
+    if os.path.isfile(path):
+        yield path
+        return
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames[:] = sorted(
+            d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+        )
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def load_modules(
+    paths: Sequence[str], root: Optional[str] = None
+) -> List[SourceModule]:
+    """Parse every ``.py`` under ``paths`` in deterministic order."""
+    root = os.path.abspath(root or os.getcwd())
+    files: List[str] = []
+    for path in paths:
+        if not os.path.exists(path):
+            raise LintConfigError(f"no such file or directory: {path}")
+        files.extend(_iter_python_files(path))
+    entries = []
+    for path in files:
+        abspath = os.path.abspath(path)
+        relpath = os.path.relpath(abspath, root).replace(os.sep, "/")
+        entries.append((relpath, abspath))
+    entries.sort()
+    modules = []
+    seen: Set[str] = set()
+    for relpath, abspath in entries:
+        if relpath in seen:
+            continue
+        seen.add(relpath)
+        modules.append(SourceModule.load(abspath, relpath))
+    return modules
+
+
+def _apply_suppressions(
+    findings: Sequence[Finding], modules: Sequence[SourceModule]
+) -> List[AssessedFinding]:
+    by_relpath = {m.relpath: m for m in modules}
+    assessed: List[AssessedFinding] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        module = by_relpath.get(finding.path)
+        suppression = None
+        if module is not None:
+            suppression = module.suppression_for(finding.line, finding.rule)
+        if suppression is not None:
+            assessed.append(
+                AssessedFinding(
+                    finding, "suppressed",
+                    justification=suppression.justification,
+                )
+            )
+        else:
+            assessed.append(AssessedFinding(finding, "new"))
+    return assessed
+
+
+def run_lint(
+    paths: Sequence[str],
+    root: Optional[str] = None,
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Run every pass over ``paths`` and fold in inline suppressions.
+
+    ``select`` restricts the run to the given rule IDs (handy for
+    fixture tests); baselines are applied separately by
+    :func:`repro.lint.baseline.apply_baseline` so library callers can
+    inspect the raw result.
+    """
+    # late imports: the passes import helpers from this module
+    from repro.lint import contracts, determinism, isolation
+
+    modules = load_modules(paths, root=root)
+    index = ProjectIndex(modules)
+    findings: List[Finding] = []
+    for module in modules:
+        findings.extend(determinism.check_module(module))
+    findings.extend(contracts.check_project(index))
+    findings.extend(isolation.check_project(index))
+    if select is not None:
+        wanted = set(select)
+        for rule in sorted(wanted):
+            if not is_known_rule(rule):
+                raise LintConfigError(f"unknown rule id {rule!r}")
+        findings = [f for f in findings if f.rule in wanted]
+    assessed = _apply_suppressions(findings, modules)
+    return LintResult(
+        root=os.path.abspath(root or os.getcwd()),
+        files_scanned=len(modules),
+        assessed=assessed,
+    )

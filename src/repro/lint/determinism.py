@@ -1,0 +1,251 @@
+"""Determinism lint (``DET001``–``DET004``).
+
+Simulation code must be a pure function of its seeds: the trace archive,
+the campaign aggregator's byte-identical resumes, and the chaos
+shrinker's oracle replays all assume that re-running a configuration
+reproduces it exactly. These rules flag the four ways Python code
+silently breaks that:
+
+``DET001``
+    Calls on the process-global RNG (``random.random()``,
+    ``random.shuffle()``, …) share hidden state across every caller —
+    the draw sequence then depends on unrelated code. Seeded
+    ``random.Random`` instances are the repo-wide discipline
+    (``random.Random(seed)`` constructions are allowed).
+``DET002``
+    Wall-clock reads (``time.time``/``monotonic``/``perf_counter``,
+    ``datetime.now``, ``os.urandom``) inject the host machine into the
+    run. The live backend (``repro/live/``) is the one place model time
+    is *defined* by ``time.monotonic()``, so that call is allowlisted
+    there; profiling-only reads elsewhere carry inline suppressions.
+``DET003``
+    ``sorted(key=id)`` / ``key=hash`` orders by memory address or
+    (for str/bytes) by the per-process hash seed.
+``DET004``
+    Iterating a set (literal, constructor, comprehension, set algebra —
+    including dict-view unions like ``a.keys() | b.keys()``) yields a
+    PYTHONHASHSEED-dependent order once non-int elements are involved.
+    Flagged in ordering-sensitive positions (``for`` targets,
+    ``list()``/``tuple()``/``enumerate()``); ``sorted(...)``,
+    membership tests, and order-insensitive folds (``min``/``sum``/
+    ``len``) are fine. Plain ``dict``/``.keys()`` iteration is exempt:
+    insertion order is deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.lint.core import (
+    Finding,
+    RNG_METHODS,
+    SourceModule,
+    dotted_name,
+    scope_name,
+)
+
+#: Wall-clock entry points (dotted), including ``from datetime import
+#: datetime`` spellings.
+WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "os.urandom",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "date.today", "datetime.date.today",
+    "uuid.uuid1", "uuid.uuid4",
+}
+
+#: ``time.monotonic`` is the live backend's *definition* of model time.
+LIVE_ALLOWED = {"time.monotonic", "time.monotonic_ns"}
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "iter", "reversed"}
+
+
+def _is_keys_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "items")
+        and not node.args
+    )
+
+
+def _is_set_expr(node: ast.expr, set_locals: Set[str]) -> bool:
+    """Whether ``node`` statically evaluates to a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Name) and node.id in set_locals:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        left_setlike = _is_set_expr(node.left, set_locals) or _is_keys_call(node.left)
+        right_setlike = _is_set_expr(node.right, set_locals) or _is_keys_call(node.right)
+        # dict-view algebra (keys() | keys()) produces a *set*; require
+        # at least one genuinely set-like side so int arithmetic with
+        # ``-``/``|`` never matches.
+        return left_setlike and right_setlike
+    return False
+
+
+def _is_rng_constructor(node: ast.Call) -> bool:
+    name = dotted_name(node.func)
+    return name in ("random.Random", "random.SystemRandom")
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, module: SourceModule):
+        self.module = module
+        self.findings: List[Finding] = []
+        self.stack: List[str] = []
+        self.set_locals: List[Set[str]] = [set()]
+        self._collect_set_locals(module.tree, self.set_locals[0])
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _collect_set_locals(self, scope: ast.AST, out: Set[str]) -> None:
+        """Names bound (only) to set expressions in this scope's body.
+
+        Walks compound statements but never descends into nested
+        function/class scopes, so module-level tracking stays clean.
+        """
+
+        def visit_stmts(stmts) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                    continue
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    if isinstance(target, ast.Name):
+                        if _is_set_expr(stmt.value, out):
+                            out.add(target.id)
+                        else:
+                            out.discard(target.id)
+                for attr in ("body", "orelse", "finalbody"):
+                    visit_stmts(getattr(stmt, attr, []))
+                for handler in getattr(stmt, "handlers", []):
+                    visit_stmts(handler.body)
+
+        visit_stmts(getattr(scope, "body", []))
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.module.relpath,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                scope=scope_name(self.stack),
+                message=message,
+            )
+        )
+
+    # -- scope tracking ----------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def _visit_function(self, node) -> None:
+        self.stack.append(node.name)
+        locals_here: Set[str] = set(self.set_locals[-1])
+        self._collect_set_locals(node, locals_here)
+        self.set_locals.append(locals_here)
+        self.generic_visit(node)
+        self.set_locals.pop()
+        self.stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- rules -------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            parts = name.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in RNG_METHODS
+            ):
+                self._emit(
+                    "DET001", node,
+                    f"call to the process-global RNG random.{parts[1]}(); "
+                    f"use a seeded random.Random instance",
+                )
+            if name in WALL_CLOCK_CALLS and not (
+                name in LIVE_ALLOWED and "repro/live/" in self.module.relpath
+            ):
+                self._emit(
+                    "DET002", node,
+                    f"wall-clock call {name}() in simulation code",
+                )
+        if name == "sorted" or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "sort"
+        ):
+            for keyword in node.keywords:
+                if keyword.arg == "key" and self._is_identity_key(keyword.value):
+                    self._emit(
+                        "DET003", node,
+                        "sort key uses id()/hash(): interpreter-dependent "
+                        "ordering",
+                    )
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_SENSITIVE_CALLS
+            and node.args
+        ):
+            self._flag_unordered(node.args[0], f"{node.func.id}()")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_identity_key(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name) and node.id in ("id", "hash"):
+            return True
+        if isinstance(node, ast.Lambda):
+            body = node.body
+            if (
+                isinstance(body, ast.Call)
+                and isinstance(body.func, ast.Name)
+                and body.func.id in ("id", "hash")
+            ):
+                return True
+        return False
+
+    def _flag_unordered(self, iter_node: ast.expr, context: str) -> None:
+        if _is_set_expr(iter_node, self.set_locals[-1]):
+            self._emit(
+                "DET004", iter_node,
+                f"iteration over an unordered set expression in {context}; "
+                f"wrap in sorted() for a deterministic order",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_unordered(node.iter, "a for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            self._flag_unordered(generator.iter, "a comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    # set/dict comprehensions build unordered results; iterating a set
+    # *into* one is unobservable, so only ordered comprehensions count.
+
+
+def check_module(module: SourceModule) -> List[Finding]:
+    """All determinism findings (``DET*``) for one source module."""
+    visitor = _DeterminismVisitor(module)
+    visitor.visit(module.tree)
+    return visitor.findings

@@ -134,6 +134,10 @@ class ChannelEntity(Entity):
                 f"{self.name}: delay model produced {delay:g} outside "
                 f"[{self.d1:g}, {self.d2:g}]"
             )
+        # repro: lint-ignore[ISO003] -- ownership transfer: a SENDMSG
+        # hands the message to the channel; the sender never reads or
+        # mutates it afterwards (the lossy channel deep-copies when it
+        # duplicates, which is the one case two aliases would coexist)
         state.buffer.append(InTransit(message, now, now + delay))
         state.sent += 1
         self._sent.inc()

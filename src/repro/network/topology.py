@@ -27,7 +27,7 @@ class Topology:
         if n <= 0:
             raise SpecificationError("a topology needs at least one node")
         edge_set = frozenset((int(i), int(j)) for i, j in edges)
-        for i, j in edge_set:
+        for i, j in sorted(edge_set):
             if not (0 <= i < n and 0 <= j < n):
                 raise SpecificationError(f"edge ({i}, {j}) out of range for n={n}")
         self.n = n

@@ -178,6 +178,8 @@ class ObjectClientEntity(Entity):
         elif action.name == "REPLY":
             if kind != "Q":
                 raise TransitionError(f"{self.name}: REPLY answers an update")
+            # repro: lint-ignore[ISO003] -- the reply value is recorded
+            # for the offline history checker, which only reads it
             state.completed.append(
                 CompletedObjOp("Q", payload, action.params[1], inv_time, now)
             )

@@ -174,6 +174,9 @@ class RegisterProcess(Process):
             update_time = t + self.delta
             existing = state.updates.get(update_time)
             if existing is None or existing[0] < sender:
+                # repro: lint-ignore[ISO003] -- the written value is held
+                # read-only until its apply time, then returned to readers
+                # verbatim (register semantics: last write wins by value)
                 state.updates[update_time] = (sender, value)
         else:
             raise TransitionError(f"{self.name}: unexpected input {action}")

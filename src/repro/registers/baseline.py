@@ -159,6 +159,8 @@ class SlottedRegisterProcess(Process):
             value, slot = action.params[2]
             existing = state.pending.get(slot)
             if existing is None or existing[0] < sender:
+                # repro: lint-ignore[ISO003] -- the written value is held
+                # read-only until its slot boundary, then applied by value
                 state.pending[slot] = (sender, value)
         else:
             raise TransitionError(f"{self.name}: unexpected input {action}")

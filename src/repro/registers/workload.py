@@ -159,6 +159,9 @@ class ClientEntity(Entity):
             if planned.kind == "R":
                 return [Action("READ", (self.node,))]
             return [Action("WRITE", (self.node, planned.value))]
+        # repro: lint-ignore[CON001] -- pure_enabled is True only in
+        # replay mode (schedule set), where the branch above returns
+        # first; this RNG draw is reachable only with pure_enabled=False
         if self._rng.random() < self.workload.read_fraction:
             return [Action("READ", (self.node,))]
         value = ("v", self.node, self._seq)
@@ -183,6 +186,8 @@ class ClientEntity(Entity):
         if action.name == "RETURN":
             if kind != "R":
                 raise TransitionError(f"{self.name}: RETURN answers a write")
+            # repro: lint-ignore[ISO003] -- the returned value is recorded
+            # for the offline linearizability checker, which only reads it
             state.completed.append(
                 CompletedOp("R", action.params[1], inv_time, now)
             )

@@ -445,6 +445,9 @@ class Simulator:
             if info.static_deadline:
                 dl_dirty.add(info.index)
 
+        # repro: lint-ignore[DET002] -- events/sec instrumentation; the
+        # wall figures are published as volatile metrics, excluded from
+        # the deterministic export (see below)
         wall_start = time.perf_counter()
         tracer.run_start(horizon)
         tracer.meta({"entities": [e.name for e in self.entities]})
@@ -614,7 +617,7 @@ class Simulator:
                         dirty.add(idx)
                         dl_dirty.add(idx)
 
-        wall = time.perf_counter() - wall_start
+        wall = time.perf_counter() - wall_start  # repro: lint-ignore[DET002] -- volatile wall-time figure
         tracer.run_end(now, steps)
 
         # Run-level publishing. Wall-clock figures are volatile (kept out

@@ -1,0 +1,7 @@
+"""Fixture corpus for the ``repro.lint`` analyzer tests.
+
+One ``bad_*`` module per rule (each triggering exactly the finding its
+name says) and ``good.py``/``good_entities.py`` counterparts that stay
+clean. The modules are never imported by tests — only parsed — so they
+may reference undefined helpers freely.
+"""

@@ -1,0 +1,12 @@
+"""Fixture: pure_enabled=True but enabled() mutates state (one CON001)."""
+
+
+class CountingEntity(Entity):  # noqa: F821 -- parsed, never imported
+    """Claims a pure enabled() while counting calls in it."""
+
+    pure_enabled = True
+
+    def enabled(self, state, now):
+        """Impure: bumps a state counter on every evaluation."""
+        state.calls += 1
+        return []

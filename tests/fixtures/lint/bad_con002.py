@@ -1,0 +1,11 @@
+"""Fixture: static_deadline=True but deadline() reads now (one CON002)."""
+
+
+class SlidingEntity(Entity):  # noqa: F821 -- parsed, never imported
+    """Declares a static deadline that actually tracks the current time."""
+
+    static_deadline = True
+
+    def deadline(self, state, now):
+        """Moves with ``now`` — the heap entry goes stale immediately."""
+        return now + state.gap

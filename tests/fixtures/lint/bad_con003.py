@@ -1,0 +1,15 @@
+"""Fixture: advance() writes state that deadline() reads (one CON003)."""
+
+
+class DriftingEntity(Entity):  # noqa: F821 -- parsed, never imported
+    """static_deadline=True, yet the deadline input mutates per advance."""
+
+    static_deadline = True
+
+    def advance(self, state, old_now, new_now):
+        """Accumulates elapsed time into the very field deadline() uses."""
+        state.timer += new_now - old_now
+
+    def deadline(self, state, now):
+        """Reads the advance-mutated timer."""
+        return state.timer

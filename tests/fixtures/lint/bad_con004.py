@@ -1,0 +1,10 @@
+"""Fixture: wrapper forwards only some contract flags (one CON004)."""
+
+
+class PartialWrapper(Entity):  # noqa: F821 -- parsed, never imported
+    """Forwards the deadline flags but silently drops pure_enabled."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.static_deadline = getattr(inner, "static_deadline", False)
+        self.wakes_at_deadline = getattr(inner, "wakes_at_deadline", False)

@@ -1,0 +1,8 @@
+"""Fixture: calls the process-global RNG (one DET001 finding)."""
+
+import random
+
+
+def pick(items):
+    """Order-dependent draw from the shared module RNG."""
+    return items[random.randrange(len(items))]

@@ -1,0 +1,9 @@
+"""Fixture: reads the wall clock in simulation code (one DET002 finding)."""
+
+import time
+
+
+def stamp(event):
+    """Attach the host machine's clock to a simulated event."""
+    event.at = time.time()
+    return event

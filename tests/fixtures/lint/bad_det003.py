@@ -1,0 +1,6 @@
+"""Fixture: sorts by id() (one DET003 finding)."""
+
+
+def dedupe(items):
+    """Memory-address ordering: differs run to run."""
+    return sorted(items, key=id)

@@ -1,0 +1,7 @@
+"""Fixture: iterates a bare set in order-sensitive position (one DET004)."""
+
+
+def emit_all(sink, names):
+    """Hash-order iteration: PYTHONHASHSEED-dependent output order."""
+    for name in set(names):
+        sink.emit(name)

@@ -1,0 +1,11 @@
+"""Fixture: entity method writes a module-level global (one ISO001)."""
+
+REGISTRY = []
+
+
+class LoggingEntity(Entity):  # noqa: F821 -- parsed, never imported
+    """Appends to a module global shared by every instance."""
+
+    def fire(self, state, action, now):
+        """Cross-instance effect: all entities share REGISTRY."""
+        REGISTRY.append(action)

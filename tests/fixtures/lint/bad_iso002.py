@@ -1,0 +1,11 @@
+"""Fixture: entity method mutates a class attribute (one ISO002)."""
+
+
+class CachingEntity(Entity):  # noqa: F821 -- parsed, never imported
+    """Mutates a class-level mutable default never rebound per instance."""
+
+    cache = {}
+
+    def fire(self, state, action, now):
+        """Every instance writes the same dict."""
+        self.cache.update({action.name: now})

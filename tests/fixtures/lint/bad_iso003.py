@@ -1,0 +1,10 @@
+"""Fixture: stores a received payload by reference (one ISO003)."""
+
+
+class BufferingEntity(Entity):  # noqa: F821 -- parsed, never imported
+    """Retains the sender's object in its state container."""
+
+    def apply_input(self, state, action, now):
+        """Aliases action.params[0] between sender and receiver."""
+        message = action.params[0]
+        state.queue.append(message)

@@ -1,0 +1,29 @@
+"""Fixture: determinism-clean counterparts for every ``DET*`` rule."""
+
+import random
+
+
+def pick(items, seed):
+    """Seeded instance RNG — the repo-wide discipline (no DET001)."""
+    return items[random.Random(seed).randrange(len(items))]
+
+
+def stamp(event, now):
+    """Model time is handed in, never read from the host (no DET002)."""
+    event.at = now
+    return event
+
+
+def dedupe(items):
+    """Value ordering, not memory-address ordering (no DET003)."""
+    return sorted(set(items))
+
+
+def emit_all(sink, names):
+    """Sorted before iterating (no DET004); dict iteration is exempt."""
+    for name in sorted(set(names)):
+        sink.emit(name)
+    table = {"a": 1, "b": 2}
+    for key in table:
+        sink.emit(key)
+    return min({len(name) for name in names} or {0})

@@ -1,0 +1,20 @@
+"""Fixture: both suppression comment forms, plus one unsuppressed finding."""
+
+import time
+
+
+def same_line():
+    """Same-line suppression."""
+    return time.time()  # repro: lint-ignore[DET002] -- test fixture
+
+
+def standalone_above():
+    """Standalone-comment suppression, stacked over a second comment."""
+    # repro: lint-ignore[DET002] -- test fixture
+    # an ordinary comment between the suppression and the code
+    return time.time()
+
+
+def wrong_rule():
+    """A suppression for a different rule does not cover this DET002."""
+    return time.time()  # repro: lint-ignore[DET001] -- wrong rule on purpose

@@ -81,3 +81,88 @@ class TestTimedNodeEntity:
         assert entity.deadline(None, 0.0) == float("inf")
         assert entity.clock_value(None, 0.0) is None
         assert not entity.accepts(Action("X"))
+
+
+class ImpureScheduleProcess(PingerProcess):
+    """A process whose flags all differ from the ``Entity`` defaults.
+
+    ``Entity`` defaults to ``pure_enabled=True`` / ``static_deadline=False``
+    / ``wakes_at_deadline=False``, so a wrapper that silently falls back
+    to any default is caught by exactly one of the assertions below.
+    """
+
+    pure_enabled = False
+    static_deadline = True
+    wakes_at_deadline = True
+
+
+class TestContractForwarding:
+    """Wrappers must forward the wrapped automaton's scheduling flags.
+
+    Regression for the ``TimedNodeEntity`` gap where only two of the
+    three flags were copied: the engine then scheduled every timed node
+    with ``Entity``'s defaults, silently disabling deadline-skip
+    optimizations (and, for an impure process, wrongly caching
+    ``enabled()``). Mirrors lint rule CON004.
+    """
+
+    def make_process(self):
+        return ImpureScheduleProcess(0, 1, count=2, interval=1.0)
+
+    def test_timed_node_forwards_all_three_flags(self):
+        entity = TimedNodeEntity(self.make_process())
+        assert entity.pure_enabled is False
+        assert entity.static_deadline is True
+        assert entity.wakes_at_deadline is True
+
+    def test_clock_node_forwards_purity_and_pins_deadline_flags(self):
+        from repro.core.clock_transform import ClockNodeEntity
+        from repro.sim.clock_drivers import PerfectClockDriver
+
+        entity = ClockNodeEntity(
+            self.make_process(), PerfectClockDriver(eps=0.1), [1], [1]
+        )
+        assert entity.pure_enabled is False
+        # The driver-stepped clock makes the deadline a function of real
+        # time, so the deadline promises stay pinned conservative.
+        assert entity.static_deadline is False
+        assert entity.wakes_at_deadline is False
+
+    def test_native_clock_node_forwards_purity(self):
+        from repro.core.clock_transform import NativeClockNodeEntity
+        from repro.sim.clock_drivers import PerfectClockDriver
+
+        entity = NativeClockNodeEntity(
+            self.make_process(), PerfectClockDriver(eps=0.1)
+        )
+        assert entity.pure_enabled is False
+        assert entity.static_deadline is False
+        assert entity.wakes_at_deadline is False
+
+    def test_mmt_node_forwards_purity(self):
+        from repro.core.clock_transform import ClockMachine
+        from repro.core.mmt_transform import MMTNodeEntity
+
+        machine = ClockMachine(self.make_process(), [1], [1])
+        entity = MMTNodeEntity(machine, step_bound=0.5)
+        assert entity.pure_enabled is False
+        # The MMT machine owns its deadlines regardless of the process.
+        assert entity.static_deadline is True
+        assert entity.wakes_at_deadline is True
+
+    def test_crashable_forwards_purity_and_pins_deadline_flags(self):
+        from repro.faults.crash import CrashableEntity, CrashSchedule
+
+        inner = TimedNodeEntity(self.make_process())
+        entity = CrashableEntity(inner, CrashSchedule(crash_time=5.0))
+        assert entity.pure_enabled is False
+        # The crash check reads real time, so the wrapper must not
+        # repeat the inner entity's static-deadline promise.
+        assert entity.static_deadline is False
+        assert entity.wakes_at_deadline is False
+
+    def test_pure_wrapped_process_stays_pure(self):
+        entity = TimedNodeEntity(PingerProcess(0, 1, count=2, interval=1.0))
+        assert entity.pure_enabled is True
+        assert entity.static_deadline is True
+        assert entity.wakes_at_deadline is True

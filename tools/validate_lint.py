@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""End-to-end validation of the ``repro.lint`` static analyzer.
+
+Usage::
+
+    python tools/validate_lint.py            # all checks
+    python tools/validate_lint.py --quick    # skip the double-run check
+
+Checks, in order:
+
+1. **Repo is clean** — linting ``src/`` against the committed
+   ``lint-baseline.json`` yields zero new findings and no stale
+   baseline entries, and every inline suppression carries a written
+   justification.
+2. **Rules fire** — every rule ID in the catalog is triggered by its
+   ``tests/fixtures/lint/bad_*.py`` fixture (exactly one finding, the
+   right rule), and the ``good*.py`` fixtures stay silent.
+3. **Report schema** — the JSON report is version 1, its summary counts
+   agree with its findings list, and each finding carries the full
+   field set (rule/family/path/line/col/scope/message/fingerprint/
+   status).
+4. **Baseline schema** — ``lint-baseline.json`` parses, declares
+   version 1, and every entry fingerprint is 16 lowercase hex chars.
+5. **Determinism** (skip with ``--quick``) — two full runs over
+   ``src/`` serialize to byte-identical JSON, and so does the
+   isolation report (what lets CI ``cmp`` the committed artifact).
+
+Exits 0 when all checks pass, 1 on failures (printed one per line),
+2 on usage errors.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.lint import (  # noqa: E402
+    RULES,
+    Baseline,
+    ProjectIndex,
+    apply_baseline,
+    build_isolation_report,
+    load_modules,
+    render_json,
+    run_lint,
+)
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+FIXTURES = os.path.join(ROOT, "tests", "fixtures", "lint")
+BASELINE = os.path.join(ROOT, "lint-baseline.json")
+
+
+def check_repo_clean():
+    problems = []
+    result = run_lint([SRC], root=ROOT)
+    if os.path.exists(BASELINE):
+        apply_baseline(result, Baseline.load(BASELINE))
+    for assessed in result.new:
+        finding = assessed.finding
+        problems.append(
+            f"src unclean: {finding.location()} {finding.rule} "
+            f"{finding.message}"
+        )
+    for entry in result.stale_baseline:
+        problems.append(f"stale baseline entry: {entry}")
+    for assessed in result.suppressed:
+        if not assessed.justification.strip():
+            problems.append(
+                f"unjustified suppression at {assessed.finding.location()}"
+            )
+    if not problems:
+        print(
+            f"repo clean: {result.files_scanned} files, "
+            f"{len(result.suppressed)} justified suppression(s), "
+            f"{len(result.baselined)} baselined"
+        )
+    return problems
+
+
+def check_rules_fire():
+    problems = []
+    for rule in sorted(RULES):
+        name = f"bad_{rule.lower()}.py"
+        path = os.path.join(FIXTURES, name)
+        if not os.path.exists(path):
+            problems.append(f"{rule}: fixture {name} missing")
+            continue
+        result = run_lint([path], root=ROOT)
+        fired = [a.finding.rule for a in result.new]
+        if fired != [rule]:
+            problems.append(
+                f"{rule}: fixture {name} fired {fired or 'nothing'}"
+            )
+    for name in ("good.py", "good_entities.py"):
+        result = run_lint([os.path.join(FIXTURES, name)], root=ROOT)
+        for assessed in result.assessed:
+            problems.append(
+                f"false positive in {name}: "
+                f"{assessed.finding.rule} at line {assessed.finding.line}"
+            )
+    if not problems:
+        print(f"rules fire: all {len(RULES)} rule IDs, good fixtures silent")
+    return problems
+
+
+def check_report_schema():
+    problems = []
+    result = run_lint([FIXTURES], root=ROOT)
+    report = json.loads(render_json(result))
+    if report.get("version") != 1:
+        problems.append(f"report version {report.get('version')!r}, want 1")
+    findings = report.get("findings", [])
+    required = {
+        "rule", "family", "path", "line", "col",
+        "scope", "message", "fingerprint", "status",
+    }
+    for finding in findings:
+        missing = required - set(finding)
+        if missing:
+            problems.append(f"finding missing fields {sorted(missing)}")
+            break
+    summary = report.get("summary", {})
+    for status in ("new", "suppressed", "baselined"):
+        count = sum(1 for f in findings if f.get("status") == status)
+        if summary.get(status) != count:
+            problems.append(
+                f"summary[{status}]={summary.get(status)} but "
+                f"{count} finding(s) carry that status"
+            )
+    if report.get("ok") is not (summary.get("new") == 0):
+        problems.append("report 'ok' disagrees with summary['new']")
+    if not problems:
+        print(f"report schema: v1, {len(findings)} finding(s) well-formed")
+    return problems
+
+
+def check_baseline_schema():
+    problems = []
+    if not os.path.exists(BASELINE):
+        print("baseline: no lint-baseline.json (nothing grandfathered)")
+        return problems
+    try:
+        baseline = Baseline.load(BASELINE)
+    except Exception as exc:
+        return [f"baseline: {exc}"]
+    for fingerprint in baseline.entries:
+        if not re.fullmatch(r"[0-9a-f]{16}", fingerprint):
+            problems.append(f"baseline: bad fingerprint {fingerprint!r}")
+    if not problems:
+        print(f"baseline schema: v1, {len(baseline.entries)} entry(ies)")
+    return problems
+
+
+def check_determinism():
+    problems = []
+    reports = [render_json(run_lint([SRC], root=ROOT)) for _ in range(2)]
+    if reports[0] != reports[1]:
+        problems.append("lint JSON differs between two identical runs")
+
+    def isolation():
+        result = run_lint([SRC], root=ROOT)
+        index = ProjectIndex(load_modules([SRC], root=ROOT))
+        report = build_isolation_report(index, result)
+        return json.dumps(report, indent=2, sort_keys=True)
+
+    if isolation() != isolation():
+        problems.append("isolation report differs between two runs")
+    if not problems:
+        print("determinism: double runs byte-identical (lint + isolation)")
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="skip the double-run determinism check",
+    )
+    args = parser.parse_args(argv)
+
+    problems = []
+    problems += check_repo_clean()
+    problems += check_rules_fire()
+    problems += check_report_schema()
+    problems += check_baseline_schema()
+    if not args.quick:
+        problems += check_determinism()
+
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print("all lint validation checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
