@@ -35,6 +35,7 @@ from repro.chaos.runner import (
     ChaosResult,
     causal_attribution,
     conformance_check,
+    conformance_corpus,
     demo_builder,
     demo_monitors,
     demo_plan,
@@ -72,6 +73,7 @@ __all__ = [
     "ShrinkResult",
     "violation_oracle",
     "conformance_check",
+    "conformance_corpus",
     "demo_builder",
     "demo_plan",
     "demo_monitors",

@@ -43,6 +43,8 @@ from repro.chaos.plan import (
     clock_fault,
     crash,
     drop_burst,
+    heal,
+    partition,
     recover,
 )
 from repro.chaos.shrink import ShrinkResult, shrink_plan
@@ -246,6 +248,56 @@ def demo_plan() -> FaultPlan:
         ],
         name="demo",
     )
+
+
+def conformance_corpus() -> List[FaultPlan]:
+    """One plan per :func:`~repro.chaos.apply.apply_plan` lowering path.
+
+    Each plan opens *and closes* its fault window while the demo's beat
+    stream is still active (beats run to ``count * period = 16``), so
+    the incremental core's dirty-set bookkeeping is exercised at every
+    boundary the lowering can produce:
+
+    - ``crash``/``recover`` — :class:`~repro.faults.recovery.RecoverableEntity`
+      wrapping (state snapshot/restore, lost inputs while down);
+    - ``partition`` + ``heal`` — channels rebuilt as
+      :class:`~repro.faults.lossy_channel.LossyChannelEntity` with a
+      :class:`~repro.faults.partition.PartitionWindow` that severs and
+      then stops severing mid-run;
+    - ``clock_fault`` with a window that *exits* well before the
+      horizon — :class:`~repro.sim.clock_drivers.FaultyClockDriver`
+      wrapping, where the post-window decay back inside the envelope
+      must re-probe the node on both cores identically;
+    - ``drop_burst`` — an :class:`~repro.faults.partition.EdgeDropWindow`
+      cutting one directed edge mid-stream;
+    - the demo plan itself (clock fault plus post-traffic red herrings).
+
+    :func:`conformance_check` over this corpus is the regression gate
+    that every lowering path marks affected entities dirty: any missed
+    invalidation shows up as an incremental/full-scan trace divergence.
+    """
+    return [
+        demo_plan(),
+        FaultPlan.of([crash(0, 3.0), recover(0, 9.0)], name="crash-recover"),
+        FaultPlan.of(
+            [partition([[0], [1]], 3.0), heal(9.0)], name="partition-heal"
+        ),
+        FaultPlan.of(
+            [clock_fault(1, 2.5, 6.0, excess=1.5)], name="clock-fault-exit"
+        ),
+        FaultPlan.of(
+            [clock_fault(0, 2.5, 6.0, excess=-1.5)], name="clock-fault-slow"
+        ),
+        FaultPlan.of([drop_burst((0, 1), 3.0, 9.0)], name="drop-burst"),
+        FaultPlan.of(
+            [
+                partition([[0], [1]], 3.0),
+                heal(9.0),
+                drop_burst((1, 0), 11.0, 12.5),
+            ],
+            name="mixed-network",
+        ),
+    ]
 
 
 def demo_monitors(plan: FaultPlan) -> List[ChaosMonitor]:

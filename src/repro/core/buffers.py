@@ -59,9 +59,23 @@ class SendBuffer:
     # minimum, making clock_deadline O(1) instead of an O(n) scan on
     # the engine's time-advance hot path. Maintained by enqueue/emit;
     # valid for FIFO removal (emit only ever pops the queue front).
+    # Derived from ``queue`` — excluded from crash-recovery snapshots
+    # and rebuilt on restore (``__post_restore__``), so a stable-storage
+    # image can never revive a deque that disagrees with the queue.
     _min_stamps: Deque[float] = field(
         default_factory=deque, repr=False, compare=False
     )
+
+    _SNAPSHOT_DERIVED = ("_min_stamps",)
+
+    def __post_restore__(self) -> None:
+        """Rebuild the min-deque from the restored queue."""
+        mins: Deque[float] = deque()
+        for _message, stamp in self.queue:
+            while mins and mins[-1] > stamp:
+                mins.pop()
+            mins.append(stamp)
+        self._min_stamps = mins
 
     def bind_instruments(self, metrics) -> None:
         """Publish occupancy samples and a per-buffer depth gauge."""

@@ -75,10 +75,18 @@ class SystemSpec:
         recorder=None,
         metrics=None,
         tracer=None,
+        shards=None,
+        window=None,
     ) -> SimulationResult:
-        """Build a simulator and run it to the horizon."""
+        """Build a simulator and run it to the horizon.
+
+        ``shards``/``window`` select the sharded execution mode (see
+        :mod:`repro.sim.sharded`); the default ``None`` is the serial
+        engine.
+        """
         return self.simulator(scheduler, max_steps).run(
-            horizon, recorder=recorder, metrics=metrics, tracer=tracer
+            horizon, recorder=recorder, metrics=metrics, tracer=tracer,
+            shards=shards, window=window,
         )
 
 

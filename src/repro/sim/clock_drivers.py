@@ -48,6 +48,14 @@ class ClockDriver:
     where ``cap`` is the node's clock deadline.
     """
 
+    #: a granularity-free trajectory reaches the same clock value at a
+    #: given real time no matter how the interval is chopped into
+    #: ``step`` calls — extra intermediate advances (the sharded
+    #: engine's window barriers) compose to the identity. False for
+    #: trajectories with per-step randomness (RandomWalk) or phase
+    #: logic sensitive to evaluation points (Sawtooth, FaultyClock).
+    granularity_free = False
+
     def __init__(self, eps: float):
         if eps < 0:
             raise ValueError("eps must be non-negative")
@@ -124,6 +132,8 @@ class ClockDriver:
 class PerfectClockDriver(ClockDriver):
     """``clock == now``: the degenerate, perfectly synchronized clock."""
 
+    granularity_free = True  # desired() depends on new_now only
+
     def desired(self, now: float, clock: float, new_now: float) -> float:
         return new_now
 
@@ -133,6 +143,8 @@ class PerfectClockDriver(ClockDriver):
 
 class SkewedClockDriver(ClockDriver):
     """A constant offset ``beta`` from real time, ``|beta| <= eps``."""
+
+    granularity_free = True  # desired() depends on new_now only
 
     def __init__(self, eps: float, beta: float):
         super().__init__(eps)
@@ -169,6 +181,12 @@ class DriftingClockDriver(ClockDriver):
     one (``rho < 1``) the ``now - eps`` boundary — exactly the behavior
     of a hardware oscillator between synchronizations.
     """
+
+    # NOT granularity-free: clock + rho*(b-a) + rho*(c-b) equals
+    # clock + rho*(c-a) in exact arithmetic but not in floats, and the
+    # sharded engine's trace-equality bar is bit-exact. Memoryless
+    # trajectories (perfect, skewed) survive interval splitting exactly;
+    # integrating ones do not.
 
     def __init__(self, eps: float, rho: float):
         super().__init__(eps)

@@ -105,13 +105,20 @@ def encode_state(value: Any) -> Any:
             "not in its state object"
         )
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        derived = getattr(type(value), "_SNAPSHOT_DERIVED", ())
         fields = {
             f.name: encode_state(getattr(value, f.name))
             for f in dataclasses.fields(value)
+            if f.name not in derived
         }
         return {"o": type(value), "f": fields}
     if hasattr(value, "__dict__") and not callable(value):
-        fields = {k: encode_state(v) for k, v in vars(value).items()}
+        derived = getattr(type(value), "_SNAPSHOT_DERIVED", ())
+        fields = {
+            k: encode_state(v)
+            for k, v in vars(value).items()
+            if k not in derived
+        }
         return {"o": type(value), "f": fields}
     raise ReproError(
         f"cannot snapshot state of type {type(value).__name__}: {value!r}"
@@ -140,6 +147,13 @@ def decode_state(snapshot: Any) -> Any:
             instance = object.__new__(cls)
             for name, encoded in snapshot["f"].items():
                 setattr(instance, name, decode_state(encoded))
+            # Derived caches (``_SNAPSHOT_DERIVED``) are deliberately not
+            # persisted; the restored object rebuilds them here so a
+            # stable-storage image can never carry a stale accelerator
+            # structure back into a live run.
+            post_restore = getattr(instance, "__post_restore__", None)
+            if post_restore is not None:
+                post_restore()
             return instance
         raise ReproError(f"malformed state snapshot: {snapshot!r}")
     return snapshot

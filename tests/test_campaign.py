@@ -79,6 +79,22 @@ def test_grid_rejects_bad_specs():
         Grid({}, run={"warmup": 1.0})  # unknown run parameter
 
 
+def test_sharded_points_need_a_granularity_free_driver():
+    # the default driver is "mixed" (random-walk): caught at spec time,
+    # not as N runtime ShardingError point failures
+    with pytest.raises(CampaignError, match="granularity-free"):
+        Grid({"shards": [1, 2]}, run=SMALL_RUN)
+    # timed-model points never touch a clock driver, so no constraint
+    Grid({"shards": [2], "model": ["timed"]}, run=SMALL_RUN)
+    # and a granularity-free driver sweeps cleanly through both values
+    grid = Grid(
+        {"shards": [1, 2], "driver": ["skewed"], "ops": [4]},
+        run=SMALL_RUN,
+    )
+    outcomes = CampaignRunner(workers=1).run(grid.points())
+    assert outcomes and all(o.ok for o in outcomes)
+
+
 def test_grid_from_json_spec_file(tmp_path):
     spec = tmp_path / "spec.json"
     spec.write_text(json.dumps({

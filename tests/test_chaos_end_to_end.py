@@ -6,6 +6,7 @@ from repro.chaos import (
     FaultPlan,
     apply_plan,
     conformance_check,
+    conformance_corpus,
     crash,
     demo_builder,
     demo_monitors,
@@ -132,6 +133,59 @@ class TestOtherFaultKinds:
         plan = FaultPlan.of([crash(7, 1.0)])
         with pytest.raises(SpecificationError):
             apply_plan(demo_builder(), plan)
+
+
+class TestConformanceCorpus:
+    """Every apply_plan lowering path, trace-identical across both cores.
+
+    The incremental core only re-probes entities it believes are dirty;
+    a lowering path that changed an entity's behavior without marking it
+    (a partition healing, a clock-fault window exiting, a drop burst
+    ending) would diverge from the full-scan core here.
+    """
+
+    def test_corpus_covers_every_lowering_path(self):
+        corpus = conformance_corpus()
+        kinds = {e.kind for p in corpus for e in p.events}
+        assert kinds == {
+            "crash", "recover", "partition", "heal", "clock_fault",
+            "drop_burst",
+        }
+
+    def test_corpus_windows_close_while_traffic_is_live(self):
+        # the beat stream ends at count * period = 16; a window that
+        # only closes after that would never exercise the exit boundary
+        last_beat = 16.0
+        for plan in conformance_corpus():
+            if plan.name == "demo":
+                continue  # its red herrings are post-traffic by design
+            compiled = plan.compile()
+            closes = [w.end for w in compiled.drop_windows]
+            closes += [
+                w.end
+                for windows in compiled.clock_windows.values()
+                for w in windows
+            ]
+            closes += [
+                end
+                for schedule in compiled.recovery.values()
+                for _, end in schedule.windows
+            ]
+            assert closes, f"{plan.name}: no fault windows at all"
+            assert all(end < last_beat for end in closes), plan.name
+
+    @pytest.mark.parametrize(
+        "plan", conformance_corpus(), ids=lambda p: p.name
+    )
+    def test_engine_cores_agree(self, plan):
+        assert conformance_check(
+            demo_builder, plan, DEMO_HORIZON,
+            monitors_factory=demo_monitors,
+        )
+
+    def test_corpus_names_are_unique(self):
+        names = [p.name for p in conformance_corpus()]
+        assert len(names) == len(set(names))
 
 
 class TestShrinker:

@@ -5,7 +5,8 @@ import pytest
 from repro.automata.actions import Action, action_set
 from repro.automata.signature import Signature
 from repro.components.base import Entity, TimedNodeEntity
-from repro.core.pipeline import SystemSpec, build_timed_system
+from repro.core.buffers import SendBuffer
+from repro.core.pipeline import SystemSpec, build_clock_system, build_timed_system
 from repro.errors import SpecificationError
 from repro.faults.models import ScriptedFaults
 from repro.faults.recovery import (
@@ -15,6 +16,10 @@ from repro.faults.recovery import (
 )
 from repro.faults.retransmit import ReliableAdapter
 from repro.obs.metrics import MetricsRegistry
+from repro.sim.clock_drivers import FastClockDriver, SlowClockDriver
+from repro.sim.engine import Simulator
+from repro.sim.persistence import decode_state, encode_state
+from repro.sim.recorder import Recorder
 
 from helpers import EchoProcess, PingerProcess, pinger_topology
 
@@ -166,6 +171,121 @@ class TestRecoverableEntity:
         # fire/apply_input to signal it, so the incremental engine must
         # re-derive it every round
         assert self.entity([(1.0, 2.0)]).pure_enabled is False
+
+
+class TestSendBufferSnapshotRestore:
+    """The send buffer's min-deque is derived state: a stable-storage
+    snapshot must never persist it, and a restore must rebuild it from
+    the queue (a stale deque would corrupt ``clock_deadline`` — the
+    engine's time-passage guard — after a crash–recovery)."""
+
+    def loaded_buffer(self):
+        buf = SendBuffer(0, 1)
+        # SendBuffer does not enforce stamp monotonicity, so exercise
+        # the rebuild with an adversarial (reordered, duplicated) queue
+        for stamp in (5.0, 7.0, 3.0, 6.0, 3.0):
+            buf.enqueue(("m", stamp), stamp)
+        return buf
+
+    def test_snapshot_excludes_the_derived_deque(self):
+        snapshot = encode_state(self.loaded_buffer())
+        assert "_min_stamps" not in snapshot["f"]
+        assert "queue" in snapshot["f"]
+
+    def test_restore_rebuilds_the_deque(self):
+        buf = self.loaded_buffer()
+        restored = decode_state(encode_state(buf))
+        assert restored.queue == buf.queue
+        assert list(restored._min_stamps) == list(buf._min_stamps)
+        assert restored.clock_deadline() == 3.0
+
+    def test_stale_deque_cannot_ride_through_stable_storage(self):
+        buf = self.loaded_buffer()
+        # corrupt the live cache after the fact; the snapshot round-trip
+        # must rebuild from the queue, not trust any persisted deque
+        buf._min_stamps.clear()
+        restored = decode_state(encode_state(buf))
+        assert restored.clock_deadline() == 3.0
+
+    def test_restored_buffer_drains_deadline_consistently(self):
+        restored = decode_state(encode_state(self.loaded_buffer()))
+        stamps = [entry[1] for entry in restored.queue]
+        while restored.queue:
+            assert restored.clock_deadline() == min(stamps)
+            restored.emit(10.0)
+            stamps.pop(0)
+        assert restored.clock_deadline() == INFINITY
+
+    def test_empty_buffer_round_trips(self):
+        restored = decode_state(encode_state(SendBuffer(0, 1)))
+        assert restored.clock_deadline() == INFINITY
+        restored.enqueue("m", 2.0)
+        assert restored.clock_deadline() == 2.0
+
+
+class TestClockNodeCrashStraddlingABufferHold:
+    """Chaos regression: a clock node crashes while its receive buffer
+    holds a stamped message, recovers, and delivery still happens in
+    deadline (stamp) order — byte-identically across both engine cores."""
+
+    # Slow echo clock vs a short channel: ping k is sent at t=k with
+    # stamp k (the ping deadline pins the sender's clock there), arrives
+    # at t=k+0.1 (constant-fraction delay of [0.05, 0.15]) where the
+    # slow echo clock reads only k-0.2, and is held until that clock
+    # reaches the stamp at t=k+eps.
+    EPS = 0.3
+    D1, D2 = 0.05, 0.15
+    WINDOW = (1.15, 1.25)  # inside ping 1's hold interval [1.1, 1.3]
+
+    def run_once(self, incremental):
+        def processes(i):
+            if i == 0:
+                return PingerProcess(0, 1, 3, 1.0)
+            return EchoProcess(1, 0)
+
+        def drivers(i):
+            return FastClockDriver(self.EPS) if i == 0 else SlowClockDriver(self.EPS)
+
+        spec = build_clock_system(
+            pinger_topology(), processes, self.EPS, self.D1, self.D2, drivers
+        )
+        entities = [
+            RecoverableEntity(e, RecoverySchedule.of([self.WINDOW]))
+            if e.name == "echo(1)^c" else e
+            for e in spec.entities
+        ]
+        recorder = Recorder()
+        result = Simulator(
+            entities, hidden=spec.hidden, incremental=incremental
+        ).run(8.0, recorder=recorder)
+        return result, recorder
+
+    def test_held_message_survives_the_crash_and_delivers_in_order(self):
+        result, recorder = self.run_once(incremental=True)
+        echo = result.final_states["echo(1)^c"]
+        assert echo.crashes == 1 and echo.recoveries == 1
+        # the ping held across the crash is delivered after recovery...
+        deliveries = [
+            e for e in recorder.events
+            if e.action.name == "RECVMSG" and e.action.params[0] == 1
+        ]
+        held = [e for e in deliveries if e.action.params[2] == ("ping", 1)]
+        assert held and held[0].now >= self.WINDOW[1]
+        # ...in stamp (deadline) order, like every other delivery
+        indices = [e.action.params[2][1] for e in deliveries]
+        assert indices == sorted(indices)
+        # and the round trips all complete
+        pongs = [e for e in result.trace if e.action.name == "GOTPONG"]
+        assert [e.action.params[1] for e in pongs] == [1, 2, 3]
+        assert not any(
+            rbuf.queue for rbuf in echo.inner.recv_buffers.values()
+        )
+
+    def test_trace_identical_across_engine_cores(self):
+        result_inc, rec_inc = self.run_once(incremental=True)
+        result_full, rec_full = self.run_once(incremental=False)
+        assert rec_inc.events == rec_full.events
+        assert result_inc.trace == result_full.trace
 
 
 class TestRecoveryWithInFlightRetransmissions:

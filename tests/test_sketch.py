@@ -103,6 +103,70 @@ class TestMergeDeterminism:
             backward.merge(part)
         assert forward.to_dict() == backward.to_dict()
 
+    def test_merging_an_empty_sketch_is_an_exact_no_op(self):
+        # regression: an empty shard registry merged into a populated one
+        # must not disturb min/max/zero (the empty sketch's inf/-inf
+        # sentinels and zero counters must never leak into the result)
+        sketch = QuantileSketch("lat")
+        for value in (0.0, -1.0, 0.25, 7.5):
+            sketch.observe(value)
+        before = json.dumps(sketch.to_dict(), sort_keys=True)
+        zero_before, min_before, max_before = (
+            sketch._zero, sketch._min, sketch._max
+        )
+        sketch.merge(QuantileSketch("lat"))
+        assert sketch._zero == zero_before
+        assert sketch._min == min_before and sketch._max == max_before
+        assert json.dumps(sketch.to_dict(), sort_keys=True) == before
+
+    def test_merging_into_an_empty_sketch_copies_exactly(self):
+        full = QuantileSketch("lat")
+        for value in _samples(80):
+            full.observe(value)
+        empty = QuantileSketch("lat")
+        empty.merge(full)
+        assert empty.to_dict() == full.to_dict()
+
+    def test_empty_merge_empty_stays_empty(self):
+        a, b = QuantileSketch("lat"), QuantileSketch("lat")
+        a.merge(b)
+        assert a.count == 0
+        assert a.minimum == 0.0 and a.maximum == 0.0
+        assert a.quantile(0.5) == 0.0
+
+    def test_zero_bucket_counts_accumulate_across_shards(self):
+        parts = [QuantileSketch("lat") for _ in range(3)]
+        for index, value in enumerate((0.0, -0.5, 0.0, 1.0, 0.0, -2.0)):
+            parts[index % 3].observe(value)
+        merged = QuantileSketch("lat")
+        for part in parts:
+            merged.merge(part)
+        assert merged._zero == 5
+        assert merged.count == 6
+        assert merged.minimum == 0.0  # negatives clamp into the zero bucket
+
+    def test_canonical_sum_invariant_under_shuffled_shard_orders(self):
+        # property-style: whatever order per-shard registries merge in,
+        # the exported sum (and the whole dict) is byte-identical —
+        # _canonical_sum recomputes from sorted buckets, so float
+        # addition order cannot leak through
+        samples = _samples(240)
+        parts = [QuantileSketch("lat") for _ in range(6)]
+        for index, value in enumerate(samples):
+            parts[index % 6].observe(value)
+
+        def merged_json(order):
+            merged = QuantileSketch("lat")
+            for index in order:
+                merged.merge(parts[index])
+            return json.dumps(merged.to_dict(), sort_keys=True)
+
+        baseline = merged_json(range(6))
+        for seed in range(10):
+            order = list(range(6))
+            random.Random(seed).shuffle(order)
+            assert merged_json(order) == baseline
+
     def test_merge_rejects_alpha_mismatch(self):
         a = QuantileSketch("lat", alpha=0.01)
         b = QuantileSketch("lat", alpha=0.02)

@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Validate ``BENCH_parallel.json`` and gate sharded-speedup regressions.
+
+Usage::
+
+    python tools/validate_bench_parallel.py BENCH_parallel.json
+    python tools/validate_bench_parallel.py /tmp/fresh.json --baseline BENCH_parallel.json
+    python tools/validate_bench_parallel.py BENCH_parallel.json --require-speedup 1.5
+
+Checks, in order:
+
+1. **Schema** — the file is a ``repro-bench-parallel`` document whose
+   every result record carries pipeline/n/steps, a ``serial`` cell, a
+   per-shard-count ``sharded`` map with ``steps_per_sec`` / ``wall_s`` /
+   ``speedup``, a ``best_speedup``, and ``traces_identical``.
+2. **Conformance** — ``traces_identical`` must be true in every cell:
+   sharded execution is only a valid optimization while its merged
+   trace is byte-for-byte the serial engine's.
+3. **Speedup floor** (``--require-speedup X``) — at least one cell's
+   ``best_speedup`` must reach ``X``; ``--pipeline`` narrows the claim
+   to one pipeline (default ``clock``, the advance-dominated regime
+   sharding targets — the timed pipeline is expected to sit near 1x).
+4. **Regression vs baseline** (``--baseline PATH``) — for each
+   (pipeline, n) present in both files, the fresh ``best_speedup`` must
+   be at least 80% of the baseline's (``--tolerance`` to adjust).
+   Ratios, not absolute steps/sec, are compared because CI hardware
+   differs from the machine that produced the checked-in baseline.
+
+Exits 0 when all checks pass, 1 on failures (printed one per line),
+2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_SHARD_KEYS = ("steps_per_sec", "wall_s", "speedup")
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle), []
+    except (OSError, ValueError) as exc:
+        return None, [f"{path}: unreadable: {exc}"]
+
+
+def check_schema(doc, path):
+    problems = []
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object"]
+    if doc.get("format") != "repro-bench-parallel":
+        problems.append(f"{path}: format must be 'repro-bench-parallel'")
+    if not isinstance(doc.get("version"), int):
+        problems.append(f"{path}: version must be an integer")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        return problems + [f"{path}: results must be a non-empty list"]
+    for i, record in enumerate(results):
+        where = f"{path}: results[{i}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        if not isinstance(record.get("pipeline"), str):
+            problems.append(f"{where}: missing pipeline")
+        if not isinstance(record.get("n"), int) or record.get("n", 0) <= 0:
+            problems.append(f"{where}: n must be a positive integer")
+        if not isinstance(record.get("steps"), int) or record.get("steps", 0) <= 0:
+            problems.append(f"{where}: steps must be a positive integer")
+        if not isinstance(record.get("traces_identical"), bool):
+            problems.append(f"{where}: missing traces_identical")
+        best = record.get("best_speedup")
+        if not isinstance(best, (int, float)) or best <= 0:
+            problems.append(f"{where}: best_speedup must be a positive number")
+        serial = record.get("serial")
+        if not isinstance(serial, dict):
+            problems.append(f"{where}: missing serial object")
+        else:
+            for key in ("steps_per_sec", "wall_s"):
+                value = serial.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"{where}: serial.{key} must be a non-negative number"
+                    )
+        sharded = record.get("sharded")
+        if not isinstance(sharded, dict) or not sharded:
+            problems.append(f"{where}: sharded must be a non-empty object")
+            continue
+        for shards, cell in sorted(sharded.items()):
+            if not shards.isdigit() or int(shards) < 1:
+                problems.append(
+                    f"{where}: sharded key {shards!r} must be a positive "
+                    f"integer string"
+                )
+            if not isinstance(cell, dict):
+                problems.append(f"{where}: sharded[{shards}] must be an object")
+                continue
+            for key in REQUIRED_SHARD_KEYS:
+                value = cell.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"{where}: sharded[{shards}].{key} must be a "
+                        f"non-negative number"
+                    )
+    return problems
+
+
+def check_conformance(doc, path):
+    return [
+        f"{path}: {r['pipeline']} n={r['n']}: sharded trace diverges from "
+        f"the serial engine"
+        for r in doc["results"]
+        if r.get("traces_identical") is not True
+    ]
+
+
+def check_speedup_floor(doc, path, floor, pipeline):
+    cells = [r for r in doc["results"] if r.get("pipeline") == pipeline]
+    if not cells:
+        return [
+            f"{path}: no {pipeline!r} results to check the speedup floor"
+        ]
+    best = max(cells, key=lambda r: r.get("best_speedup", 0))
+    if best.get("best_speedup", 0) < floor:
+        return [
+            f"{path}: best {pipeline} speedup "
+            f"{best.get('best_speedup', 0):.2f}x (n={best.get('n')}) below "
+            f"required {floor:g}x"
+        ]
+    return []
+
+
+def check_regression(doc, baseline, path, base_path, tolerance):
+    problems = []
+    base_by_cell = {
+        (r["pipeline"], r["n"]): r.get("best_speedup", 0)
+        for r in baseline["results"]
+    }
+    compared = 0
+    for r in doc["results"]:
+        key = (r.get("pipeline"), r.get("n"))
+        base = base_by_cell.get(key)
+        if base is None or base <= 0:
+            continue
+        compared += 1
+        floor = base * (1.0 - tolerance)
+        if r.get("best_speedup", 0) < floor:
+            problems.append(
+                f"{path}: {key[0]} n={key[1]}: best speedup "
+                f"{r['best_speedup']:.2f}x regressed more than "
+                f"{tolerance:.0%} from baseline {base:.2f}x ({base_path})"
+            )
+    if compared == 0:
+        problems.append(
+            f"{path}: no (pipeline, n) cells in common with {base_path}"
+        )
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench", help="BENCH_parallel.json to validate")
+    parser.add_argument(
+        "--baseline",
+        help="checked-in BENCH_parallel.json to compare speedups against",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional speedup regression vs baseline (default 0.20)",
+    )
+    parser.add_argument(
+        "--require-speedup", type=float, default=None,
+        help="minimum best_speedup some --pipeline cell must reach",
+    )
+    parser.add_argument(
+        "--pipeline", default="clock",
+        help="pipeline the --require-speedup floor applies to (default clock)",
+    )
+    args = parser.parse_args(argv)
+
+    doc, problems = load(args.bench)
+    if doc is not None:
+        problems += check_schema(doc, args.bench)
+    if not problems:
+        problems += check_conformance(doc, args.bench)
+        if args.require_speedup is not None:
+            problems += check_speedup_floor(
+                doc, args.bench, args.require_speedup, args.pipeline
+            )
+        if args.baseline:
+            base, base_problems = load(args.baseline)
+            if base is not None:
+                base_problems += check_schema(base, args.baseline)
+            problems += base_problems
+            if not base_problems:
+                problems += check_regression(
+                    doc, base, args.bench, args.baseline, args.tolerance
+                )
+    if problems:
+        for problem in problems:
+            print(problem)
+        return 1
+    print(f"{args.bench}: OK ({len(doc['results'])} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
