@@ -70,6 +70,32 @@ class Violation:
         )
 
 
+def attribute_violations(
+    plan: Optional[FaultPlan],
+    violations: List[Violation],
+    counter=None,
+) -> List[Violation]:
+    """Attribute each violation to the responsible plan event, in place.
+
+    The shared collection step of every chaos engine — the sim-mode
+    :class:`MonitorTracer` and the live controller's end-of-run sweep
+    both route through here, so "every violation is attributed and
+    counted" means the same thing in both stacks. Violations that
+    already carry an event are left alone; ``counter`` (if given) is
+    incremented once per violation.
+    """
+    for violation in violations:
+        if plan is not None and violation.event is None:
+            event, index = plan.attribute(
+                violation.time, node=violation.node, edge=violation.edge
+            )
+            violation.event = event
+            violation.event_index = index
+        if counter is not None:
+            counter.inc()
+    return violations
+
+
 class ChaosMonitor:
     """Base monitor: every hook returns a list of new violations."""
 
@@ -364,16 +390,8 @@ class MonitorTracer(Tracer):
         self._counter = metrics.counter("repro.chaos.violations")
 
     def _collect(self, new: List[Violation]) -> None:
-        for violation in new:
-            if self.plan is not None and violation.event is None:
-                event, index = self.plan.attribute(
-                    violation.time, node=violation.node, edge=violation.edge
-                )
-                violation.event = event
-                violation.event_index = index
-            if self._counter is not None:
-                self._counter.inc()
-            self.violations.append(violation)
+        attribute_violations(self.plan, new, counter=self._counter)
+        self.violations.extend(new)
 
     def action(self, now, owner, action, clock, visible) -> None:
         for monitor in self.monitors:

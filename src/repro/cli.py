@@ -460,9 +460,69 @@ def _sweep(args) -> int:
     return 0 if summary["failed"] == 0 else 1
 
 
+def _chaos_live(args) -> int:
+    """``chaos --live``: lower the plan onto a loopback LiveCluster."""
+    from repro.chaos import FaultPlan
+    from repro.live import chaos_params, demo_live_plan, run_live_chaos
+    from repro.live.load import live_workload
+    from repro.obs.metrics import NULL_METRICS
+
+    for flag in ("shrink", "conformance", "causal", "full_scan"):
+        if getattr(args, flag):
+            print(f"--{flag.replace('_', '-')} is sim-only "
+                  "(not supported with --live)", file=sys.stderr)
+            return 2
+    params = chaos_params(
+        n=args.n, seed=args.seed, d2=args.d2, eps=args.eps
+    )
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+    elif args.random_seed is not None:
+        horizon = args.horizon if args.horizon is not None else 0.6
+        edges = [
+            (i, j) for i in range(args.n) for j in range(args.n) if i != j
+        ]
+        plan = FaultPlan.random(
+            args.random_seed, n_nodes=args.n, edges=edges,
+            horizon=horizon, eps=args.eps,
+        )
+    else:
+        plan = demo_live_plan(args.n)
+    metrics = MetricsRegistry() if args.metrics_out else NULL_METRICS
+    workload = live_workload(operations=args.ops, seed=args.seed)
+    report = run_live_chaos(params, workload, plan, metrics=metrics)
+    print(f"plan {plan.name!r}: {len(plan)} event(s), lowered onto a "
+          f"live n={params.n} cluster")
+    for event in plan.events:
+        print(f"  {event.describe()}")
+    print(report.render(assert_bounds=True))
+    if args.metrics_out:
+        report.to_metrics(metrics)
+        metrics.dump(args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
+    if args.trace_out:
+        report.write_trace(args.trace_out)
+        print(f"trace   -> {args.trace_out}")
+    if args.report_out:
+        report.write_payload(args.report_out)
+        print(f"report  -> {args.report_out}")
+    violated = bool(report.violations)
+    status = 0
+    if not report.linearization.ok or report.unattributed:
+        status = 1
+    if args.expect == "violation":
+        return 0 if violated else 1
+    if args.expect == "clean":
+        return 1 if violated else status
+    return status
+
+
 def _chaos(args) -> int:
     import os
     import tempfile
+
+    if args.live:
+        return _chaos_live(args)
 
     from repro.chaos import (
         FaultPlan,
@@ -644,6 +704,8 @@ def _live_params(args):
     return LiveParams(
         n=args.n, d1=args.d1, d2=args.d2, eps=args.eps, c=args.c,
         delta=args.delta, driver=args.driver, seed=args.seed,
+        op_timeout=args.op_timeout, retry_max=args.retry_max,
+        retry_base=args.retry_base,
     )
 
 
@@ -681,7 +743,7 @@ def _serve(args) -> int:
 
 
 def _load(args) -> int:
-    from repro.live import run_load, sim_replay
+    from repro.live import run_live_chaos, run_load, sim_replay
     from repro.live.load import live_workload
     from repro.live.params import read_manifest
     from repro.obs.metrics import NULL_METRICS
@@ -696,26 +758,49 @@ def _load(args) -> int:
         seed=args.seed, think_min=args.think_min, think_max=args.think_max,
     )
     metrics = MetricsRegistry() if args.metrics_out else NULL_METRICS
-    report = run_load(
-        params, workload, addresses=addresses, metrics=metrics,
-        slack=args.slack, max_nodes=args.max_nodes,
-    )
+    if args.plan:
+        # fault-injected load: the chaos controller needs in-process
+        # nodes to crash and shim, so it always self-hosts
+        if args.connect:
+            print("--plan drives a self-hosted cluster; it cannot be "
+                  "combined with --connect", file=sys.stderr)
+            return 2
+        from repro.chaos import FaultPlan
+
+        plan = FaultPlan.load(args.plan)
+        report = run_live_chaos(
+            params, workload, plan, metrics=metrics, slack=args.slack,
+            max_nodes=args.max_nodes, clients_per_node=args.clients_per_node,
+        )
+    else:
+        report = run_load(
+            params, workload, addresses=addresses, metrics=metrics,
+            slack=args.slack, max_nodes=args.max_nodes,
+            clients_per_node=args.clients_per_node,
+        )
     print(report.render(assert_bounds=args.assert_bounds))
     status = 0
     if not report.linearization.ok:
         status = 1
+    if args.plan and report.unattributed:
+        status = 1
     if args.assert_bounds and not report.bounds_ok:
         status = 1
     if args.cross_check:
-        run = sim_replay(params, workload)
-        sim_ok = run.linearizable()
-        print(f"sim replay     : {len(run.operations)} ops, "
-              f"linearizable={sim_ok}")
-        if not sim_ok or len(run.operations) != len(report.operations):
-            print("cross-check    : FAILED (sim and live runs disagree)")
-            status = 1
+        if args.plan or args.clients_per_node > 1:
+            print("cross-check    : skipped (sim replay models one "
+                  "fault-free client per node)")
         else:
-            print("cross-check    : ok (same seeded schedule, both linearize)")
+            run = sim_replay(params, workload)
+            sim_ok = run.linearizable()
+            print(f"sim replay     : {len(run.operations)} ops, "
+                  f"linearizable={sim_ok}")
+            if not sim_ok or len(run.operations) != len(report.operations):
+                print("cross-check    : FAILED (sim and live runs disagree)")
+                status = 1
+            else:
+                print("cross-check    : ok (same seeded schedule, "
+                      "both linearize)")
     if args.metrics_out:
         report.to_metrics(metrics)
         metrics.dump(args.metrics_out)
@@ -925,6 +1010,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--causal", action="store_true",
                    help="reconstruct the causal graph after the run and "
                         "print per-phase latency attribution")
+    p.add_argument("--live", action="store_true",
+                   help="lower the plan onto a live loopback cluster "
+                        "(crash/recover via snapshots, partitions and "
+                        "drop bursts via the wire shim, clock faults via "
+                        "FaultyClockDriver) instead of the simulator")
+    p.add_argument("--n", type=int, default=3,
+                   help="[--live] cluster size")
+    p.add_argument("--ops", type=int, default=6,
+                   help="[--live] operations per client")
+    p.add_argument("--seed", type=int, default=0,
+                   help="[--live] workload/driver/backoff seed")
+    p.add_argument("--d2", type=float, default=0.5,
+                   help="[--live] upper delay bound; size it to cover the "
+                        "plan's longest outage plus one retransmission "
+                        "interval")
+    p.add_argument("--eps", type=float, default=0.01,
+                   help="[--live] clock envelope half-width")
+    p.add_argument("--report-out", metavar="FILE", default=None,
+                   help="[--live] write the machine-readable chaos report")
     obs(p)
     p.set_defaults(func=_chaos)
 
@@ -939,6 +1043,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["perfect", "fast", "slow", "mixed", "random",
                                 "drift", "sawtooth"])
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--op-timeout", type=float, default=1.0,
+                       help="per-operation client timeout (seconds)")
+        p.add_argument("--retry-max", type=int, default=1,
+                       help="client attempts per operation (1 = no retry)")
+        p.add_argument("--retry-base", type=float, default=0.05,
+                       help="retry backoff base / peer ARQ retransmission "
+                            "interval")
 
     p = sub.add_parser(
         "serve",
@@ -965,6 +1076,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: self-host a loopback cluster)")
     p.add_argument("--ops", type=int, default=20,
                    help="operations per client (one client per node)")
+    p.add_argument("--plan", metavar="FILE", default=None,
+                   help="run the load under this fault plan (self-hosted "
+                        "cluster, fault-tolerant clients, degraded-mode "
+                        "report)")
+    p.add_argument("--clients-per-node", type=int, default=1,
+                   help="concurrent connections per node (distinct cid and "
+                        "write-value space per client)")
     p.add_argument("--read-fraction", type=float, default=0.5)
     p.add_argument("--think-min", type=float, default=0.0)
     p.add_argument("--think-max", type=float, default=0.02)

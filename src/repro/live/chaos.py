@@ -1,0 +1,377 @@
+"""Live chaos: lower a declarative ``FaultPlan`` onto a running cluster.
+
+The simulator's chaos layer (:mod:`repro.chaos`) scripts faults as a
+:class:`~repro.chaos.plan.FaultPlan` timeline and lowers them onto
+virtual-time mechanisms. This module lowers the *same* plans onto a
+:class:`~repro.live.service.LiveCluster` of real asyncio nodes:
+
+========================= =============================================
+plan event                live mechanism
+========================= =============================================
+``crash`` / ``recover``   :meth:`LiveRegisterNode.crash` /
+                          :meth:`~repro.live.node.LiveRegisterNode.recover`
+                          — the node's server socket goes away and every
+                          connection is aborted; state survives through
+                          the ``encode_state`` snapshot protocol and the
+                          restored clock jumps to the ``C_eps`` envelope
+                          edge on its first post-recovery read
+``partition`` / ``heal``  a :class:`WireFaultInjector` shim consulted by
+                          the node's framing layer on every outgoing
+                          peer frame — severed edges silently drop, the
+                          unchanged ``AlgorithmSProcess`` and Figure 2
+                          buffers are what is being stressed
+``drop_burst``            same shim, single directed edge
+``clock_fault``           the node's :class:`~repro.live.clock.LiveClock`
+                          driver wrapped in the simulator's own
+                          :class:`~repro.sim.clock_drivers.FaultyClockDriver`
+========================= =============================================
+
+Refused (``LiveServiceError`` at controller construction): events
+naming nodes, edges, or partition-group members outside ``range(n)`` —
+a live cluster has no way to fault a processor it does not run.
+
+Because partitions and drops *lose* frames while Theorem 6.5 assumes
+delivery within ``[d1, d2]``, arming a plan also arms the peer-mesh ARQ
+layer on every node (sequence numbers, acks, retransmission every
+``params.retry_base`` seconds), turning faulted channels into
+*eventually-delivering* channels whose effective bound is the
+:func:`~repro.faults.retransmit.effective_delay_bounds` widening. Size
+``params.d2`` to cover the longest plan outage plus one retransmission
+interval and the algorithm's correctness argument goes through
+unchanged; deliveries that still land outside ``[d1, d2]`` are recorded
+by the node's channel monitor and attributed to the responsible plan
+event, exactly as in sim mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List, Tuple
+
+from repro.chaos.monitors import Violation, attribute_violations
+from repro.chaos.plan import (
+    FaultPlan,
+    crash,
+    drop_burst,
+    heal,
+    partition,
+    recover,
+)
+from repro.constants import INFINITY
+from repro.errors import LiveServiceError
+from repro.faults.partition import DropWindow
+from repro.faults.retransmit import BackoffPolicy
+from repro.live.client import LiveLoadClient
+from repro.live.params import LiveParams
+from repro.live.report import DEFAULT_SLACK, LiveChaosReport
+from repro.live.service import LiveCluster
+from repro.obs.metrics import NULL_METRICS
+from repro.registers.opstream import OpSchedule
+from repro.registers.system import INITIAL_VALUE
+from repro.registers.workload import RegisterWorkload
+from repro.sim.clock_drivers import FaultyClockDriver
+from repro.traces.linearizability import (
+    DEFAULT_NODE_BUDGET,
+    analyze_linearizability,
+)
+
+
+class WireFaultInjector:
+    """The wire-layer fault shim: drops frames on severed edges.
+
+    One injector is shared by every node of a cluster; the node's
+    ``_wire_send`` asks :meth:`drops` before writing each outgoing peer
+    frame. Dropping on the *send* side (rather than mangling sockets)
+    keeps the TCP streams intact, so what is faulted is exactly the
+    paper's channel — message loss on a directed edge — and nothing
+    else.
+    """
+
+    def __init__(
+        self, windows: Tuple[DropWindow, ...], metrics=NULL_METRICS
+    ):
+        self.windows = tuple(windows)
+        self.dropped = 0
+        self._counter = metrics.counter("repro.live.wire.dropped")
+
+    def severed(self, src: int, dst: int, now: float) -> bool:
+        """Whether the directed edge ``src -> dst`` is cut at ``now``."""
+        return any(w.severs((src, dst), now) for w in self.windows)
+
+    def drops(self, src: int, dst: int, now: float) -> bool:
+        """Consulted per outgoing frame; counts what it swallows."""
+        if self.severed(src, dst, now):
+            self.dropped += 1
+            self._counter.inc()
+            return True
+        return False
+
+
+def validate_for_live(plan: FaultPlan, n: int) -> None:
+    """Refuse plan events a live ``n``-node cluster cannot lower.
+
+    All six event kinds are supported; what is refused is naming a
+    processor that does not exist — a ``node``, ``edge`` endpoint, or
+    partition-group member outside ``range(n)``.
+    """
+    for index, event in enumerate(plan.events):
+        named: List[int] = []
+        if event.node is not None:
+            named.append(event.node)
+        if event.edge is not None:
+            named.extend(event.edge)
+        if event.groups is not None:
+            for group in event.groups:
+                named.extend(group)
+        bad = sorted({i for i in named if not 0 <= i < n})
+        if bad:
+            raise LiveServiceError(
+                f"plan {plan.name!r} event #{index} ({event.kind}) names "
+                f"node(s) {bad} outside the live cluster's range(0, {n})"
+            )
+
+
+class LiveChaosController:
+    """Drives one compiled ``FaultPlan`` against one ``LiveCluster``.
+
+    Construct *before* ``cluster.start()`` (arming the ARQ layer and
+    wrapping the faulted clocks must precede binding), then
+    :meth:`start` once the cluster is up. Plan times are real seconds
+    relative to the cluster epoch.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, cluster: LiveCluster, metrics=NULL_METRICS
+    ):
+        validate_for_live(plan, cluster.params.n)
+        self.plan = plan
+        self.cluster = cluster
+        self.compiled = plan.compile()
+        self.injector = WireFaultInjector(
+            self.compiled.drop_windows, metrics
+        )
+        for node in cluster.nodes:
+            node.attach_faults(self.injector)
+        for i, windows in self.compiled.clock_windows.items():
+            clock = cluster.nodes[i].clock
+            clock.driver = FaultyClockDriver(clock.driver, list(windows))
+        self._tasks: List[asyncio.Task] = []
+
+    def _now(self) -> float:
+        return time.monotonic() - self.cluster.epoch
+
+    async def _sleep_until(self, t: float) -> None:
+        delay = t - self._now()
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+    async def _drive_node(self, i: int, windows) -> None:
+        node = self.cluster.nodes[i]
+        for crash_t, recover_t in windows:
+            await self._sleep_until(crash_t)
+            await node.crash()
+            if recover_t == INFINITY:
+                return  # crash-stop: the node never comes back
+            await self._sleep_until(recover_t)
+            await node.recover()
+
+    def start(self) -> None:
+        """Launch the crash/recover timeline (call after cluster start)."""
+        for i, schedule in sorted(self.compiled.recovery.items()):
+            if not schedule.windows:
+                continue
+            self._tasks.append(asyncio.ensure_future(
+                self._drive_node(i, schedule.windows)
+            ))
+
+    async def wait(self) -> None:
+        """Block until every scripted crash/recover has been applied."""
+        if self._tasks:
+            await asyncio.gather(*self._tasks)
+
+    async def stop(self) -> None:
+        """Cancel any timeline still pending (early teardown)."""
+        for task in self._tasks:
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    # -- end-of-run monitor sweep -------------------------------------------
+
+    def collect_violations(
+        self, linearizable: bool, horizon: float, counter=None
+    ) -> List[Violation]:
+        """Gather node-side monitor observations, attributed to the plan.
+
+        The live stack's twin of the sim-mode
+        :class:`~repro.chaos.monitors.MonitorTracer` sweep: clock
+        ``C_eps`` excursions (recorded edge-triggered by each
+        :class:`~repro.live.clock.LiveClock` against its *base*
+        envelope), channel ``[d1, d2]`` excursions (end-to-end
+        first-transmission-to-delivery lateness recorded per node), and
+        the end-of-run linearizability verdict. Every violation goes
+        through the same :func:`~repro.chaos.monitors.attribute_violations`
+        step as sim mode.
+        """
+        p = self.cluster.params
+        violations: List[Violation] = []
+        for node in self.cluster.nodes:
+            for real, skew in node.clock.excursions:
+                violations.append(Violation(
+                    monitor="live_clock",
+                    kind="clock_predicate",
+                    time=real,
+                    node=node.node,
+                    detail=(
+                        f"|now - clock| = {skew:g} > eps = {p.eps:g} "
+                        f"at node {node.node}"
+                    ),
+                ))
+            for real, src, total in node.delay_excursions:
+                violations.append(Violation(
+                    monitor="live_channel",
+                    kind="channel_bound",
+                    time=real,
+                    edge=(src, node.node),
+                    detail=(
+                        f"end-to-end delivery delay {total:g} outside "
+                        f"[{p.d1:g}, {p.d2:g}]"
+                    ),
+                ))
+        if not linearizable:
+            violations.append(Violation(
+                monitor="live_linearizability",
+                kind="linearizability",
+                time=horizon,
+                detail="no linearization of the recorded history exists",
+            ))
+        return attribute_violations(self.plan, violations, counter=counter)
+
+
+def demo_live_plan(n: int = 3) -> FaultPlan:
+    """The default live demo: one crash/recover inside a partition,
+    plus a separate drop burst — all three fault classes the acceptance
+    gate requires, sized for the default chaos parameters
+    (:func:`chaos_params`).
+    """
+    if n < 2:
+        raise LiveServiceError("the live demo plan needs n >= 2")
+    victim = n - 1
+    rest = [i for i in range(n) if i != victim]
+    return FaultPlan(
+        events=(
+            partition([rest, [victim]], 0.10),
+            crash(victim, 0.15),
+            recover(victim, 0.40),
+            heal(0.45),
+            drop_burst((0, min(1, n - 1)), 0.50, 0.60),
+        ),
+        name="live-demo",
+    )
+
+
+def chaos_params(
+    n: int = 3, seed: int = 0, d2: float = 0.5, eps: float = 0.01
+) -> LiveParams:
+    """Fault-tolerant ``LiveParams`` sized for the demo plan.
+
+    ``d2`` covers the demo's longest outage (0.35 s partition+crash)
+    plus retransmission latency — the
+    :func:`~repro.faults.retransmit.effective_delay_bounds` sizing rule
+    — so retransmitted updates still land inside the trusted bound and
+    linearizability survives the faults rather than merely being
+    checked after them.
+    """
+    return LiveParams(
+        n=n, d2=d2, eps=eps, c=0.02, delta=0.005, seed=seed,
+        op_timeout=2.5, retry_max=6, retry_base=0.05,
+    )
+
+
+async def _run_chaos_async(
+    params: LiveParams,
+    schedules: List[OpSchedule],
+    plan: FaultPlan,
+    metrics,
+):
+    cluster = LiveCluster(params, metrics=metrics)
+    controller = LiveChaosController(plan, cluster, metrics=metrics)
+    retry = BackoffPolicy(seed=params.seed)
+    try:
+        addresses = await cluster.start()
+        controller.start()
+        clients = [
+            LiveLoadClient(
+                schedule.node,
+                schedule,
+                addresses[schedule.node % params.n],
+                cluster.epoch,
+                cid=f"c{schedule.node}",
+                op_timeout=params.op_timeout,
+                retry=retry,
+                max_attempts=params.retry_max,
+                retry_base=params.retry_base,
+            )
+            for schedule in schedules
+        ]
+        results = await asyncio.gather(
+            *(c.run() for c in clients), controller.wait()
+        )
+        per_client = results[:-1]
+        stats = cluster.stats()
+        records = [r for batch in per_client for r in batch]
+        retries = sum(c.retries for c in clients)
+        return records, stats, controller, retries
+    finally:
+        await controller.stop()
+        await cluster.stop()
+
+
+def run_live_chaos(
+    params: LiveParams,
+    workload: RegisterWorkload,
+    plan: FaultPlan,
+    metrics=NULL_METRICS,
+    slack: float = DEFAULT_SLACK,
+    max_nodes: int = DEFAULT_NODE_BUDGET,
+    clients_per_node: int = 1,
+) -> LiveChaosReport:
+    """Run a fault-injected live load and return the chaos report.
+
+    Self-hosts a loopback cluster, arms the plan on it, drives one
+    fault-tolerant client per node (``clients_per_node`` of them, with
+    distinct ``cid``/write-value spaces), waits for both the workload
+    and the fault timeline to complete, then checks and attributes.
+    """
+    schedules = [
+        OpSchedule.generate(i + params.n * k, workload)
+        for k in range(clients_per_node)
+        for i in range(params.n)
+    ]
+    records, stats, controller, retries = asyncio.run(
+        _run_chaos_async(params, schedules, plan, metrics)
+    )
+    from repro.live.load import build_operations
+
+    horizon = max((r.res_time for r in records), default=0.0)
+    operations = build_operations(records, horizon=horizon)
+    linearization = analyze_linearizability(
+        operations, initial_value=INITIAL_VALUE, max_nodes=max_nodes
+    )
+    counter = metrics.counter("repro.chaos.violations")
+    violations = controller.collect_violations(
+        linearization.ok, horizon, counter=counter
+    )
+    return LiveChaosReport(
+        params=params,
+        operations=operations,
+        linearization=linearization,
+        node_stats=stats,
+        slack=slack,
+        plan=plan,
+        violations=violations,
+        records=records,
+        retries=retries,
+        dropped=controller.injector.dropped,
+    )

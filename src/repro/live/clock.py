@@ -28,6 +28,12 @@ from repro.constants import INFINITY
 from repro.obs.metrics import NULL_SKETCH
 from repro.sim.clock_drivers import ClockDriver
 
+#: Slop before a skew sample counts as a ``C_eps`` excursion.
+_SKEW_SLOP = 1e-6
+
+#: Cap on recorded excursions — bounded memory under a long fault.
+_MAX_EXCURSIONS = 100
+
 
 class LiveClock:
     """A node's local clock, driven inside ``C_eps`` over wall time.
@@ -35,6 +41,13 @@ class LiveClock:
     ``epoch`` is a ``time.monotonic()`` value that maps to model time 0;
     every node of a cluster (and its in-process load generator) shares
     one epoch, so their real-time axes agree.
+
+    A chaos run replaces ``driver`` with a
+    :class:`~repro.sim.clock_drivers.FaultyClockDriver` wrapper; the
+    ``eps`` property and the excursion log below follow the *base*
+    envelope, so every faulted window shows up in :attr:`excursions` as
+    ``(real, skew)`` samples — the live clock-predicate monitor.
+    Edge-triggered: one entry per contiguous excursion, not per read.
     """
 
     def __init__(self, driver: ClockDriver, epoch: float):
@@ -44,6 +57,8 @@ class LiveClock:
         self._clock = 0.0
         self.max_skew = 0.0
         self.skew_sketch = NULL_SKETCH
+        self.excursions: list = []
+        self._excursion_open = False
 
     @property
     def eps(self) -> float:
@@ -65,6 +80,15 @@ class LiveClock:
             if skew > self.max_skew:
                 self.max_skew = skew
             self.skew_sketch.observe(skew)
+            if skew > self.eps + _SKEW_SLOP:
+                if (
+                    not self._excursion_open
+                    and len(self.excursions) < _MAX_EXCURSIONS
+                ):
+                    self.excursions.append((real, skew))
+                self._excursion_open = True
+            else:
+                self._excursion_open = False
         return self._real, self._clock
 
     def wall_delay(self, clock_target: float) -> float:

@@ -61,13 +61,33 @@ def live_workload(
     )
 
 
-def build_operations(records: List[ClientRecord]) -> List[Operation]:
-    """Turn client records into checker operations, ids in real-time order."""
+def build_operations(
+    records: List[ClientRecord], horizon: Optional[float] = None
+) -> List[Operation]:
+    """Turn client records into checker operations, ids in real-time order.
+
+    With ``horizon`` set (chaos runs), timed-out records get the
+    standard open-window treatment: a timed-out *read* returned nothing
+    checkable and is excluded; a timed-out *write* may still have taken
+    effect server-side, so it stays in the history as a
+    possibly-effective operation whose window extends to the run
+    horizon — the checker can linearize it after every read (never
+    executed) or wherever a read's value demands (executed, response
+    lost). Without ``horizon`` (fault-free runs) records pass through
+    unchanged.
+    """
     ordered = sorted(records, key=lambda r: (r.inv_time, r.node, r.index))
-    return [
-        Operation(op_id, r.node, r.kind, r.value, r.inv_time, r.res_time)
-        for op_id, r in enumerate(ordered)
-    ]
+    operations: List[Operation] = []
+    for r in ordered:
+        res_time = r.res_time
+        if horizon is not None and not r.completed:
+            if r.kind == "R":
+                continue
+            res_time = max(horizon, r.res_time)
+        operations.append(Operation(
+            len(operations), r.node, r.kind, r.value, r.inv_time, res_time
+        ))
+    return operations
 
 
 async def _run_load_async(
@@ -82,9 +102,19 @@ async def _run_load_async(
         addresses = await cluster.start()
     try:
         epoch = time.monotonic()
+        multi = len(schedules) > len(addresses)
         clients = [
-            LiveLoadClient(i, schedules[i], addresses[i], epoch)
-            for i in range(params.n)
+            LiveLoadClient(
+                schedule.node,
+                schedule,
+                addresses[schedule.node % params.n],
+                epoch,
+                # cid-tagged frames only with concurrent clients per
+                # node — single-client traffic stays byte-identical
+                cid=f"c{schedule.node}" if multi else None,
+                op_timeout=params.op_timeout,
+            )
+            for schedule in schedules
         ]
         per_client = await asyncio.gather(*(c.run() for c in clients))
         stats = await fetch_stats(addresses)
@@ -102,14 +132,27 @@ def run_load(
     metrics=NULL_METRICS,
     slack: float = DEFAULT_SLACK,
     max_nodes: int = DEFAULT_NODE_BUDGET,
+    clients_per_node: int = 1,
 ) -> LiveReport:
     """Run the live workload and return the checked, measured report.
 
     ``addresses=None`` self-hosts a loopback cluster for the run (the CI
     smoke path); a list of ``(host, port)`` pairs — usually from a
     service manifest — drives an external cluster instead.
+
+    ``clients_per_node > 1`` opens that many concurrent connections per
+    node; client ``k`` of node ``i`` replays the schedule of pseudo-node
+    ``i + n*k``, so every client owns a distinct seeded op stream and a
+    distinct write-value space, and the node serializes them under the
+    per-client alternation rule.
     """
-    schedules = [OpSchedule.generate(i, workload) for i in range(params.n)]
+    if clients_per_node < 1:
+        raise ValueError("clients_per_node must be at least 1")
+    schedules = [
+        OpSchedule.generate(i + params.n * k, workload)
+        for k in range(clients_per_node)
+        for i in range(params.n)
+    ]
     records, stats = asyncio.run(
         _run_load_async(params, schedules, addresses, metrics)
     )

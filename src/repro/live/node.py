@@ -22,12 +22,42 @@ deadline by its scheduling jitter. Self-addressed update messages (the
 algorithm updates its own copy by message) short-circuit through the
 node's own receive buffer without touching the network, exactly like
 the simulator's self-loop channels.
+
+**Fault tolerance.** Three layers, all inert in a fault-free run:
+
+- *wire hardening* — malformed or truncated frames and handler-level
+  protocol errors are logged-and-dropped (counted in the
+  ``repro.live.wire_errors`` metric), never allowed to kill a serve
+  loop; an abruptly closed peer link is re-dialed in the background;
+- *crash recovery* — :meth:`crash` snapshots the process state, the
+  Figure 2 buffers, and the ARQ bookkeeping through the same
+  ``encode_state``/``decode_state`` stable-storage protocol the chaos
+  layer's :class:`~repro.faults.recovery.RecoverableEntity` uses, then
+  abruptly drops every connection; :meth:`recover` restores the
+  snapshot (``__post_restore__`` rebuilding derived caches), re-binds
+  the *same* port, and re-dials the mesh — the clock, unread while
+  down, jumps to the ``C_eps`` envelope edge on its first post-recovery
+  read, exactly the simulator's crash-recovery clock semantics;
+- *peer ARQ* — when a fault plan is attached (:meth:`attach_faults`),
+  ``msg`` frames carry per-edge sequence numbers, receivers ack and
+  dedup, and unacked frames are retransmitted every
+  ``params.retry_base`` seconds, so partitions, drop bursts, and
+  crashes *delay* update messages instead of losing them — the
+  :func:`~repro.faults.retransmit.effective_delay_bounds` regime under
+  which Theorem 6.5 keeps holding with widened ``d2``.
+
+Client invocations queue per node and run one at a time through the
+single-op Figure 3 automaton, with the alternation condition enforced
+per *client* (``cid``-tagged frames); a retried invocation of an
+already-executed operation gets the cached response replayed instead of
+executing twice, which makes client-side retry safe for writes.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.automata.actions import Action
 from repro.components.base import ProcessContext
@@ -41,11 +71,18 @@ from repro.obs.metrics import NULL_METRICS
 from repro.registers.algorithm_s import AlgorithmSProcess
 from repro.registers.system import INITIAL_VALUE
 from repro.sim.clock_drivers import ClockDriver
+from repro.sim.persistence import decode_state, encode_state
 
 #: Floor on the timer sleep when a deadline is already overdue but the
 #: clock has not quite caught up to it (tolerance-edge states) — keeps
 #: the loop from busy-spinning without measurably delaying anything.
 MIN_SLEEP = 1e-4
+
+#: Wire-delay slop before an arrival counts as a ``[d1, d2]`` excursion.
+_DELAY_SLOP = 1e-6
+
+#: Cap on recorded excursions — enough for any report, bounded forever.
+_MAX_EXCURSIONS = 100
 
 
 class LiveRegisterNode:
@@ -59,6 +96,7 @@ class LiveRegisterNode:
         epoch: float,
         host: str = "127.0.0.1",
         metrics=NULL_METRICS,
+        wire_faults=None,
     ):
         peers = list(range(params.n))
         self.node = node
@@ -70,6 +108,7 @@ class LiveRegisterNode:
         )
         self.state = self.process.initial_state()
         self.clock = LiveClock(driver, epoch)
+        self._peers = peers
         self.send_bufs: Dict[int, SendBuffer] = {
             j: SendBuffer(node, j) for j in peers
         }
@@ -77,11 +116,41 @@ class LiveRegisterNode:
             j: ReceiveBuffer(j, node) for j in peers
         }
         self._peer_writers: Dict[int, asyncio.StreamWriter] = {}
-        self._responder: Optional[asyncio.StreamWriter] = None
+        self._peer_addresses: Optional[List[Tuple[str, int]]] = None
+        self._reconnect: Dict[int, asyncio.Task] = {}
+        self._conns: Set[asyncio.StreamWriter] = set()
+        # invocation serialization: one op inside the automaton at a
+        # time (the node-level alternation condition), the rest queued;
+        # the per-client alternation guard is keyed on cid (or, for
+        # legacy untagged clients, on their connection)
+        self._active: Optional[dict] = None
+        self._waiting: Deque[dict] = deque()
+        self._inflight: Dict[object, dict] = {}
+        self._done: Dict[str, Tuple[object, dict]] = {}
+        # peer ARQ (armed by attach_faults): per-edge sequence numbers,
+        # an outbox of unacked frames, and a receive-side dedup set
+        self.wire_faults = wire_faults
+        self._arq = wire_faults is not None
+        self._next_seq: Dict[int, int] = {}
+        self._outbox: Dict[int, Dict[int, dict]] = {}
+        self._seen: Dict[int, Set[int]] = {}
+        # crash recovery
+        self._down = False
+        self._snapshot = None
+        self.crashes = 0
+        self.recoveries = 0
+        self.inputs_lost = 0
+        self.retransmits = 0
+        self.wire_errors = 0
+        self.orphan_responses = 0
+        #: first-crossing ``[d1, d2]`` lateness excursions, as
+        #: ``(real, src, end_to_end_delay)`` — the live channel monitor
+        self.delay_excursions: List[Tuple[float, int, float]] = []
         self._kick = asyncio.Event()
         self._stopped = asyncio.Event()
         self._server: Optional[asyncio.base_events.Server] = None
         self._timer_task: Optional[asyncio.Task] = None
+        self._retransmit_task: Optional[asyncio.Task] = None
         self.port: Optional[int] = None
         # wire-delay measurement (one-way; meaningful because all nodes
         # of a cluster share one epoch inside one process)
@@ -90,10 +159,33 @@ class LiveRegisterNode:
         self._wire_max = 0.0
         self._msgs_sent = metrics.counter("repro.live.msgs.sent")
         self._msgs_received = metrics.counter("repro.live.msgs.received")
+        self._wire_errors_counter = metrics.counter("repro.live.wire_errors")
+        self._retransmits_counter = metrics.counter("repro.live.retransmits")
+        self._crashes_counter = metrics.counter("repro.chaos.crashes")
+        self._recoveries_counter = metrics.counter("repro.chaos.recoveries")
         self._wire_sketch = metrics.sketch("repro.live.wire.delay")
         self.clock.skew_sketch = metrics.sketch("repro.live.clock.skew")
 
     # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def down(self) -> bool:
+        """Whether the node is currently crashed."""
+        return self._down
+
+    def attach_faults(self, injector) -> None:
+        """Arm the wire fault shim and the peer ARQ layer (chaos runs).
+
+        Must be called before :meth:`start`; fault-free clusters never
+        call it, which keeps their peer traffic byte-identical to the
+        pre-chaos protocol.
+        """
+        if self._timer_task is not None:
+            raise LiveServiceError(
+                f"node {self.node}: attach_faults after start"
+            )
+        self.wire_faults = injector
+        self._arq = True
 
     async def start(self) -> Tuple[str, int]:
         """Bind the server socket (ephemeral port) and start the timer."""
@@ -102,10 +194,15 @@ class LiveRegisterNode:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._timer_task = asyncio.ensure_future(self._run_timer())
+        if self._arq:
+            self._retransmit_task = asyncio.ensure_future(
+                self._run_retransmit()
+            )
         return self.host, self.port
 
     async def connect_peers(self, addresses: List[Tuple[str, int]]) -> None:
         """Dial every other node; outgoing ``msg`` frames use these links."""
+        self._peer_addresses = list(addresses)
         for j, (host, port) in enumerate(addresses):
             if j == self.node:
                 continue
@@ -117,50 +214,221 @@ class LiveRegisterNode:
         """Stop the timer, close the peer links and the server socket."""
         self._stopped.set()
         self._kick.set()
+        for task in self._reconnect.values():
+            task.cancel()
+        self._reconnect.clear()
         if self._timer_task is not None:
             await self._timer_task
+        if self._retransmit_task is not None:
+            self._retransmit_task.cancel()
+            try:
+                await self._retransmit_task
+            except asyncio.CancelledError:
+                pass
         for writer in self._peer_writers.values():
             writer.close()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
 
+    # -- crash / recovery ----------------------------------------------------
+
+    async def crash(self) -> None:
+        """Go down abruptly: snapshot stable state, drop every connection.
+
+        The snapshot carries the Figure 3 process state, the Figure 2
+        buffers, the response cache, and the ARQ outbox — the node's
+        "stable storage", exactly what the simulator's
+        :class:`~repro.faults.recovery.RecoverableEntity` persists.
+        Volatile memory (queued invocations, live sockets) is lost.
+        """
+        if self._down:
+            return
+        self._down = True
+        self.crashes += 1
+        self._crashes_counter.inc()
+        active_meta = None
+        if self._active is not None:
+            active_meta = {
+                key: self._active.get(key)
+                for key in ("key", "cid", "op", "kind")
+            }
+        self._snapshot = encode_state({
+            "state": self.state,
+            "send_bufs": self.send_bufs,
+            "recv_bufs": self.recv_bufs,
+            "done": self._done,
+            "outbox": self._outbox,
+            "next_seq": self._next_seq,
+            "seen": self._seen,
+            "active": active_meta,
+        })
+        # volatile memory: in-flight invocations are simply gone
+        self.inputs_lost += len(self._waiting)
+        self._active = None
+        self._waiting.clear()
+        self._inflight.clear()
+        self._done = {}
+        self._outbox = {}
+        self._next_seq = {}
+        self._seen = {}
+        self.state = self.process.initial_state()
+        self.send_bufs = {j: SendBuffer(self.node, j) for j in self._peers}
+        self.recv_bufs = {j: ReceiveBuffer(j, self.node) for j in self._peers}
+        # every connection dies abruptly (RST, not FIN): peers and
+        # clients observe exactly what a process kill looks like
+        for task in self._reconnect.values():
+            task.cancel()
+        self._reconnect.clear()
+        for writer in self._peer_writers.values():
+            self._abort(writer)
+        self._peer_writers.clear()
+        for writer in list(self._conns):
+            self._abort(writer)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._kick.set()
+
+    async def recover(self) -> None:
+        """Come back up: restore the snapshot, re-bind, re-dial the mesh.
+
+        The clock was not read while down; its first post-recovery read
+        steps the driver across the whole outage and the ``C_eps`` clamp
+        lands it on the envelope edge — overdue timetable work then
+        fires late, the crash-recovery semantics of the chaos layer.
+        """
+        if not self._down or self._snapshot is None:
+            return
+        snap = decode_state(self._snapshot)
+        self.state = snap["state"]
+        self.send_bufs = snap["send_bufs"]
+        self.recv_bufs = snap["recv_bufs"]
+        self._done = snap["done"]
+        self._outbox = snap["outbox"]
+        self._next_seq = snap["next_seq"]
+        self._seen = snap["seen"]
+        self._active = None
+        meta = snap["active"]
+        if meta is not None:
+            # the operation the automaton was executing at the crash
+            # instant: it is inside the restored state and will emit its
+            # RETURN/ACK late; route that to the client's retry
+            entry = dict(meta)
+            entry["value"] = None
+            entry["writer"] = None
+            self._active = entry
+            self._inflight[entry["key"]] = entry
+        self.recoveries += 1
+        self._recoveries_counter.inc()
+        self._down = False
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        if self._peer_addresses is not None:
+            for j in self._peers:
+                if j != self.node:
+                    self._ensure_peer(j)
+        self._kick.set()
+
+    @staticmethod
+    def _abort(writer: asyncio.StreamWriter) -> None:
+        """Abruptly drop a connection (no FIN handshake)."""
+        try:
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            else:
+                writer.close()
+        except (RuntimeError, OSError):
+            pass
+
     # -- connection handling -------------------------------------------------
 
+    def _wire_error(self, exc: Exception) -> None:
+        """Log-and-drop: a bad frame must never kill a serve loop."""
+        self.wire_errors += 1
+        self._wire_errors_counter.inc()
+
     async def _on_connection(self, reader, writer) -> None:
+        self._conns.add(writer)
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError as exc:
+                    # over-limit line (asyncio's own frame-size guard):
+                    # the stream cannot be resynchronized, drop the link
+                    self._wire_error(exc)
+                    break
                 if not line:
                     break
-                frame = decode_frame(line)
-                kind = frame["t"]
-                if kind == "hello":
-                    continue  # incoming peer link; msg frames follow
-                if kind == "msg":
-                    self._on_peer_msg(frame)
-                elif kind in ("read", "write"):
-                    self._on_invocation(kind, frame, writer)
-                elif kind == "stats":
-                    writer.write(encode_frame(self.stats()))
-                else:
-                    writer.write(encode_frame(
-                        {"t": "error", "reason": f"unexpected frame {kind!r}"}
-                    ))
+                try:
+                    frame = decode_frame(line)
+                except LiveServiceError as exc:
+                    self._wire_error(exc)
+                    continue
+                try:
+                    self._dispatch(frame, writer)
+                except (KeyError, IndexError, TypeError, ValueError) as exc:
+                    # structurally valid JSON, semantically broken frame
+                    self._wire_error(exc)
         except (ConnectionResetError, LiveServiceError):
             pass
         except asyncio.CancelledError:
             pass  # event-loop teardown; the cluster is already stopping
         finally:
-            if self._responder is writer:
-                self._responder = None
+            self._conns.discard(writer)
+            if self._active is not None and self._active.get("writer") is writer:
+                self._active["writer"] = None
+            for entry in list(self._waiting):
+                if entry.get("writer") is writer:
+                    if entry.get("cid") is None:
+                        # untagged client: its queued op can never be
+                        # answered or retried, drop it
+                        self._waiting.remove(entry)
+                        self._inflight.pop(entry["key"], None)
+                    else:
+                        entry["writer"] = None
             writer.close()
+
+    def _dispatch(self, frame: dict, writer) -> None:
+        kind = frame["t"]
+        if self._down:
+            # a racing frame on a connection the crash has not torn
+            # down yet: a dead node hears nothing
+            self.inputs_lost += 1
+            return
+        if kind == "hello":
+            return  # incoming peer link; msg frames follow
+        if kind == "msg":
+            self._on_peer_msg(frame)
+        elif kind == "msgack":
+            self._on_msgack(frame)
+        elif kind in ("read", "write"):
+            self._on_invocation(kind, frame, writer)
+        elif kind == "stats":
+            self._write(writer, self.stats())
+        else:
+            self._write(writer, {
+                "t": "error", "reason": f"unexpected frame {kind!r}",
+            })
 
     def _on_peer_msg(self, frame) -> None:
         src = frame["src"]
         message = frame["m"]  # (value, t), tuplified by decode_frame
         stamp = frame["stamp"]
+        seq = frame.get("seq")
         real, clk = self.clock.read()
+        if seq is not None:
+            # ack first (the ack may itself be dropped; retransmission
+            # plus this dedup absorbs every such loss)
+            self._ack_peer(src, seq)
+            seen = self._seen.setdefault(src, set())
+            if seq in seen:
+                return
+            seen.add(seq)
         delay = max(0.0, real - frame.get("sr", real))
         self._wire_count += 1
         self._wire_sum += delay
@@ -168,29 +436,86 @@ class LiveRegisterNode:
             self._wire_max = delay
         self._wire_sketch.observe(delay)
         self._msgs_received.inc()
+        # end-to-end lateness, measured from the *first* transmission
+        # attempt: a dropped-then-retransmitted frame shows up here as a
+        # delivery outside [d1, d2] — the live channel-bound monitor
+        total = max(0.0, real - frame.get("s0", frame.get("sr", real)))
+        if (
+            total > self.params.d2 + _DELAY_SLOP
+            and len(self.delay_excursions) < _MAX_EXCURSIONS
+        ):
+            self.delay_excursions.append((real, src, total))
         self.recv_bufs[src].enqueue(message, stamp, clk)
         self._kick.set()
 
+    def _ack_peer(self, src: int, seq: int) -> None:
+        self._wire_send(src, {"t": "msgack", "src": self.node, "seq": seq})
+
+    def _on_msgack(self, frame) -> None:
+        self._outbox.get(frame["src"], {}).pop(frame["seq"], None)
+
     def _on_invocation(self, kind, frame, writer) -> None:
-        if self._responder is not None:
-            # the alternation condition: one outstanding op per node
-            writer.write(encode_frame(
-                {"t": "error", "reason": "operation already pending"}
-            ))
+        cid = frame.get("cid")
+        op = frame.get("op")
+        if cid is not None:
+            # a retry of an operation already in flight re-binds the
+            # (possibly reconnected) response channel...
+            if (
+                self._active is not None
+                and self._active.get("cid") == cid
+                and self._active.get("op") == op
+            ):
+                self._active["writer"] = writer
+                return
+            for entry in self._waiting:
+                if entry.get("cid") == cid and entry.get("op") == op:
+                    entry["writer"] = writer
+                    return
+            # ...and a retry of an operation already *executed* gets the
+            # cached response replayed (at-most-once semantics)
+            done = self._done.get(cid)
+            if done is not None and done[0] == op:
+                self._write(writer, done[1])
+                return
+        key = cid if cid is not None else id(writer)
+        if key in self._inflight:
+            # the alternation condition, per client
+            self._write(writer, {
+                "t": "error", "reason": "operation already pending",
+            })
             return
-        _, clk = self.clock.read()
-        if kind == "read":
-            action = Action("READ", (self.node,))
-        else:
-            action = Action("WRITE", (self.node, frame["value"]))
-        self.process.apply_input(self.state, action, ProcessContext(clk))
-        self._responder = writer
+        # validate before registering anything: a malformed invocation
+        # (missing value) must leave no stale inflight entry behind
+        value = frame["value"] if kind == "write" else None
+        entry = {
+            "key": key, "cid": cid, "op": op, "kind": kind,
+            "value": value, "writer": writer,
+        }
+        self._inflight[key] = entry
+        self._waiting.append(entry)
+        self._pump()
         self._kick.set()
+
+    def _pump(self) -> None:
+        """Feed the next queued invocation into the (idle) automaton."""
+        while self._active is None and self._waiting:
+            entry = self._waiting.popleft()
+            _, clk = self.clock.read()
+            if entry["kind"] == "read":
+                action = Action("READ", (self.node,))
+            else:
+                action = Action("WRITE", (self.node, entry["value"]))
+            self.process.apply_input(self.state, action, ProcessContext(clk))
+            self._active = entry
 
     # -- the timer loop ------------------------------------------------------
 
     async def _run_timer(self) -> None:
         while not self._stopped.is_set():
+            if self._down:
+                await self._kick.wait()
+                self._kick.clear()
+                continue
             _, clk = self.clock.read()
             progressed = self._drain(clk)
             deadline = self._next_deadline()
@@ -208,6 +533,25 @@ class LiveRegisterNode:
                 self._kick.clear()
             except asyncio.TimeoutError:
                 pass
+
+    async def _run_retransmit(self) -> None:
+        """Resend unacked peer frames every ``retry_base`` seconds."""
+        interval = self.params.retry_base
+        while not self._stopped.is_set():
+            await asyncio.sleep(interval)
+            if self._down or self._stopped.is_set():
+                continue
+            real = self.clock.real_now()
+            for dst, entries in self._outbox.items():
+                for seq, entry in list(entries.items()):
+                    if real - entry["ts"] < interval:
+                        continue
+                    entry["ts"] = real
+                    frame = dict(entry["frame"])
+                    frame["sr"] = real
+                    if self._wire_send(dst, frame):
+                        self.retransmits += 1
+                        self._retransmits_counter.inc()
 
     def _next_deadline(self) -> float:
         deadline = self.state.mintime()
@@ -259,31 +603,114 @@ class LiveRegisterNode:
             # self-loop edge: deliver locally through the receive buffer
             self.recv_bufs[dst].enqueue(message, stamp, clk)
             return
-        writer = self._peer_writers.get(dst)
-        if writer is None:
-            raise LiveServiceError(
-                f"node {self.node}: no peer link to {dst} "
-                f"(connect_peers not run?)"
-            )
-        writer.write(encode_frame({
+        frame = {
             "t": "msg", "src": self.node, "m": list(message),
             "stamp": stamp, "sr": real,
-        }))
+        }
+        if self._arq:
+            seq = self._next_seq.get(dst, 0)
+            self._next_seq[dst] = seq + 1
+            frame["seq"] = seq
+            frame["s0"] = real
+            self._outbox.setdefault(dst, {})[seq] = {
+                "frame": dict(frame), "ts": real,
+            }
+        self._wire_send(dst, frame)
+
+    def _wire_send(self, dst: int, frame: dict) -> bool:
+        """Write one frame to a peer, through the fault shim.
+
+        Returns False when the frame was dropped (severed edge) or the
+        link is down — in which case a background re-dial is scheduled
+        and, for ARQ frames, the retransmission loop will retry.
+        """
+        real = self.clock.real_now()
+        if self.wire_faults is not None and self.wire_faults.drops(
+            self.node, dst, real
+        ):
+            return False
+        writer = self._peer_writers.get(dst)
+        if writer is None or writer.is_closing():
+            if self._peer_addresses is None:
+                raise LiveServiceError(
+                    f"node {self.node}: no peer link to {dst} "
+                    f"(connect_peers not run?)"
+                )
+            self._ensure_peer(dst)
+            return False
+        try:
+            writer.write(encode_frame(frame))
+        except (ConnectionError, RuntimeError, OSError) as exc:
+            self._wire_error(exc)
+            self._ensure_peer(dst)
+            return False
+        return True
+
+    def _ensure_peer(self, dst: int) -> None:
+        """Schedule a background re-dial of a broken peer link."""
+        if self._stopped.is_set() or self._down:
+            return
+        task = self._reconnect.get(dst)
+        if task is not None and not task.done():
+            return
+        self._reconnect[dst] = asyncio.ensure_future(
+            self._reconnect_peer(dst)
+        )
+
+    async def _reconnect_peer(self, dst: int) -> None:
+        delay = self.params.retry_base
+        while not self._stopped.is_set() and not self._down:
+            try:
+                host, port = self._peer_addresses[dst]
+                _, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(delay)
+                delay = min(delay * 2.0, 1.0)
+                continue
+            writer.write(encode_frame({"t": "hello", "src": self.node}))
+            old = self._peer_writers.get(dst)
+            if old is not None and not old.is_closing():
+                old.close()
+            self._peer_writers[dst] = writer
+            self._kick.set()
+            return
 
     def _respond(self, frame) -> None:
-        if self._responder is None:
-            raise LiveServiceError(
-                f"node {self.node}: response with no pending invocation"
-            )
-        self._responder.write(encode_frame(frame))
-        self._responder = None
+        entry = self._active
+        self._active = None
+        if entry is None:
+            # a response with nobody to route it to (e.g. the automaton
+            # completed an op whose restored metadata was untagged):
+            # never kill the timer over it
+            self.orphan_responses += 1
+            return
+        self._inflight.pop(entry["key"], None)
+        if entry.get("cid") is not None:
+            # cache the response so a retry after a lost reply (client
+            # timeout, node crash) replays instead of re-executing
+            self._done[entry["cid"]] = (entry.get("op"), dict(frame))
+        self._write(entry.get("writer"), frame)
+        self._pump()
+
+    def _write(self, writer, frame) -> None:
+        """Best-effort frame write; a dead client just misses the reply."""
+        if writer is None or writer.is_closing():
+            return
+        try:
+            writer.write(encode_frame(frame))
+        except (ConnectionError, RuntimeError, OSError) as exc:
+            self._wire_error(exc)
 
     # -- measurement ---------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """The node-side measurements the load generator's report needs."""
+        """The node-side measurements the load generator's report needs.
+
+        Fault counters appear only when nonzero, so a fault-free run's
+        stats frame is byte-identical to the pre-chaos protocol.
+        """
         real, clk = self.clock.read()
-        return {
+        payload: Dict[str, object] = {
             "t": "stats",
             "node": self.node,
             "real": real,
@@ -294,6 +721,16 @@ class LiveRegisterNode:
             "wire_sum": self._wire_sum,
             "wire_max": self._wire_max,
         }
+        for key, value in (
+            ("wire_errors", self.wire_errors),
+            ("crashes", self.crashes),
+            ("recoveries", self.recoveries),
+            ("retransmits", self.retransmits),
+            ("inputs_lost", self.inputs_lost),
+        ):
+            if value:
+                payload[key] = value
+        return payload
 
     def __repr__(self) -> str:
         return f"<LiveRegisterNode {self.node} @ {self.host}:{self.port}>"

@@ -27,7 +27,19 @@ MANIFEST_VERSION = 1
 
 @dataclass(frozen=True)
 class LiveParams:
-    """Protocol and clock parameters of one live cluster (Theorem 6.5)."""
+    """Protocol and clock parameters of one live cluster (Theorem 6.5).
+
+    The three fault-tolerance knobs size the client's patience and the
+    peer mesh's retransmission cadence for chaos runs:
+
+    - ``op_timeout`` — per-operation client timeout (seconds); a node
+      that dies mid-operation surfaces as a timed-out
+      :class:`~repro.live.client.ClientRecord`, never a hang;
+    - ``retry_max`` — client attempts per operation (1 = no retry);
+    - ``retry_base`` — base gap of the client's seeded
+      :class:`~repro.faults.retransmit.BackoffPolicy`, and the peer
+      mesh's ARQ retransmission interval under a fault plan.
+    """
 
     n: int = 3
     d1: float = 0.0
@@ -37,6 +49,9 @@ class LiveParams:
     delta: float = 0.005
     driver: str = "mixed"
     seed: int = 0
+    op_timeout: float = 1.0
+    retry_max: int = 1
+    retry_base: float = 0.05
 
     def __post_init__(self):
         if self.n < 1:
@@ -47,6 +62,12 @@ class LiveParams:
             raise ValueError("eps must be non-negative")
         if self.delta <= 0:
             raise ValueError("delta must be positive")
+        if self.op_timeout <= 0:
+            raise ValueError("op_timeout must be positive")
+        if self.retry_max < 1:
+            raise ValueError("retry_max must be at least 1")
+        if self.retry_base <= 0:
+            raise ValueError("retry_base must be positive")
 
     @property
     def d2_prime(self) -> float:

@@ -29,11 +29,19 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.chaos.monitors import Violation
+from repro.chaos.plan import FaultPlan
+from repro.core.pipeline import simulation1_delay_bounds
+from repro.faults.retransmit import BackoffPolicy
+from repro.live.client import ClientRecord
 from repro.live.params import LiveParams
 from repro.obs.sketch import QuantileSketch
 from repro.obs.trace import TRACE_FORMAT, TRACE_VERSION
 from repro.registers.algorithm_s import theorem_bounds
 from repro.traces.linearizability import LinearizationReport, Operation
+
+CHAOS_REPORT_FORMAT = "repro-live-chaos-report"
+CHAOS_REPORT_VERSION = 1
 
 DEFAULT_SLACK = 0.05
 """Default real-time allowance for client RTT and event-loop jitter."""
@@ -232,4 +240,268 @@ class LiveReport:
             f"<LiveReport {len(self.operations)} ops, "
             f"linearizable={self.linearization.ok}, "
             f"bounds_ok={self.bounds_ok}>"
+        )
+
+
+@dataclass
+class LiveChaosReport(LiveReport):
+    """A :class:`LiveReport` for a fault-injected run: degraded mode.
+
+    Differences from the fault-free report:
+
+    - latency sketches are built from the *completed* client records
+      (``ok``/``retried``); a timed-out write still appears in
+      ``operations`` as a possibly-effective phantom (its window open to
+      the run horizon, so the checker may linearize it last), but its
+      non-latency must not pollute the p99 gate;
+    - the Theorem 6.5 gate runs in **degraded mode**: the *fault-adjusted
+      measured* ``eps`` (which under a ``clock_fault`` exceeds the
+      configured envelope) is substituted into the Simulation 1
+      widening — ``d1' = max(d1 - 2*eps, 0)``, ``d2' = d2 + 2*eps`` —
+      and a retry allowance derived from the worst observed attempt
+      count (each failed attempt costs at most ``op_timeout`` plus its
+      backoff gap) is added, with every widening term recorded in the
+      check's detail and in :meth:`to_payload`;
+    - every monitor violation carries its plan-event attribution;
+      :attr:`unattributed` must be zero for a healthy chaos run.
+    """
+
+    plan: Optional[FaultPlan] = None
+    violations: List[Violation] = field(default_factory=list)
+    records: List[ClientRecord] = field(default_factory=list)
+    retries: int = 0
+    dropped: int = 0
+
+    def __post_init__(self):
+        # gate latencies on completed records only (see class docstring)
+        self.read_sketch = QuantileSketch("repro.live.op.read_latency")
+        self.write_sketch = QuantileSketch("repro.live.op.write_latency")
+        for record in self.records:
+            if not record.completed:
+                continue
+            sketch = (
+                self.read_sketch if record.kind == "R" else self.write_sketch
+            )
+            sketch.observe(record.latency)
+
+    # -- fault accounting ----------------------------------------------------
+
+    @property
+    def outcomes(self) -> Dict[str, int]:
+        counts = {"ok": 0, "retried": 0, "timeout": 0}
+        for record in self.records:
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        return counts
+
+    @property
+    def faults(self) -> Dict[str, int]:
+        """Node-side fault counters summed across the cluster."""
+        totals = {"crashes": 0, "recoveries": 0, "retransmits": 0,
+                  "wire_errors": 0, "inputs_lost": 0}
+        for stats in self.node_stats:
+            for key in totals:
+                totals[key] += int(stats.get(key, 0))
+        totals["dropped"] = self.dropped
+        return totals
+
+    @property
+    def unattributed(self) -> int:
+        return sum(
+            1 for v in self.violations if v.event_index is None
+        )
+
+    @property
+    def eps_adjusted(self) -> float:
+        """Fault-adjusted eps: what the clocks *did*, envelope included.
+
+        Under a ``clock_fault`` the measured skew exceeds the configured
+        envelope; the degraded gate must widen by what actually
+        happened, never by less than the design envelope.
+        """
+        return max(self.eps_measured, self.params.eps)
+
+    @property
+    def widened_bounds(self) -> Dict[str, float]:
+        """The Simulation 1 arithmetic at the fault-adjusted eps."""
+        d1p, d2p = simulation1_delay_bounds(
+            self.params.d1, self.params.d2, self.eps_adjusted
+        )
+        return {"d1_prime": d1p, "d2_prime": d2p}
+
+    @property
+    def retry_allowance(self) -> float:
+        """Worst-case client-side stall the retry loop can add.
+
+        ``A`` failed attempts cost at most ``A * op_timeout`` waiting
+        plus the first ``A`` backoff gaps; ``A`` is the worst *observed*
+        attempt count minus one, so a run that never retried gets a
+        zero allowance and degrades gracefully to the fault-free gate.
+        """
+        worst = max(
+            (r.attempts for r in self.records if r.completed), default=1
+        )
+        extra = worst - 1
+        if extra <= 0:
+            return 0.0
+        p = self.params
+        return extra * p.op_timeout + BackoffPolicy(
+            seed=p.seed
+        ).worst_case_gap_sum(p.retry_base, extra)
+
+    # -- the degraded-mode Theorem 6.5 gate ----------------------------------
+
+    def bound_checks(self) -> List[BoundCheck]:
+        """The p99 gate against Simulation-1-widened degraded bounds."""
+        p = self.params
+        eps_adj = self.eps_adjusted
+        widened = self.widened_bounds
+        bounds = theorem_bounds("clock", eps_adj, p.c, p.delta, p.d2)
+        stretch = 2.0 * eps_adj
+        allowance = self.retry_allowance
+        degraded = (
+            f"degraded: eps_adj={eps_adj:g}, "
+            f"d2'={widened['d2_prime']:g}, +{stretch:g} stretch, "
+            f"+{allowance:g} retry allowance, +{self.slack:g} slack"
+        )
+        checks = []
+        if self.read_sketch.count:
+            checks.append(BoundCheck(
+                "read p99",
+                self.read_sketch.quantile(0.99),
+                bounds["read_clock"] + stretch + allowance + self.slack,
+                f"2*eps+delta+c = {bounds['read_clock']:g} clock; {degraded}",
+            ))
+        if self.write_sketch.count:
+            checks.append(BoundCheck(
+                "write p99",
+                self.write_sketch.quantile(0.99),
+                bounds["write_clock"] + stretch + allowance + self.slack,
+                f"d2+2*eps-c = {bounds['write_clock']:g} clock; {degraded}",
+            ))
+        checks.append(BoundCheck(
+            "wire delay", self.wire_max, widened["d2_prime"],
+            "degraded premise: delivery within [d1', d2'] "
+            f"(d2' = d2 + 2*eps_adj = {widened['d2_prime']:g})",
+        ))
+        return checks
+
+    @property
+    def ok(self) -> bool:
+        """Linearizable *and* every violation attributed to its cause."""
+        return self.linearization.ok and self.unattributed == 0
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, assert_bounds: bool = False) -> str:
+        lines = [super().render(assert_bounds=False)]
+        plan_name = self.plan.name if self.plan is not None else "?"
+        outcomes = self.outcomes
+        faults = self.faults
+        widened = self.widened_bounds
+        lines.append(
+            f"fault plan     : {plan_name} "
+            f"({len(self.plan.events) if self.plan else 0} events)"
+        )
+        lines.append(
+            f"outcomes       : ok={outcomes['ok']} "
+            f"retried={outcomes['retried']} timeout={outcomes['timeout']} "
+            f"(client retries: {self.retries})"
+        )
+        lines.append(
+            f"faults applied : crashes={faults['crashes']} "
+            f"recoveries={faults['recoveries']} dropped={faults['dropped']} "
+            f"retransmits={faults['retransmits']} "
+            f"wire_errors={faults['wire_errors']}"
+        )
+        lines.append(
+            f"degraded bounds: eps_adj={self.eps_adjusted:.5f} "
+            f"d1'={widened['d1_prime']:g} d2'={widened['d2_prime']:g} "
+            f"(Simulation 1 widening)"
+        )
+        if self.violations:
+            lines.append(
+                f"violations     : {len(self.violations)} "
+                f"({self.unattributed} unattributed)"
+            )
+            for violation in self.violations:
+                lines.append("  " + violation.describe())
+        else:
+            lines.append("violations     : none")
+        if assert_bounds:
+            lines.append("Theorem 6.5 degraded gate (Simulation 1 widened):")
+            for check in self.bound_checks():
+                lines.append("  " + check.render())
+        return "\n".join(lines)
+
+    # -- exports -------------------------------------------------------------
+
+    def to_metrics(self, registry) -> None:
+        super().to_metrics(registry)
+        registry.counter("repro.live.chaos.retries").inc(self.retries)
+        registry.counter("repro.live.chaos.violations").inc(
+            len(self.violations)
+        )
+        registry.gauge("repro.live.chaos.unattributed").set(
+            float(self.unattributed)
+        )
+        for key, value in self.outcomes.items():
+            registry.counter(f"repro.live.chaos.outcome.{key}").inc(value)
+
+    def to_payload(self) -> Dict[str, object]:
+        """The machine-readable report ``tools/validate_live_chaos.py``
+        schema-checks in CI."""
+
+        def _violation(v: Violation) -> Dict[str, object]:
+            return {
+                "monitor": v.monitor,
+                "kind": v.kind,
+                "time": v.time,
+                "node": v.node,
+                "edge": list(v.edge) if v.edge is not None else None,
+                "detail": v.detail,
+                "event_index": v.event_index,
+                "event": v.event.describe() if v.event is not None else None,
+            }
+
+        return {
+            "format": CHAOS_REPORT_FORMAT,
+            "version": CHAOS_REPORT_VERSION,
+            "params": self.params.to_dict(),
+            "plan": self.plan.to_dict() if self.plan is not None else None,
+            "operations": len(self.operations),
+            "outcomes": self.outcomes,
+            "retries": self.retries,
+            "linearizable": self.linearization.ok,
+            "visited": self.linearization.visited,
+            "eps_measured": self.eps_measured,
+            "eps_adjusted": self.eps_adjusted,
+            "widened_bounds": self.widened_bounds,
+            "retry_allowance": self.retry_allowance,
+            "bound_checks": [
+                {
+                    "name": c.name, "measured": c.measured,
+                    "limit": c.limit, "ok": c.ok, "detail": c.detail,
+                }
+                for c in self.bound_checks()
+            ],
+            "bounds_ok": self.bounds_ok,
+            "faults": self.faults,
+            "violations": [_violation(v) for v in self.violations],
+            "unattributed": self.unattributed,
+            "ok": self.ok,
+        }
+
+    def write_payload(self, path: str) -> None:
+        """Write :meth:`to_payload` to ``path`` as stable, indented JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def __repr__(self) -> str:
+        return (
+            f"<LiveChaosReport {len(self.operations)} ops, "
+            f"outcomes={self.outcomes}, "
+            f"linearizable={self.linearization.ok}, "
+            f"violations={len(self.violations)} "
+            f"({self.unattributed} unattributed)>"
         )

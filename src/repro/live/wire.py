@@ -8,14 +8,32 @@ One frame per line, one JSON object per frame, discriminated by ``t``:
 ``hello``  ``src``                                         peer -> peer
 ``msg``    ``src``, ``m`` (``[value, t]``), ``stamp``,     peer -> peer
            ``sr`` (sender's real time, for wire-delay
-           measurement within one shared-epoch process)
-``read``   —                                               client -> node
-``write``  ``value``                                       client -> node
+           measurement within one shared-epoch process);
+           under a fault plan also ``seq`` (per-edge ARQ
+           sequence number) and ``s0`` (real time of the
+           *first* transmission attempt, so the channel
+           monitor can judge end-to-end lateness)
+``msgack`` ``src``, ``seq`` (acknowledges the reverse      peer -> peer
+           edge's ``msg`` with that sequence number;
+           only sent when ARQ is enabled)
+``read``   — (optional ``cid``, ``op``)                    client -> node
+``write``  ``value`` (optional ``cid``, ``op``)            client -> node
 ``return`` ``value``                                       node -> client
 ``ack``    —                                               node -> client
 ``stats``  — (request) / measurement fields (reply)        client <-> node
 ``error``  ``reason``                                      node -> client
 ========== =============================================== ============
+
+The optional invocation fields are the multi-connection protocol: a
+``cid`` names the issuing client (per-*client* alternation — one node
+serializes concurrent clients into the single-op Figure 3 automaton),
+and ``op`` is the client's schedule index, which lets the node recognize
+a *retry* of an operation it already executed and replay the cached
+response instead of executing twice (at-most-once semantics across
+client reconnects and node crash recovery). Clients that send neither —
+the default single-connection load generator — produce byte-identical
+traffic to the pre-chaos protocol, as do fault-free peer links (``seq``
+and ``s0`` appear only when a fault plan armed the ARQ layer).
 
 The ``stamp`` on a ``msg`` frame is the Figure 2 send-buffer tag: the
 sender's *clock* time at emission. The receiving node enqueues the frame

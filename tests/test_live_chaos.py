@@ -1,0 +1,478 @@
+"""Live chaos: fault-injected operation of the networked register service.
+
+The acceptance gate of the live chaos layer: a seeded ``FaultPlan``
+with a crash/recover, a partition/heal, and a drop burst runs against a
+loopback ``LiveCluster`` to completion — no unhandled exceptions, every
+client op ends in success / timeout / retried-success, the history
+linearizes, and every monitor violation is attributed to a plan event.
+
+Plus the satellite regressions: wire-garbage hardening, per-client
+multi-connection alternation, timed-out (never hung) clients, and
+crash-recovery snapshot round-trips of live ``AlgorithmSProcess`` state.
+"""
+
+import asyncio
+import json
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+from repro.chaos.plan import (
+    FaultPlan,
+    clock_fault,
+    crash,
+    drop_burst,
+    heal,
+    partition,
+    recover,
+)
+from repro.live import (
+    LiveChaosController,
+    LiveCluster,
+    LiveLoadClient,
+    LiveParams,
+    run_live_chaos,
+    run_load,
+    validate_for_live,
+)
+from repro.live.chaos import chaos_params, demo_live_plan
+from repro.live.load import build_operations, live_workload
+from repro.live.wire import decode_frame, encode_frame
+from repro.errors import LiveServiceError
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def demo_plan_and_params(seed=7, n=3):
+    return chaos_params(n=n, seed=seed), demo_live_plan(n)
+
+
+class TestValidateForLive(unittest.TestCase):
+    def test_demo_plan_is_lowerable(self):
+        validate_for_live(demo_live_plan(3), 3)
+
+    def test_refuses_unknown_nodes(self):
+        plan = FaultPlan(events=(crash(5, 0.1),), name="bad")
+        with self.assertRaises(LiveServiceError):
+            validate_for_live(plan, 3)
+
+    def test_refuses_unknown_edge_endpoints(self):
+        plan = FaultPlan(events=(drop_burst((0, 9), 0.1, 0.2),), name="bad")
+        with self.assertRaises(LiveServiceError):
+            validate_for_live(plan, 3)
+
+    def test_refuses_unknown_group_members(self):
+        plan = FaultPlan(
+            events=(partition([[0], [1, 7]], 0.1),), name="bad"
+        )
+        with self.assertRaises(LiveServiceError):
+            validate_for_live(plan, 3)
+
+
+class TestLiveChaosEndToEnd(unittest.TestCase):
+    """The acceptance run: crash+recover, partition+heal, drop burst."""
+
+    @classmethod
+    def setUpClass(cls):
+        params, plan = demo_plan_and_params(seed=7)
+        cls.plan = plan
+        cls.report = run_live_chaos(
+            params, live_workload(operations=6, seed=7), plan
+        )
+
+    def test_every_op_accounted_for(self):
+        outcomes = self.report.outcomes
+        self.assertEqual(sum(outcomes.values()), 3 * 6)
+        for record in self.report.records:
+            self.assertIn(record.outcome, ("ok", "retried", "timeout"))
+
+    def test_linearizable(self):
+        self.assertTrue(self.report.linearization.ok)
+
+    def test_faults_were_actually_applied(self):
+        faults = self.report.faults
+        self.assertGreaterEqual(faults["crashes"], 1)
+        self.assertGreaterEqual(faults["recoveries"], 1)
+        self.assertGreater(faults["dropped"], 0)
+        self.assertGreater(faults["retransmits"], 0)
+
+    def test_every_violation_attributed(self):
+        self.assertEqual(self.report.unattributed, 0)
+        for violation in self.report.violations:
+            self.assertIsNotNone(violation.event)
+            self.assertIsNotNone(violation.event_index)
+
+    def test_degraded_gate_records_widened_bounds(self):
+        widened = self.report.widened_bounds
+        p = self.report.params
+        eps_adj = self.report.eps_adjusted
+        self.assertAlmostEqual(
+            widened["d2_prime"], p.d2 + 2.0 * eps_adj
+        )
+        self.assertAlmostEqual(
+            widened["d1_prime"], max(p.d1 - 2.0 * eps_adj, 0.0)
+        )
+        self.assertTrue(self.report.bounds_ok)
+
+    def test_payload_schema(self):
+        payload = self.report.to_payload()
+        self.assertEqual(payload["format"], "repro-live-chaos-report")
+        self.assertEqual(payload["unattributed"], 0)
+        self.assertTrue(payload["linearizable"])
+        self.assertEqual(
+            sum(payload["outcomes"].values()), payload["operations"]
+            + sum(1 for r in self.report.records
+                  if not r.completed and r.kind == "R")
+        )
+        json.dumps(payload)  # must be JSON-serializable as-is
+
+
+class TestClockFaultAttribution(unittest.TestCase):
+    """A clock_fault window must surface as an attributed violation."""
+
+    def test_clock_excursion_attributed(self):
+        params = LiveParams(
+            n=2, d2=0.1, eps=0.01, seed=3,
+            op_timeout=2.0, retry_max=3, retry_base=0.05,
+        )
+        plan = FaultPlan(
+            events=(clock_fault(1, 0.05, 0.35, excess=0.05),),
+            name="clock-only",
+        )
+        report = run_live_chaos(
+            params, live_workload(operations=4, seed=3), plan
+        )
+        clock_violations = [
+            v for v in report.violations if v.kind == "clock_predicate"
+        ]
+        self.assertTrue(clock_violations)
+        self.assertEqual(report.unattributed, 0)
+        for violation in clock_violations:
+            self.assertEqual(violation.node, 1)
+            self.assertEqual(violation.event.kind, "clock_fault")
+        # the degraded gate widened by what the clock actually did
+        self.assertGreater(report.eps_adjusted, params.eps)
+
+
+class TestTimeoutOutcome(unittest.TestCase):
+    """Satellite: a dead node surfaces as timed-out records, not a hang."""
+
+    def test_crash_without_recovery_times_out(self):
+        params = LiveParams(
+            n=2, d2=0.05, eps=0.01, seed=1,
+            op_timeout=0.3, retry_max=2, retry_base=0.02,
+        )
+        plan = FaultPlan(events=(crash(1, 0.05),), name="crash-stop")
+        report = run_live_chaos(
+            params, live_workload(operations=3, seed=1, think_max=0.01),
+            plan,
+        )
+        outcomes = report.outcomes
+        self.assertEqual(sum(outcomes.values()), 2 * 3)
+        self.assertGreater(outcomes["timeout"], 0)
+        # node 0 kept serving; its client finished cleanly
+        node0 = [r for r in report.records if r.node == 0]
+        self.assertTrue(all(r.completed for r in node0))
+        self.assertTrue(report.linearization.ok)
+
+    def test_timed_out_reads_excluded_writes_kept_open(self):
+        from repro.live.client import ClientRecord
+
+        records = [
+            ClientRecord(0, 0, "W", ("v", 0, 0), 0.0, 0.1),
+            ClientRecord(0, 1, "R", None, 0.2, 0.5, "timeout", 2),
+            ClientRecord(1, 0, "W", ("v", 1, 0), 0.3, 0.6, "timeout", 2),
+        ]
+        ops = build_operations(records, horizon=1.0)
+        self.assertEqual(len(ops), 2)  # the timed-out read is gone
+        phantom = [op for op in ops if op.node == 1][0]
+        self.assertEqual(phantom.res_time, 1.0)  # window open to horizon
+
+
+class TestWireGarbage(unittest.TestCase):
+    """Satellite: garbage bytes must not kill a node's serve task."""
+
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_garbage_then_valid_frames(self):
+        async def scenario():
+            cluster = LiveCluster(LiveParams(n=1, seed=0))
+            await cluster.start()
+            try:
+                host, port = cluster.addresses[0]
+                reader, writer = await asyncio.open_connection(host, port)
+                # malformed JSON, valid-JSON-untagged, wrong field types
+                writer.write(b"\xff\xfe not json at all\n")
+                writer.write(b'[1, 2, 3]\n')
+                writer.write(b'{"t": "msg", "src": "zero"}\n')
+                writer.write(b'{"t": "write"}\n')  # missing value
+                await writer.drain()
+                # the same connection still serves a valid invocation
+                writer.write(encode_frame({"t": "read"}))
+                line = await asyncio.wait_for(reader.readline(), 5.0)
+                frame = decode_frame(line)
+                self.assertEqual(frame["t"], "return")
+                writer.close()
+                stats = cluster.stats()[0]
+                self.assertGreaterEqual(stats["wire_errors"], 4)
+            finally:
+                await cluster.stop()
+
+        self._run(scenario())
+
+    def test_oversized_line_drops_connection_not_node(self):
+        async def scenario():
+            cluster = LiveCluster(LiveParams(n=1, seed=0))
+            await cluster.start()
+            try:
+                host, port = cluster.addresses[0]
+                _, writer = await asyncio.open_connection(host, port)
+                writer.write(b"x" * (1 << 20))  # no newline: limit overrun
+                await writer.drain()
+                await asyncio.sleep(0.05)
+                writer.close()
+                # the node survived and serves a fresh connection
+                reader2, writer2 = await asyncio.open_connection(host, port)
+                writer2.write(encode_frame({"t": "read"}))
+                line = await asyncio.wait_for(reader2.readline(), 5.0)
+                self.assertEqual(decode_frame(line)["t"], "return")
+                writer2.close()
+            finally:
+                await cluster.stop()
+
+        self._run(scenario())
+
+    def test_abrupt_disconnect_mid_operation(self):
+        async def scenario():
+            cluster = LiveCluster(LiveParams(n=1, seed=0))
+            await cluster.start()
+            try:
+                host, port = cluster.addresses[0]
+                _, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame(
+                    {"t": "write", "value": ["v", 9, 9]}
+                ))
+                await writer.drain()
+                writer.transport.abort()  # RST mid-operation
+                await asyncio.sleep(0.1)
+                reader2, writer2 = await asyncio.open_connection(host, port)
+                writer2.write(encode_frame({"t": "read"}))
+                line = await asyncio.wait_for(reader2.readline(), 5.0)
+                self.assertEqual(decode_frame(line)["t"], "return")
+                writer2.close()
+            finally:
+                await cluster.stop()
+
+        self._run(scenario())
+
+
+class TestMultiClient(unittest.TestCase):
+    """Satellite: one node, several concurrent cid-tagged connections."""
+
+    def test_two_clients_per_node_linearize(self):
+        params = LiveParams(n=2, seed=5)
+        report = run_load(
+            params,
+            live_workload(operations=4, seed=5),
+            clients_per_node=2,
+        )
+        self.assertEqual(len(report.operations), 2 * 2 * 4)
+        self.assertTrue(report.linearization.ok)
+
+    def test_per_client_alternation_enforced(self):
+        async def scenario():
+            cluster = LiveCluster(LiveParams(n=1, seed=0))
+            await cluster.start()
+            try:
+                host, port = cluster.addresses[0]
+                reader, writer = await asyncio.open_connection(host, port)
+                # same cid, two overlapping invocations -> error frame
+                writer.write(encode_frame({"t": "read", "cid": "a", "op": 0}))
+                writer.write(encode_frame({"t": "read", "cid": "a", "op": 1}))
+                first = decode_frame(
+                    await asyncio.wait_for(reader.readline(), 5.0)
+                )
+                second = decode_frame(
+                    await asyncio.wait_for(reader.readline(), 5.0)
+                )
+                kinds = {first["t"], second["t"]}
+                self.assertIn("error", kinds)
+                writer.close()
+            finally:
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_retry_replays_cached_response(self):
+        async def scenario():
+            cluster = LiveCluster(LiveParams(n=1, seed=0))
+            await cluster.start()
+            try:
+                host, port = cluster.addresses[0]
+                reader, writer = await asyncio.open_connection(host, port)
+                request = {"t": "write", "value": ["v", 0, 1],
+                           "cid": "c0", "op": 0}
+                writer.write(encode_frame(request))
+                ack = decode_frame(
+                    await asyncio.wait_for(reader.readline(), 5.0)
+                )
+                self.assertEqual(ack["t"], "ack")
+                # a duplicate of the same (cid, op) replays, not re-runs
+                writer.write(encode_frame(request))
+                replay = decode_frame(
+                    await asyncio.wait_for(reader.readline(), 5.0)
+                )
+                self.assertEqual(replay["t"], "ack")
+                writer.close()
+            finally:
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+
+class TestSnapshotRoundTrip(unittest.TestCase):
+    """Satellite: crash/recover restores live AlgorithmSProcess state."""
+
+    def test_mid_window_crash_recover_preserves_state(self):
+        async def scenario():
+            params = LiveParams(n=2, d2=0.2, eps=0.01, seed=2,
+                                driver="slow", op_timeout=2.0,
+                                retry_max=4, retry_base=0.05)
+            plan = FaultPlan(events=(crash(0, 10.0),), name="arm-arq")
+            cluster = LiveCluster(params)
+            # a controller arms the ARQ layer; its (far-future) timeline
+            # is never started, so we can crash/recover by hand
+            LiveChaosController(plan, cluster)
+            await cluster.start()
+            try:
+                node = cluster.nodes[0]
+                host, port = cluster.addresses[0]
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame(
+                    {"t": "write", "value": ["v", 0, 1],
+                     "cid": "c", "op": 0}
+                ))
+                ack = decode_frame(
+                    await asyncio.wait_for(reader.readline(), 5.0)
+                )
+                self.assertEqual(ack["t"], "ack")
+                writer.close()
+
+                state_before = node.state
+                value_before = state_before.value
+                await node.crash()
+                self.assertTrue(node.down)
+                # volatile memory wiped while down
+                self.assertIsNot(node.state, state_before)
+                await node.recover()
+                self.assertFalse(node.down)
+
+                # restored copy of the written value survived the crash
+                self.assertEqual(node.state.value, value_before)
+                # __post_restore__ rebuilt the send buffers' min-deque:
+                # clock_deadline never raises and agrees with a fresh poll
+                for buf in node.send_bufs.values():
+                    buf.clock_deadline()
+                # the restored clock is back inside the C_eps envelope
+                # on its first post-recovery read (slow driver jumps to
+                # the envelope edge across the outage)
+                real, clock = node.clock.read()
+                self.assertLessEqual(
+                    abs(real - clock), params.eps + 1e-3
+                )
+                # and the node still serves on the *same* port
+                reader2, writer2 = await asyncio.open_connection(host, port)
+                writer2.write(encode_frame({"t": "read"}))
+                frame = decode_frame(
+                    await asyncio.wait_for(reader2.readline(), 5.0)
+                )
+                self.assertEqual(frame["t"], "return")
+                self.assertEqual(tuple(frame["value"]), ("v", 0, 1))
+                writer2.close()
+            finally:
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+
+class TestFaultFreeUnchanged(unittest.TestCase):
+    """Fault-free traffic and reports must be byte-compatible."""
+
+    def test_single_client_requests_untagged(self):
+        client = LiveLoadClient(
+            0,
+            __import__("repro.registers.opstream", fromlist=["OpSchedule"])
+            .OpSchedule.generate(0, live_workload(operations=2, seed=0)),
+            ("127.0.0.1", 1), 0.0,
+        )
+        op = client.schedule.ops[0]
+        frame = client._request(op)
+        self.assertNotIn("cid", frame)
+        self.assertNotIn("op", frame)
+
+    def test_fault_free_stats_have_no_fault_keys(self):
+        params = LiveParams(n=2, seed=0)
+        report = run_load(params, live_workload(operations=2, seed=0))
+        self.assertTrue(report.linearization.ok)
+        for stats in report.node_stats:
+            for key in ("wire_errors", "crashes", "recoveries",
+                        "retransmits", "inputs_lost", "seq"):
+                self.assertNotIn(key, stats)
+
+    def test_fault_free_peer_frames_carry_no_arq_fields(self):
+        async def scenario():
+            frames = []
+            cluster = LiveCluster(LiveParams(n=2, seed=0))
+            await cluster.start()
+            try:
+                node = cluster.nodes[0]
+                original = node._wire_send
+
+                def spy(dst, frame):
+                    frames.append(dict(frame))
+                    return original(dst, frame)
+
+                node._wire_send = spy
+                host, port = cluster.addresses[0]
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame(
+                    {"t": "write", "value": ["v", 0, 1]}
+                ))
+                await asyncio.wait_for(reader.readline(), 5.0)
+                writer.close()
+            finally:
+                await cluster.stop()
+            for frame in frames:
+                if frame.get("t") == "msg":
+                    self.assertNotIn("seq", frame)
+                    self.assertNotIn("s0", frame)
+
+        asyncio.run(scenario())
+
+
+class TestChaosCli(unittest.TestCase):
+    """``python -m repro chaos --live`` exit-code semantics."""
+
+    def _run(self, *extra):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "chaos", "--live",
+             "--seed", "7", "--ops", "4", *extra],
+            capture_output=True, text=True, cwd=ROOT,
+            env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            timeout=300,
+        )
+
+    def test_expect_clean_demo(self):
+        result = self._run("--expect", "clean")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("linearizable   : True", result.stdout)
+
+    def test_sim_only_flags_refused(self):
+        result = self._run("--shrink")
+        self.assertEqual(result.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Validate a live-chaos report (the CI gate for ``chaos --live``).
+
+Checks, in order:
+
+1. the file is a well-formed ``repro-live-chaos-report`` version 1
+   payload with every required field of the right shape;
+2. the run is healthy: linearizable, **zero unattributed violations**
+   (every monitor violation names the plan event responsible), and every
+   client operation ended in ok / retried / timeout;
+3. the fault machinery was actually exercised: at least one crash and
+   recovery applied, frames dropped and retransmitted, and the client
+   retry path taken (nonzero retries) — a chaos smoke that injected
+   nothing proves nothing;
+4. the degraded gate recorded the Simulation 1 widening
+   (``d1' = max(d1 - 2*eps_adj, 0)``, ``d2' = d2 + 2*eps_adj``).
+
+Usage: ``python tools/validate_live_chaos.py REPORT.json``
+"""
+
+import json
+import sys
+
+REQUIRED = {
+    "format": str,
+    "version": int,
+    "params": dict,
+    "plan": dict,
+    "operations": int,
+    "outcomes": dict,
+    "retries": int,
+    "linearizable": bool,
+    "visited": int,
+    "eps_measured": (int, float),
+    "eps_adjusted": (int, float),
+    "widened_bounds": dict,
+    "retry_allowance": (int, float),
+    "bound_checks": list,
+    "bounds_ok": bool,
+    "faults": dict,
+    "violations": list,
+    "unattributed": int,
+    "ok": bool,
+}
+
+FAULT_KEYS = (
+    "crashes", "recoveries", "dropped", "retransmits",
+    "wire_errors", "inputs_lost",
+)
+
+
+def fail(message: str) -> "None":
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: validate_live_chaos.py REPORT.json")
+    try:
+        with open(sys.argv[1]) as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot read report: {exc}")
+
+    # 1. schema
+    for key, kind in REQUIRED.items():
+        if key not in report:
+            fail(f"missing field {key!r}")
+        if not isinstance(report[key], kind):
+            fail(f"field {key!r} has type {type(report[key]).__name__}")
+    if report["format"] != "repro-live-chaos-report":
+        fail(f"unexpected format {report['format']!r}")
+    if report["version"] != 1:
+        fail(f"unexpected version {report['version']!r}")
+    for key in ("d1_prime", "d2_prime"):
+        if key not in report["widened_bounds"]:
+            fail(f"widened_bounds missing {key!r}")
+    for key in FAULT_KEYS:
+        if key not in report["faults"]:
+            fail(f"faults missing {key!r}")
+    for violation in report["violations"]:
+        for key in ("monitor", "kind", "time", "detail", "event_index",
+                    "event"):
+            if key not in violation:
+                fail(f"violation missing {key!r}")
+
+    # 2. health
+    if not report["linearizable"]:
+        fail("history is not linearizable")
+    if report["unattributed"] != 0:
+        fail(f"{report['unattributed']} violation(s) unattributed")
+    for violation in report["violations"]:
+        if violation["event_index"] is None:
+            fail(f"violation {violation['kind']!r} has no event_index")
+    unknown = set(report["outcomes"]) - {"ok", "retried", "timeout"}
+    if unknown:
+        fail(f"unknown outcomes {sorted(unknown)}")
+    if sum(report["outcomes"].values()) <= 0:
+        fail("no client operations recorded")
+
+    # 3. the faults actually happened and the retry path ran
+    faults = report["faults"]
+    if faults["crashes"] < 1 or faults["recoveries"] < 1:
+        fail("plan applied no crash/recovery")
+    if faults["dropped"] < 1:
+        fail("wire shim dropped nothing")
+    if faults["retransmits"] < 1:
+        fail("ARQ layer never retransmitted")
+    if report["retries"] < 1:
+        fail("client retry path was never exercised")
+
+    # 4. the Simulation 1 widening is recorded and arithmetically right
+    params = report["params"]
+    eps_adj = report["eps_adjusted"]
+    widened = report["widened_bounds"]
+    want_d2 = params["d2"] + 2.0 * eps_adj
+    want_d1 = max(params["d1"] - 2.0 * eps_adj, 0.0)
+    if abs(widened["d2_prime"] - want_d2) > 1e-9:
+        fail(f"d2' = {widened['d2_prime']} but d2 + 2*eps_adj = {want_d2}")
+    if abs(widened["d1_prime"] - want_d1) > 1e-9:
+        fail(f"d1' = {widened['d1_prime']} but max(d1 - 2*eps_adj, 0) "
+             f"= {want_d1}")
+    if eps_adj + 1e-12 < report["eps_measured"]:
+        fail("eps_adjusted below eps_measured")
+
+    outcomes = report["outcomes"]
+    print(
+        f"live chaos report ok: {report['operations']} ops "
+        f"(ok={outcomes.get('ok', 0)} retried={outcomes.get('retried', 0)} "
+        f"timeout={outcomes.get('timeout', 0)}), "
+        f"{faults['crashes']} crash(es), {faults['dropped']} dropped, "
+        f"{faults['retransmits']} retransmit(s), "
+        f"{len(report['violations'])} violation(s) all attributed, "
+        f"d2'={widened['d2_prime']:g}"
+    )
+
+
+if __name__ == "__main__":
+    main()
